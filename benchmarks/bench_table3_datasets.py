@@ -1,0 +1,61 @@
+"""Table III — summary of the generated datasets.
+
+For every dataset row of the paper's Table III (scheme x suite x technology)
+the harness generates the locked benchmarks and reports the number of
+circuits, nodes, classes and the feature-vector length.
+"""
+
+import pytest
+
+from benchmarks.common import PROFILE, attack_config, emit, itc_benchmarks
+from repro.core import build_dataset, format_table, generate_instances
+
+
+_ROWS = [
+    # (label, scheme, benchmarks-kind, h, technology)
+    ("Anti-SAT / ISCAS-85 / bench", "antisat", "iscas", None, "BENCH8"),
+    ("Anti-SAT / ITC-99 / bench", "antisat", "itc", None, "BENCH8"),
+    ("TTLock / ISCAS-85 / 65nm", "ttlock", "iscas", None, "GEN65"),
+    ("TTLock / ITC-99 / 65nm", "ttlock", "itc", None, "GEN65"),
+    ("SFLL-HD2 / ISCAS-85 / 65nm", "sfll", "iscas", 2, "GEN65"),
+    ("SFLL-HD2 / ITC-99 / 65nm", "sfll", "itc", 2, "GEN65"),
+    ("SFLL-HD2 / ITC-99 / 45nm", "sfll", "itc", 2, "GEN45"),
+    ("SFLL-HD4 / ITC-99 / 65nm", "sfll", "itc", 4, "GEN65"),
+    ("SFLL-HD16 / ISCAS-85 / 65nm (K=32)", "sfll", "iscas-corner", 16, "GEN65"),
+]
+
+
+def _run_table3() -> str:
+    config = attack_config()
+    iscas = ["c2670", "c3540", "c5315", "c7552"]
+    itc = itc_benchmarks()
+    rows = []
+    for label, scheme, kind, h, tech in _ROWS:
+        if kind == "iscas":
+            benchmarks, key_sizes = iscas, config.iscas_key_sizes
+        elif kind == "itc":
+            if not itc:
+                benchmarks, key_sizes = iscas, config.iscas_key_sizes
+                label += " [ISCAS stand-in: quick profile]"
+            else:
+                benchmarks, key_sizes = itc, config.itc_key_sizes
+        else:  # the ISCAS corner case uses K = 32, h = 16
+            benchmarks, key_sizes = iscas, (32,)
+        instances = generate_instances(
+            scheme, benchmarks, key_sizes=key_sizes, h=h, config=config,
+            technology=tech,
+        )
+        dataset = build_dataset(instances)
+        summary = dataset.summary()
+        rows.append(
+            [label, summary["#Classes"], summary["|f|"], summary["#Nodes"],
+             summary["#Circuits"]]
+        )
+    return format_table(["Dataset", "#Classes", "|f|", "#Nodes", "#Circuits"], rows)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_dataset_summary(benchmark):
+    table = benchmark.pedantic(_run_table3, rounds=1, iterations=1)
+    emit("table3_datasets", table)
+    assert "| 13" in table and "| 34" in table and "| 18" in table

@@ -1,0 +1,61 @@
+"""Table V — GNNUnlock on SFLL-HD2 (per-benchmark results, 65nm-like library).
+
+For every attacked benchmark: GNN accuracy, per-class precision / recall / F1
+(RN = restore, PN = perturb, DN = design), the misclassification breakdown and
+the removal success after post-processing.
+"""
+
+import pytest
+
+from benchmarks.common import PROFILE, attack_config, emit, iscas_benchmarks, itc_benchmarks
+from repro.core import (
+    GnnUnlockAttack,
+    build_dataset,
+    format_percent,
+    format_table,
+    generate_instances,
+)
+
+_CLASS_ORDER = ("RN", "PN", "DN")
+
+
+def _attack_suite(benchmarks, key_sizes, config):
+    instances = generate_instances(
+        "sfll", benchmarks, key_sizes=key_sizes, h=2, config=config,
+        technology="GEN65",
+    )
+    dataset = build_dataset(instances)
+    attack = GnnUnlockAttack(dataset, config=config)
+    rows = []
+    for target in benchmarks:
+        outcome = attack.attack(target)
+        row = [target, len(outcome.instances), format_percent(outcome.gnn_accuracy)]
+        for metric in ("precision", "recall", "f1"):
+            for cls in _CLASS_ORDER:
+                row.append(
+                    format_percent(getattr(outcome.gnn_report.per_class[cls], metric))
+                )
+        row.append(outcome.gnn_report.misclassification_summary())
+        row.append(format_percent(outcome.removal_success_rate))
+        rows.append(row)
+    return rows
+
+
+def _run_table5() -> str:
+    config = attack_config()
+    rows = _attack_suite(iscas_benchmarks(), config.iscas_key_sizes, config)
+    if itc_benchmarks():
+        rows += _attack_suite(itc_benchmarks(), config.itc_key_sizes, config)
+    headers = ["Test", "#TestGraphs", "GNN Acc. (%)"]
+    for metric in ("Prec", "Rec", "F1"):
+        for cls in _CLASS_ORDER:
+            headers.append(f"{metric} {cls} (%)")
+    headers += ["#Misclassified", "Removal Success (%)"]
+    return format_table(headers, rows)
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_sfll_hd2(benchmark):
+    table = benchmark.pedantic(_run_table5, rounds=1, iterations=1)
+    emit("table5_sfll_hd2", table)
+    assert "Removal Success" in table

@@ -1,0 +1,62 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every harness regenerates one table of the paper.  ``REPRO_BENCH_PROFILE``
+selects the workload size:
+
+* ``quick``  (default) — ISCAS-85-like benchmarks, one lock per setting,
+  reduced key-size sweep; each table regenerates in well under a minute.
+* ``full``   — both suites, the paper's key-size sweeps and three locks per
+  setting; expect tens of minutes on a laptop CPU.
+
+Tables are printed to stdout and appended to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.core import AttackConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
+
+
+def attack_config() -> AttackConfig:
+    """The AttackConfig used by all harnesses for the selected profile."""
+    if PROFILE == "full":
+        return AttackConfig(
+            locks_per_setting=2,
+            iscas_key_sizes=(8, 16, 32, 64),
+            itc_key_sizes=(32, 64, 128),
+            seed=11,
+        ).with_gnn(hidden_dim=64, epochs=120, root_nodes=1500, eval_every=10)
+    return AttackConfig(
+        locks_per_setting=1,
+        iscas_key_sizes=(8, 16, 32),
+        itc_key_sizes=(32, 64),
+        seed=11,
+    ).with_gnn(hidden_dim=32, epochs=60, root_nodes=600, eval_every=5)
+
+
+def iscas_benchmarks() -> List[str]:
+    return ["c2670", "c3540", "c5315", "c7552"]
+
+
+def itc_benchmarks() -> List[str]:
+    """ITC-99-like targets; empty in the quick profile (ISCAS-only) so every
+    table regenerates in minutes — the full profile covers both suites."""
+    if PROFILE == "full":
+        return ["b14_C", "b15_C", "b17_C", "b20_C", "b21_C", "b22_C"]
+    return []
+
+
+def emit(table_name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    print(f"\n=== {table_name} ({PROFILE} profile) ===")
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{table_name}.txt"
+    path.write_text(f"{table_name} ({PROFILE} profile)\n{text}\n")

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The project is normally installed with ``pip install -e .``; on fully offline
+machines where the editable install cannot build (missing ``wheel``), tests
+and benchmarks still run because this conftest prepends ``src/`` to
+``sys.path``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,55 @@
+"""Corner case study (Section V-D): SFLL-HD with K/h = 2.
+
+The FALL and SFLL-HD-Unlocked attacks report zero keys on these designs,
+while GNNUnlock still removes the protection logic.  This example reproduces
+that comparison on one benchmark.
+"""
+
+from repro.baselines import fall_attack, sfll_hd_unlocked_attack
+from repro.core import (
+    AttackConfig,
+    GnnUnlockAttack,
+    build_dataset,
+    format_percent,
+    generate_instances,
+)
+
+KEY_SIZE = 16
+H = KEY_SIZE // 2  # the corner case: K / h = 2
+
+
+def main() -> None:
+    config = AttackConfig(locks_per_setting=1, seed=9).with_gnn(
+        hidden_dim=32, epochs=60, root_nodes=600
+    )
+    benchmarks = ["c2670", "c3540", "c5315", "c7552"]
+    instances = generate_instances(
+        "sfll", benchmarks, key_sizes=(KEY_SIZE,), h=H, config=config
+    )
+    dataset = build_dataset(instances)
+    target = "c7552"
+
+    print(f"SFLL-HD with K={KEY_SIZE}, h={H} (K/h = 2) on {target}\n")
+
+    # Prior oracle-less attacks on the locked instance of the target.
+    locked = next(i.result for i in instances if i.benchmark == target)
+    for name, attack in (
+        ("FALL", fall_attack),
+        ("SFLL-HD-Unlocked", sfll_hd_unlocked_attack),
+    ):
+        result = attack(locked)
+        verdict = "key recovered" if result.success else f"failed ({result.reason})"
+        print(f"{name:18s}: {verdict}")
+
+    # GNNUnlock on the same target.
+    outcome = GnnUnlockAttack(dataset, config=config).attack(target)
+    print(
+        f"{'GNNUnlock':18s}: removal success "
+        f"{format_percent(outcome.removal_success_rate)}% "
+        f"(GNN accuracy {format_percent(outcome.gnn_accuracy)}%, "
+        f"post-processed {format_percent(outcome.post_accuracy)}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

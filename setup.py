@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in environments without the ``wheel`` package (plain
+``python setup.py develop`` / legacy editable installs), e.g. fully offline
+machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""GNNUnlock reproduction package.
+
+Oracle-less, GNN-based attack on provably secure logic locking (Anti-SAT,
+TTLock, SFLL-HD), plus every substrate it depends on: a gate-level netlist
+library, locking transforms, a synthesis flow, a from-scratch GraphSAGE /
+GraphSAINT implementation, a SAT-based equivalence checker, and the baseline
+attacks the paper compares against.
+"""
+
+__version__ = "1.0.0"
+
+from . import netlist  # noqa: F401
+
+__all__ = ["netlist", "__version__"]

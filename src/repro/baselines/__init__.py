@@ -1,0 +1,20 @@
+"""Prior-art attacks the paper compares against (Table I, Section V-D)."""
+
+from .base import BaselineResult
+from .analysis import SfllStructure, enumerate_activating_patterns, trace_sfll_structure
+from .sps import locate_antisat_output, sps_attack
+from .fall import fall_attack
+from .sfll_hd_unlocked import sfll_hd_unlocked_attack
+from .sat_attack import sat_attack
+
+__all__ = [
+    "BaselineResult",
+    "SfllStructure",
+    "trace_sfll_structure",
+    "enumerate_activating_patterns",
+    "sps_attack",
+    "locate_antisat_output",
+    "fall_attack",
+    "sfll_hd_unlocked_attack",
+    "sat_attack",
+]

@@ -1,0 +1,33 @@
+"""Common result type for the baseline (prior-art) attacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline attack on one locked circuit.
+
+    ``success`` means the attack's own success criterion was met (recovered
+    key verified, or recovered netlist equivalent to the original); failures
+    record a ``reason`` so Table I / Table VI style capability matrices can
+    distinguish "not applicable" from "ran and failed".
+    """
+
+    attack: str
+    scheme: str
+    success: bool
+    reason: str = ""
+    recovered_key: Optional[Dict[str, bool]] = None
+    recovered_circuit: Optional[Circuit] = None
+    identified_gates: Tuple[str, ...] = ()
+    statistics: Dict[str, object] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.success

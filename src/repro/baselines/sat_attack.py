@@ -1,0 +1,167 @@
+"""The oracle-guided SAT attack [Subramanyan et al., HOST 2015].
+
+Included as the context baseline motivating PSLL: it breaks traditional
+XOR-based locking in a handful of iterations, but Anti-SAT / SFLL force (close
+to) one iteration per protected pattern, so a small iteration budget runs out
+— which is exactly why the oracle-less GNNUnlock attack matters.
+
+The attack needs an oracle; we use the original (unlocked) circuit as the
+functional oracle, which the oracle-guided threat model permits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..locking.base import LockingResult
+from ..netlist.circuit import Circuit
+from ..netlist.simulate import simulate
+from ..sat.cnf import CNF
+from ..sat.solver import solve
+from ..sat.tseitin import CircuitEncoder
+from ..sat.equivalence import check_equivalence
+from .base import BaselineResult
+
+__all__ = ["sat_attack"]
+
+
+def sat_attack(
+    result: LockingResult,
+    *,
+    max_iterations: int = 64,
+    max_conflicts_per_call: int = 400_000,
+    verify: bool = True,
+) -> BaselineResult:
+    """Run the oracle-guided SAT attack on a locked circuit."""
+    locked = result.locked
+    oracle = result.original
+    key_inputs = list(locked.key_inputs)
+    primary_inputs = list(locked.inputs)
+    outputs = [po for po in locked.outputs if po in oracle.outputs]
+    if not key_inputs:
+        return BaselineResult(
+            attack="SAT",
+            scheme=result.scheme,
+            success=False,
+            reason="circuit has no key inputs",
+        )
+
+    encoder = CircuitEncoder()
+    cnf = encoder.cnf
+    shared_pi = {net: cnf.var(f"dip::{net}") for net in primary_inputs}
+    key_a = {net: cnf.var(f"ka::{net}") for net in key_inputs}
+    key_b = {net: cnf.var(f"kb::{net}") for net in key_inputs}
+    vars_a = encoder.encode(locked, prefix="A::", share_nets={**shared_pi, **key_a})
+    vars_b = encoder.encode(locked, prefix="B::", share_nets={**shared_pi, **key_b})
+
+    # Difference miter: the two keyed copies disagree on some output.
+    xor_vars = []
+    for po in outputs:
+        x = cnf.new_var()
+        va, vb = vars_a[po], vars_b[po]
+        cnf.add_clause([-x, va, vb])
+        cnf.add_clause([-x, -va, -vb])
+        cnf.add_clause([x, -va, vb])
+        cnf.add_clause([x, va, -vb])
+        xor_vars.append(x)
+    cnf.add_clause(xor_vars)
+
+    iterations = 0
+    dips: List[Dict[str, bool]] = []
+    for iterations in range(1, max_iterations + 1):
+        try:
+            model = solve(cnf, max_conflicts=max_conflicts_per_call)
+        except RuntimeError:
+            return BaselineResult(
+                attack="SAT",
+                scheme=result.scheme,
+                success=False,
+                reason="SAT conflict budget exceeded while searching for a DIP",
+                statistics={"iterations": iterations, "dips": len(dips)},
+            )
+        if not model.satisfiable:
+            break
+        dip = {net: model.value(var) for net, var in shared_pi.items()}
+        dips.append(dip)
+        oracle_out = simulate(oracle, dip, outputs=outputs)
+        oracle_values = {po: bool(oracle_out[po][0]) for po in outputs}
+        # Constrain both keyed copies to agree with the oracle on this DIP.
+        for key_vars, prefix in ((key_a, "ca"), (key_b, "cb")):
+            copy_vars = encoder.encode(
+                locked,
+                prefix=f"{prefix}{iterations}::",
+                share_nets={
+                    **{net: _constant_var(cnf, value) for net, value in dip.items()},
+                    **key_vars,
+                },
+            )
+            for po in outputs:
+                var = copy_vars[po]
+                cnf.add_clause([var] if oracle_values[po] else [-var])
+    else:
+        return BaselineResult(
+            attack="SAT",
+            scheme=result.scheme,
+            success=False,
+            reason=f"iteration budget of {max_iterations} DIPs exhausted",
+            statistics={"iterations": max_iterations, "dips": len(dips)},
+        )
+
+    # UNSAT: any key satisfying the accumulated constraints is functionally
+    # correct.  Solve the constraint set alone for key copy A.
+    final = solve(_strip_miter(cnf, xor_vars))
+    if not final.satisfiable:
+        return BaselineResult(
+            attack="SAT",
+            scheme=result.scheme,
+            success=False,
+            reason="constraint system became unsatisfiable (no consistent key)",
+            statistics={"iterations": iterations, "dips": len(dips)},
+        )
+    recovered_key = {net: final.value(var) for net, var in key_a.items()}
+
+    success = True
+    reason = ""
+    if verify:
+        try:
+            success = check_equivalence(
+                locked, oracle, key_assignment=recovered_key
+            ).equivalent
+            reason = "" if success else "recovered key does not unlock the design"
+        except Exception as exc:  # noqa: BLE001
+            success = False
+            reason = f"key verification failed: {exc}"
+    return BaselineResult(
+        attack="SAT",
+        scheme=result.scheme,
+        success=success,
+        reason=reason,
+        recovered_key=recovered_key,
+        statistics={"iterations": iterations, "dips": len(dips)},
+    )
+
+
+def _constant_var(cnf: CNF, value: bool) -> int:
+    var = cnf.new_var()
+    cnf.add_clause([var] if value else [-var])
+    return var
+
+
+def _strip_miter(cnf: CNF, xor_vars: List[int]) -> CNF:
+    """Copy of the formula without the output-difference clause.
+
+    The difference clause is the single clause consisting exactly of the
+    XOR-flag variables; every other clause (circuit encodings and oracle
+    constraints) is kept.
+    """
+    target = tuple(xor_vars)
+    stripped = CNF()
+    for _ in range(cnf.n_vars):
+        stripped.new_var()
+    for clause in cnf.clauses:
+        if tuple(clause) == target:
+            continue
+        stripped.add_clause(clause)
+    return stripped

@@ -1,0 +1,33 @@
+"""Synthetic benchmark circuits standing in for ISCAS-85 and ITC-99."""
+
+from .profiles import (
+    ALL_PROFILES,
+    DEFAULT_SIZE_SCALE,
+    ISCAS85_PROFILES,
+    ITC99_PROFILES,
+    BenchmarkProfile,
+)
+from .random_logic import RandomLogicSpec, add_reduction_tree, generate_random_circuit
+from .registry import (
+    available_benchmarks,
+    benchmark_profile,
+    get_benchmark,
+    iscas85_benchmarks,
+    itc99_benchmarks,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "DEFAULT_SIZE_SCALE",
+    "ISCAS85_PROFILES",
+    "ITC99_PROFILES",
+    "BenchmarkProfile",
+    "RandomLogicSpec",
+    "generate_random_circuit",
+    "add_reduction_tree",
+    "available_benchmarks",
+    "benchmark_profile",
+    "get_benchmark",
+    "iscas85_benchmarks",
+    "itc99_benchmarks",
+]

@@ -1,0 +1,87 @@
+"""Benchmark registry: build (and cache) synthetic ISCAS-85 / ITC-99 stand-ins."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import BENCH8
+from .profiles import (
+    ALL_PROFILES,
+    DEFAULT_SIZE_SCALE,
+    ISCAS85_PROFILES,
+    ITC99_PROFILES,
+    BenchmarkProfile,
+)
+from .random_logic import RandomLogicSpec, generate_random_circuit
+
+__all__ = [
+    "available_benchmarks",
+    "benchmark_profile",
+    "get_benchmark",
+    "iscas85_benchmarks",
+    "itc99_benchmarks",
+]
+
+
+def available_benchmarks(suite: Optional[str] = None) -> List[str]:
+    """Names of available benchmarks, optionally filtered by suite."""
+    if suite is None:
+        return sorted(ALL_PROFILES)
+    suite = suite.upper().replace("_", "-")
+    return sorted(
+        name for name, prof in ALL_PROFILES.items() if prof.suite.upper() == suite
+    )
+
+
+def benchmark_profile(name: str) -> BenchmarkProfile:
+    """The size profile of a benchmark (original and scaled dimensions)."""
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(ALL_PROFILES)}"
+        ) from None
+
+
+@lru_cache(maxsize=64)
+def _build(name: str, size_scale: float) -> Circuit:
+    profile = benchmark_profile(name)
+    n_inputs, n_outputs, n_gates = profile.scaled(size_scale)
+    spec = RandomLogicSpec(
+        name=name,
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        n_gates=n_gates,
+        seed=profile.seed,
+        n_reduction_trees=3,
+        reduction_tree_width=6,
+    )
+    return generate_random_circuit(spec)
+
+
+def get_benchmark(
+    name: str, *, size_scale: float = DEFAULT_SIZE_SCALE
+) -> Circuit:
+    """Return a fresh copy of the synthetic stand-in for ``name``.
+
+    Circuits are generated deterministically (per name and scale) in the
+    BENCH8 vocabulary; callers that need a standard-cell netlist apply
+    :func:`repro.synth.technology_map`.
+    """
+    return _build(name, float(size_scale)).copy()
+
+
+def iscas85_benchmarks(*, size_scale: float = DEFAULT_SIZE_SCALE) -> Dict[str, Circuit]:
+    """All ISCAS-85 stand-ins keyed by name."""
+    return {
+        name: get_benchmark(name, size_scale=size_scale) for name in ISCAS85_PROFILES
+    }
+
+
+def itc99_benchmarks(*, size_scale: float = DEFAULT_SIZE_SCALE) -> Dict[str, Circuit]:
+    """All ITC-99 stand-ins keyed by name."""
+    return {
+        name: get_benchmark(name, size_scale=size_scale) for name in ITC99_PROFILES
+    }

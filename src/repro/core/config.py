@@ -1,0 +1,65 @@
+"""Attack-wide configuration.
+
+One object gathers every knob that controls dataset generation, GNN training
+and the evaluation protocol so benchmark harnesses and examples stay short.
+The defaults are the scaled-down "laptop" configuration; ``paper_scale()``
+returns the configuration matching Table II of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..benchgen.profiles import DEFAULT_SIZE_SCALE
+from ..gnn.model import GnnConfig
+
+__all__ = ["AttackConfig"]
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Configuration of an end-to-end GNNUnlock run."""
+
+    #: Number of times each benchmark is locked per (K, h) setting.
+    locks_per_setting: int = 2
+    #: Key sizes per suite (the paper: ISCAS {8,16,32,64}, ITC {32,64,128}).
+    iscas_key_sizes: Tuple[int, ...] = (8, 16, 32, 64)
+    itc_key_sizes: Tuple[int, ...] = (32, 64, 128)
+    #: Benchmark scaling knob (see repro.benchgen.profiles).
+    size_scale: float = DEFAULT_SIZE_SCALE
+    #: Synthesis technology for SFLL/TTLock datasets ("BENCH8" = no mapping).
+    technology: str = "BENCH8"
+    synthesis_effort: str = "medium"
+    #: GNN hyper-parameters (hidden width, epochs, sampler, ...).
+    gnn: GnnConfig = field(default_factory=GnnConfig)
+    #: Random seed for dataset generation (keys, target nets, ...).
+    seed: int = 11
+
+    def with_gnn(self, **kwargs) -> "AttackConfig":
+        """Copy of the config with GNN hyper-parameters overridden."""
+        return replace(self, gnn=replace(self.gnn, **kwargs))
+
+    def scaled_down(self) -> "AttackConfig":
+        """A configuration small enough for unit tests (seconds per attack)."""
+        return replace(
+            self,
+            locks_per_setting=1,
+            iscas_key_sizes=(8,),
+            itc_key_sizes=(32,),
+            gnn=replace(self.gnn, hidden_dim=24, epochs=40, root_nodes=400),
+        )
+
+    def paper_scale(self) -> "AttackConfig":
+        """The configuration reported in Table II (512 hidden, 2000 epochs)."""
+        return replace(
+            self,
+            locks_per_setting=3,
+            gnn=replace(
+                self.gnn,
+                hidden_dim=512,
+                epochs=2000,
+                patience=2000,
+                root_nodes=3000,
+            ),
+        )

@@ -1,0 +1,155 @@
+"""Dataset generation (Section IV-A / V-A of the paper).
+
+Each benchmark is locked several times per key-size with freshly drawn random
+keys, producing the per-scheme datasets of Table III.  SFLL / TTLock datasets
+are synthesised onto a standard-cell-like library afterwards (the paper's
+Design Compiler step); Anti-SAT datasets stay in the bench vocabulary because
+the original Anti-SAT locking tool only handles bench files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..benchgen.profiles import ALL_PROFILES
+from ..benchgen.registry import get_benchmark
+from ..locking.antisat import AntiSatLocking
+from ..locking.base import LockingError, LockingScheme
+from ..locking.sfll_hd import SfllHdLocking, TTLockLocking
+from ..synth.flow import SynthesisOptions, synthesize_locked
+from .config import AttackConfig
+from .dataset import LockedInstance, NodeDataset, build_dataset
+
+__all__ = [
+    "make_scheme",
+    "generate_instances",
+    "generate_dataset",
+    "suite_benchmarks",
+    "suite_key_sizes",
+]
+
+
+def make_scheme(scheme: str, key_size: int, h: Optional[int] = None) -> LockingScheme:
+    """Instantiate a locking scheme by name (``antisat``, ``ttlock``, ``sfll``)."""
+    normalized = scheme.lower().replace("-", "").replace("_", "")
+    if normalized in ("antisat",):
+        return AntiSatLocking(key_size)
+    if normalized in ("ttlock",):
+        return TTLockLocking(key_size)
+    if normalized in ("sfll", "sfllhd"):
+        if h is None:
+            raise ValueError("SFLL-HD requires the Hamming distance h")
+        if h == 0:
+            return TTLockLocking(key_size)
+        return SfllHdLocking(key_size, h)
+    raise ValueError(f"unknown locking scheme {scheme!r}")
+
+
+def suite_benchmarks(suite: str) -> List[str]:
+    """Benchmark names of a suite (``"ISCAS-85"`` or ``"ITC-99"``)."""
+    suite_norm = suite.upper().replace("_", "-")
+    names = [
+        name for name, prof in ALL_PROFILES.items() if prof.suite.upper() == suite_norm
+    ]
+    if not names:
+        raise ValueError(f"unknown benchmark suite {suite!r}")
+    return sorted(names)
+
+
+def suite_key_sizes(suite: str, config: AttackConfig) -> Sequence[int]:
+    """Key sizes the paper uses for a suite."""
+    suite_norm = suite.upper().replace("_", "-")
+    return (
+        config.iscas_key_sizes if suite_norm == "ISCAS-85" else config.itc_key_sizes
+    )
+
+
+def _instance_seed(base_seed: int, *parts: object) -> int:
+    digest = hashlib.sha256(("|".join(map(str, parts)) + f"|{base_seed}").encode())
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def _required_inputs(scheme: str, key_size: int) -> int:
+    normalized = scheme.lower().replace("-", "").replace("_", "")
+    return key_size // 2 if normalized == "antisat" else key_size
+
+
+def generate_instances(
+    scheme: str,
+    benchmarks: Iterable[str],
+    *,
+    key_sizes: Sequence[int],
+    h: Optional[int] = None,
+    config: AttackConfig = AttackConfig(),
+    technology: Optional[str] = None,
+) -> List[LockedInstance]:
+    """Lock every benchmark ``locks_per_setting`` times for every key size.
+
+    Benchmarks whose PI count cannot support a key size are skipped for that
+    key size — this reproduces the paper's note that ``c3540`` is not locked
+    with K = 64 "due to the limited number of PIs in the design".
+    """
+    technology = technology if technology is not None else config.technology
+    instances: List[LockedInstance] = []
+    for bench_name in benchmarks:
+        profile = ALL_PROFILES[bench_name]
+        circuit = get_benchmark(bench_name, size_scale=config.size_scale)
+        for key_size in key_sizes:
+            if len(circuit.inputs) < _required_inputs(scheme, key_size):
+                continue
+            for copy_index in range(config.locks_per_setting):
+                rng = np.random.default_rng(
+                    _instance_seed(config.seed, scheme, bench_name, key_size, h, copy_index)
+                )
+                locker = make_scheme(scheme, key_size, h)
+                result = locker.lock(circuit.copy(), rng=rng)
+                if technology.upper() != "BENCH8":
+                    result = synthesize_locked(
+                        result,
+                        SynthesisOptions(
+                            technology=technology, effort=config.synthesis_effort
+                        ),
+                    )
+                instances.append(
+                    LockedInstance(
+                        benchmark=bench_name,
+                        suite=profile.suite,
+                        result=result,
+                        key_size=key_size,
+                        h=h if locker.__class__ is not AntiSatLocking else None,
+                        technology=technology.upper(),
+                        copy_index=copy_index,
+                    )
+                )
+    if not instances:
+        raise LockingError(
+            f"no benchmark could be locked with scheme {scheme} and key sizes "
+            f"{list(key_sizes)}"
+        )
+    return instances
+
+
+def generate_dataset(
+    scheme: str,
+    suite: str,
+    *,
+    h: Optional[int] = None,
+    config: AttackConfig = AttackConfig(),
+    technology: Optional[str] = None,
+    key_sizes: Optional[Sequence[int]] = None,
+) -> NodeDataset:
+    """Generate one of the paper's datasets (Table III rows)."""
+    benchmarks = suite_benchmarks(suite)
+    key_sizes = key_sizes if key_sizes is not None else suite_key_sizes(suite, config)
+    instances = generate_instances(
+        scheme,
+        benchmarks,
+        key_sizes=key_sizes,
+        h=h,
+        config=config,
+        technology=technology,
+    )
+    return build_dataset(instances)

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harnesses and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_percent", "format_report_row"]
+
+
+def format_percent(value: float, *, decimals: int = 2) -> str:
+    """Render a fraction in [0, 1] as a percentage string."""
+    return f"{100.0 * value:.{decimals}f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with column alignment."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+".join("-" * (w + 2) for w in widths)
+    line = f"+{line}+"
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [f" {cell.ljust(widths[i])} " for i, cell in enumerate(cells)]
+        return "|" + "|".join(padded) + "|"
+
+    out: List[str] = [line, render_row(list(headers)), line]
+    for row in rows:
+        out.append(render_row(row))
+    out.append(line)
+    return "\n".join(out)
+
+
+def format_report_row(outcome, class_order: Sequence[str]) -> Dict[str, str]:
+    """Flatten an :class:`~repro.core.attack.AttackOutcome` into table cells."""
+    row: Dict[str, str] = {
+        "Test": outcome.target_benchmark,
+        "#TestGraphs": str(len(outcome.instances)),
+        "GNN Acc. (%)": format_percent(outcome.gnn_accuracy),
+    }
+    for cls in class_order:
+        metrics = outcome.gnn_report.per_class.get(cls)
+        if metrics is None:
+            continue
+        row[f"Prec {cls} (%)"] = format_percent(metrics.precision)
+        row[f"Rec {cls} (%)"] = format_percent(metrics.recall)
+        row[f"F1 {cls} (%)"] = format_percent(metrics.f1)
+    row["#MN"] = outcome.gnn_report.misclassification_summary()
+    row["Removal Success (%)"] = format_percent(outcome.removal_success_rate)
+    return row

@@ -1,0 +1,92 @@
+"""Leave-one-design-out train / validation / test splits.
+
+The paper's protocol (Section IV-A / V-A3): to attack one benchmark, its
+graphs are used exclusively as the test set, the graphs of one other benchmark
+form the validation set, and the graphs of all remaining benchmarks form the
+training set.  The attacked design therefore never influences training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import NodeDataset
+
+__all__ = ["SplitMasks", "leave_one_design_out"]
+
+
+@dataclass
+class SplitMasks:
+    """Boolean node masks for one leave-one-design-out split."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+    target_benchmark: str
+    validation_benchmark: str
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "train": int(self.train.sum()),
+            "val": int(self.val.sum()),
+            "test": int(self.test.sum()),
+        }
+
+
+def leave_one_design_out(
+    dataset: NodeDataset,
+    target_benchmark: str,
+    *,
+    validation_benchmark: Optional[str] = None,
+) -> SplitMasks:
+    """Split a dataset for an attack on ``target_benchmark``.
+
+    ``validation_benchmark`` defaults to the next benchmark (alphabetically)
+    that is not the target, mirroring the paper's example of validating on
+    ``b22_C`` while attacking ``b17_C``.
+    """
+    benchmarks = dataset.benchmarks()
+    if target_benchmark not in benchmarks:
+        raise ValueError(
+            f"benchmark {target_benchmark!r} is not in the dataset "
+            f"(available: {benchmarks})"
+        )
+    others = [b for b in benchmarks if b != target_benchmark]
+    if not others:
+        raise ValueError("leave-one-design-out needs at least two benchmarks")
+    if validation_benchmark is None:
+        validation_benchmark = sorted(others)[-1]
+    if validation_benchmark == target_benchmark:
+        raise ValueError("validation benchmark must differ from the target")
+    if validation_benchmark not in benchmarks:
+        raise ValueError(
+            f"validation benchmark {validation_benchmark!r} is not in the dataset"
+        )
+
+    n = dataset.n_nodes
+    train = np.zeros(n, dtype=bool)
+    val = np.zeros(n, dtype=bool)
+    test = np.zeros(n, dtype=bool)
+    for idx, inst in enumerate(dataset.instances):
+        nodes = dataset.nodes_of_instance(idx)
+        if inst.benchmark == target_benchmark:
+            test[nodes] = True
+        elif inst.benchmark == validation_benchmark:
+            val[nodes] = True
+        else:
+            train[nodes] = True
+    if not train.any():
+        raise ValueError(
+            "split has an empty training set; add more benchmarks or pick a "
+            "different validation benchmark"
+        )
+    return SplitMasks(
+        train=train,
+        val=val,
+        test=test,
+        target_benchmark=target_benchmark,
+        validation_benchmark=validation_benchmark,
+    )

@@ -1,0 +1,27 @@
+"""From-scratch GraphSAGE / GraphSAINT implementation (numpy only)."""
+
+from .data import GraphData, normalize_adjacency
+from .layers import DenseLayer, Dropout, GraphSageLayer, glorot
+from .model import GnnConfig, GraphSageClassifier, cross_entropy_loss, softmax
+from .optim import Adam
+from .sampler import RandomWalkSampler, SampledSubgraph
+from .trainer import Trainer, TrainingHistory, train_node_classifier
+
+__all__ = [
+    "GraphData",
+    "normalize_adjacency",
+    "DenseLayer",
+    "Dropout",
+    "GraphSageLayer",
+    "glorot",
+    "GnnConfig",
+    "GraphSageClassifier",
+    "cross_entropy_loss",
+    "softmax",
+    "Adam",
+    "RandomWalkSampler",
+    "SampledSubgraph",
+    "Trainer",
+    "TrainingHistory",
+    "train_node_classifier",
+]

@@ -1,0 +1,94 @@
+"""Graph data container shared by the GNN layers, sampler and trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["GraphData", "normalize_adjacency"]
+
+
+def normalize_adjacency(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Row-normalise an adjacency matrix (mean aggregation operator).
+
+    Isolated nodes get an all-zero row, so their neighbourhood mean is the
+    zero vector — matching GraphSAGE's behaviour for empty neighbourhoods.
+    """
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    inv = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv[nonzero] = 1.0 / degrees[nonzero]
+    return sp.diags(inv) @ adjacency
+
+
+@dataclass
+class GraphData:
+    """An attributed graph with node labels and train/validation/test masks.
+
+    ``adjacency`` is the undirected (symmetric) adjacency over all nodes of a
+    dataset — typically the block-diagonal composition of many locked-circuit
+    graphs, as described in Section IV-B of the paper.
+    """
+
+    adjacency: sp.csr_matrix
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+    node_names: Sequence[str] = field(default_factory=list)
+    graph_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        n = self.features.shape[0]
+        self.adjacency = sp.csr_matrix(self.adjacency)
+        if self.adjacency.shape != (n, n):
+            raise ValueError(
+                f"adjacency shape {self.adjacency.shape} does not match "
+                f"{n} feature rows"
+            )
+        for name in ("labels", "train_mask", "val_mask", "test_mask"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise ValueError(f"{name} has {arr.shape[0]} entries, expected {n}")
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.features = np.asarray(self.features, dtype=np.float64)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    def normalized_adjacency(self) -> sp.csr_matrix:
+        return normalize_adjacency(self.adjacency)
+
+    def subgraph(self, node_indices: np.ndarray) -> "GraphData":
+        """Induced subgraph on ``node_indices`` (used by GraphSAINT sampling)."""
+        node_indices = np.asarray(node_indices)
+        sub_adj = self.adjacency[node_indices][:, node_indices]
+        names = (
+            [self.node_names[i] for i in node_indices] if self.node_names else []
+        )
+        return GraphData(
+            adjacency=sub_adj,
+            features=self.features[node_indices],
+            labels=self.labels[node_indices],
+            train_mask=self.train_mask[node_indices],
+            val_mask=self.val_mask[node_indices],
+            test_mask=self.test_mask[node_indices],
+            node_names=names,
+            graph_ids=(
+                self.graph_ids[node_indices] if self.graph_ids is not None else None
+            ),
+        )

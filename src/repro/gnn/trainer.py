@@ -1,0 +1,166 @@
+"""Training loop for the GNNUnlock node classifier.
+
+Training follows the paper's protocol: GraphSAINT random-walk mini-batches
+(or full-batch gradient descent for small graphs), Adam, dropout, and
+model selection on the validation split — "the model with the best
+performance on the validation set is used to evaluate the test set accuracy".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .data import GraphData, normalize_adjacency
+from .model import GnnConfig, GraphSageClassifier, cross_entropy_loss
+from .optim import Adam
+from .sampler import RandomWalkSampler
+
+__all__ = ["TrainingHistory", "Trainer", "train_node_classifier"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded during training."""
+
+    loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    best_val_accuracy: float = 0.0
+    best_epoch: int = -1
+    epochs_run: int = 0
+    train_time_s: float = 0.0
+
+
+class Trainer:
+    """Trains a :class:`GraphSageClassifier` on a :class:`GraphData` dataset."""
+
+    def __init__(
+        self,
+        model: GraphSageClassifier,
+        graph: GraphData,
+        *,
+        config: Optional[GnnConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.model = model
+        self.graph = graph
+        self.config = config if config is not None else model.config
+        self.rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+        self.optimizer = Adam(
+            model.parameters,
+            learning_rate=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.history = TrainingHistory()
+        self._full_adj_norm = graph.normalized_adjacency()
+        self._class_weights = self._compute_class_weights()
+        self._sampler: Optional[RandomWalkSampler] = None
+        if self.config.sampler == "random_walk" and graph.train_mask.sum() > 0:
+            self._sampler = RandomWalkSampler(
+                graph,
+                n_roots=self.config.root_nodes,
+                walk_length=self.config.walk_length,
+                rng=self.rng,
+            )
+
+    # ------------------------------------------------------------------
+    def _compute_class_weights(self) -> np.ndarray:
+        n_classes = self.config.n_classes
+        if not self.config.class_weighting:
+            return np.ones(n_classes)
+        train_labels = self.graph.labels[self.graph.train_mask.astype(bool)]
+        counts = np.bincount(train_labels, minlength=n_classes).astype(float)
+        counts[counts == 0] = 1.0
+        weights = counts.sum() / (n_classes * counts)
+        return weights
+
+    # ------------------------------------------------------------------
+    def _train_step(self) -> float:
+        if self._sampler is not None:
+            batch = self._sampler.sample()
+            data = batch.data
+            adj_norm = data.normalized_adjacency()
+            features, labels = data.features, data.labels
+            mask = data.train_mask.astype(bool)
+            node_weights = batch.loss_weights
+        else:
+            data = self.graph
+            adj_norm = self._full_adj_norm
+            features, labels = data.features, data.labels
+            mask = data.train_mask.astype(bool)
+            node_weights = np.ones(data.n_nodes)
+
+        probs = self.model.forward(features, adj_norm, training=True)
+        sample_weight = np.zeros(len(labels))
+        sample_weight[mask] = node_weights[mask] * self._class_weights[labels[mask]]
+        loss, grad = cross_entropy_loss(probs, labels, sample_weight=sample_weight)
+        self.model.backward(grad)
+        self.optimizer.step(self.model.gradients)
+        return loss
+
+    def evaluate(self, mask: np.ndarray) -> float:
+        """Accuracy of the current model on the nodes selected by ``mask``."""
+        mask = mask.astype(bool)
+        if not mask.any():
+            return 0.0
+        predictions = self.model.predict(self.graph.features, self._full_adj_norm)
+        return float((predictions[mask] == self.graph.labels[mask]).mean())
+
+    # ------------------------------------------------------------------
+    def fit(self) -> TrainingHistory:
+        """Run training with validation-based model selection."""
+        config = self.config
+        best_weights = self.model.get_weights()
+        best_val = -1.0
+        epochs_without_improvement = 0
+        start = time.perf_counter()
+
+        for epoch in range(config.epochs):
+            loss = self._train_step()
+            self.history.loss.append(loss)
+            self.history.epochs_run = epoch + 1
+
+            if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
+                val_acc = self.evaluate(self.graph.val_mask)
+                self.history.val_accuracy.append(val_acc)
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_weights = self.model.get_weights()
+                    self.history.best_val_accuracy = val_acc
+                    self.history.best_epoch = epoch + 1
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += config.eval_every
+                if epochs_without_improvement >= config.patience:
+                    break
+
+        self.model.set_weights(best_weights)
+        self.history.train_time_s = time.perf_counter() - start
+        return self.history
+
+
+def train_node_classifier(
+    graph: GraphData,
+    config: Optional[GnnConfig] = None,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple[GraphSageClassifier, TrainingHistory]:
+    """Build, train and return a node classifier for ``graph``."""
+    if config is None:
+        config = GnnConfig(n_features=graph.n_features, n_classes=graph.n_classes)
+    elif config.n_features != graph.n_features or config.n_classes < graph.n_classes:
+        config = GnnConfig(
+            **{
+                **config.__dict__,
+                "n_features": graph.n_features,
+                "n_classes": max(config.n_classes, graph.n_classes),
+            }
+        )
+    model = GraphSageClassifier(config)
+    trainer = Trainer(model, graph, config=config, rng=rng)
+    history = trainer.fit()
+    return model, history

@@ -1,0 +1,38 @@
+"""Provably secure logic locking schemes: Anti-SAT, TTLock, SFLL-HD."""
+
+from .base import (
+    ANTISAT,
+    DESIGN,
+    NODE_LABELS,
+    PERTURB,
+    RESTORE,
+    LockingError,
+    LockingResult,
+    LockingScheme,
+    insert_xor_on_net,
+)
+from .keys import hamming_distance, key_assignment, key_input_names, random_key_bits
+from .antisat import AntiSatLocking
+from .sfll_hd import SfllHdLocking, TTLockLocking
+from .xor_lock import KEYGATE, RandomXorLocking
+
+__all__ = [
+    "ANTISAT",
+    "DESIGN",
+    "PERTURB",
+    "RESTORE",
+    "NODE_LABELS",
+    "LockingError",
+    "LockingResult",
+    "LockingScheme",
+    "insert_xor_on_net",
+    "hamming_distance",
+    "key_assignment",
+    "key_input_names",
+    "random_key_bits",
+    "AntiSatLocking",
+    "SfllHdLocking",
+    "TTLockLocking",
+    "RandomXorLocking",
+    "KEYGATE",
+]

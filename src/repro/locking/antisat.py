@@ -1,0 +1,164 @@
+"""Anti-SAT logic locking [Xie & Srivastava, CHES 2016].
+
+The Anti-SAT block consists of two complementary functions ``g`` and ``ḡ``
+over the same ``n`` design inputs X, each keyed by XORing the inputs with one
+half of the key::
+
+    Y = g(X ⊕ Kl1) ∧ ḡ(X ⊕ Kl2)        with g = AND (the canonical choice)
+
+With the correct key (``Kl1 = Kl2``) the two branches see identical inputs and
+``Y`` is constantly 0; ``Y`` is XORed into an internal design net, so a wrong
+key corrupts the design only for the single input pattern that makes the AND
+tree fire — which is what defeats the SAT attack.
+
+Ground truth: every gate added here (key-XOR layer, both trees, the final AND
+and the integration XOR) is labelled ``AN`` (Anti-SAT node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from .arith import build_and_tree
+from .base import (
+    ANTISAT,
+    DESIGN,
+    LockingError,
+    LockingResult,
+    LockingScheme,
+    insert_xor_on_net,
+)
+from .keys import key_assignment, key_input_names, random_key_bits
+
+__all__ = ["AntiSatLocking"]
+
+
+class AntiSatLocking(LockingScheme):
+    """Anti-SAT locking with ``g = AND`` (the paper's configuration).
+
+    Parameters
+    ----------
+    key_size:
+        Total key width ``K``; the block uses ``n = K/2`` design inputs.
+    target_net:
+        Internal net to corrupt.  Randomly chosen when omitted.
+    """
+
+    name = "Anti-SAT"
+
+    def __init__(self, key_size: int, *, target_net: Optional[str] = None):
+        if key_size < 4 or key_size % 2 != 0:
+            raise LockingError("Anti-SAT key size must be an even number >= 4")
+        self.key_size = key_size
+        self.target_net = target_net
+
+    def lock(
+        self,
+        circuit: Circuit,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LockingResult:
+        rng = self._rng(rng)
+        n = self.key_size // 2
+        if len(circuit.inputs) < n:
+            raise LockingError(
+                f"Anti-SAT with K={self.key_size} needs {n} PIs, circuit "
+                f"{circuit.name} has {len(circuit.inputs)}"
+            )
+        if len(circuit) == 0:
+            raise LockingError("cannot lock an empty circuit")
+
+        original = circuit.copy()
+        locked = circuit.copy(f"{circuit.name}_antisat_k{self.key_size}")
+        created: List[str] = []
+
+        def namer(tag: str) -> str:
+            return locked.fresh_net_name(f"asat_{tag}")
+
+        # Key inputs: first half Kl1, second half Kl2.
+        key_names = key_input_names(self.key_size)
+        for name in key_names:
+            locked.add_key_input(name)
+        # Correct key: Kl1 = Kl2 = c for a random c, so g ∧ ḡ is identically 0.
+        half_key = random_key_bits(n, rng)
+        key_bits = np.concatenate([half_key, half_key])
+        key = key_assignment(key_names, key_bits)
+
+        # Select the n design inputs X driving the block.
+        pi_pool = list(circuit.inputs)
+        x_idx = rng.choice(len(pi_pool), size=n, replace=False)
+        x_nets = [pi_pool[int(i)] for i in sorted(x_idx)]
+
+        # Key-XOR layers feeding g and ḡ.
+        g1_inputs: List[str] = []
+        g2_inputs: List[str] = []
+        for i, x in enumerate(x_nets):
+            x1 = namer(f"x1_{i}")
+            locked.add_gate(x1, "XOR", [x, key_names[i]])
+            created.append(x1)
+            g1_inputs.append(x1)
+            x2 = namer(f"x2_{i}")
+            locked.add_gate(x2, "XOR", [x, key_names[n + i]])
+            created.append(x2)
+            g2_inputs.append(x2)
+
+        # g = AND tree, ḡ = complementary (NAND = inverted AND tree root).
+        g1_root = build_and_tree(locked, g1_inputs, namer, created, tag="g1")
+        g2_root = build_and_tree(locked, g2_inputs, namer, created, tag="g2")
+        g2_bar = namer("g2bar")
+        locked.add_gate(g2_bar, "NOT", [g2_root])
+        created.append(g2_bar)
+        y_net = namer("y")
+        locked.add_gate(y_net, "AND", [g1_root, g2_bar])
+        created.append(y_net)
+
+        # Integrate: corrupt an internal design net with Y.
+        target = self._choose_target(locked, original, rng)
+        insert_xor_on_net(locked, target, y_net)
+        created.append(target)
+
+        labels: Dict[str, str] = {g: DESIGN for g in locked.gate_names()}
+        for g in created:
+            labels[g] = ANTISAT
+
+        return LockingResult(
+            scheme=self.name,
+            original=original,
+            locked=locked,
+            key=key,
+            labels=labels,
+            target_net=target,
+            protected_inputs=tuple(x_nets),
+            parameters={"key_size": self.key_size, "n": n, "g": "AND"},
+        )
+
+    def _choose_target(
+        self,
+        locked: Circuit,
+        original: Circuit,
+        rng: np.random.Generator,
+    ) -> str:
+        """Pick the design net to XOR with the Anti-SAT output."""
+        if self.target_net is not None:
+            if not original.has_gate(self.target_net):
+                raise LockingError(
+                    f"target net {self.target_net} is not a design gate"
+                )
+            return self.target_net
+        # Only nets that reach a primary output are worth corrupting; prefer
+        # internal nets with fan-out, fall back to PO drivers.
+        from ..netlist.traversal import fanin_cone
+
+        live: set = set()
+        for po in original.outputs:
+            live |= fanin_cone(original, po)
+        fanout = original.fanout_map()
+        candidates = [g for g in original.gate_names() if g in live and g in fanout]
+        if not candidates:
+            candidates = [g for g in original.gate_names() if g in live]
+        if not candidates:
+            candidates = list(original.gate_names())
+        return candidates[int(rng.integers(0, len(candidates)))]

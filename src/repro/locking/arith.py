@@ -1,0 +1,207 @@
+"""Gate-level arithmetic builders used by the SFLL-HD protection logic.
+
+SFLL-HDh's perturb and restore units are Hamming-distance checkers: a layer of
+mismatch detectors, a popcount (adder tree), and an equality comparator against
+the constant ``h``.  These builders emit 1/2-input BENCH8 gates; synthesis
+re-expresses them in standard-cell libraries afterwards.
+
+All builders take a ``namer`` callback that returns fresh, collision-free net
+names and record every created gate name in ``created`` so callers can label
+the protection logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+
+__all__ = [
+    "build_and_tree",
+    "build_or_tree",
+    "build_popcount",
+    "build_equals_constant",
+    "build_inverter",
+]
+
+Namer = Callable[[str], str]
+
+
+def build_inverter(
+    circuit: Circuit, net: str, namer: Namer, created: List[str]
+) -> str:
+    """Add a NOT gate on ``net``; returns the inverted net name."""
+    out = namer("inv")
+    circuit.add_gate(out, "NOT", [net])
+    created.append(out)
+    return out
+
+
+def _build_tree(
+    circuit: Circuit,
+    nets: Sequence[str],
+    cell: str,
+    namer: Namer,
+    created: List[str],
+    tag: str,
+) -> str:
+    """Balanced binary tree of 2-input ``cell`` gates over ``nets``."""
+    if not nets:
+        raise ValueError("cannot reduce an empty net list")
+    layer = list(nets)
+    if len(layer) == 1:
+        out = namer(f"{tag}_buf")
+        circuit.add_gate(out, "BUF", [layer[0]])
+        created.append(out)
+        return out
+    level = 0
+    while len(layer) > 1:
+        next_layer: List[str] = []
+        for i in range(0, len(layer) - 1, 2):
+            out = namer(f"{tag}_{level}_{i // 2}")
+            circuit.add_gate(out, cell, [layer[i], layer[i + 1]])
+            created.append(out)
+            next_layer.append(out)
+        if len(layer) % 2 == 1:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+    return layer[0]
+
+
+def build_and_tree(
+    circuit: Circuit, nets: Sequence[str], namer: Namer, created: List[str],
+    *, tag: str = "and"
+) -> str:
+    """AND-reduce ``nets`` with a balanced tree of AND2 gates."""
+    return _build_tree(circuit, nets, "AND", namer, created, tag)
+
+
+def build_or_tree(
+    circuit: Circuit, nets: Sequence[str], namer: Namer, created: List[str],
+    *, tag: str = "or"
+) -> str:
+    """OR-reduce ``nets`` with a balanced tree of OR2 gates."""
+    return _build_tree(circuit, nets, "OR", namer, created, tag)
+
+
+def _half_adder(
+    circuit: Circuit, a: str, b: str, namer: Namer, created: List[str], tag: str
+) -> Tuple[str, str]:
+    s = namer(f"{tag}_s")
+    c = namer(f"{tag}_c")
+    circuit.add_gate(s, "XOR", [a, b])
+    circuit.add_gate(c, "AND", [a, b])
+    created.extend([s, c])
+    return s, c
+
+
+def _full_adder(
+    circuit: Circuit, a: str, b: str, cin: str, namer: Namer, created: List[str], tag: str
+) -> Tuple[str, str]:
+    s1 = namer(f"{tag}_s1")
+    circuit.add_gate(s1, "XOR", [a, b])
+    s = namer(f"{tag}_s")
+    circuit.add_gate(s, "XOR", [s1, cin])
+    c1 = namer(f"{tag}_c1")
+    circuit.add_gate(c1, "AND", [a, b])
+    c2 = namer(f"{tag}_c2")
+    circuit.add_gate(c2, "AND", [s1, cin])
+    cout = namer(f"{tag}_co")
+    circuit.add_gate(cout, "OR", [c1, c2])
+    created.extend([s1, s, c1, c2, cout])
+    return s, cout
+
+
+def _ripple_add(
+    circuit: Circuit,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    namer: Namer,
+    created: List[str],
+    tag: str,
+) -> List[str]:
+    """Ripple-carry addition of two little-endian bit vectors."""
+    width = max(len(a_bits), len(b_bits))
+    result: List[str] = []
+    carry: str | None = None
+    for i in range(width):
+        a = a_bits[i] if i < len(a_bits) else None
+        b = b_bits[i] if i < len(b_bits) else None
+        if a is not None and b is not None:
+            if carry is None:
+                s, carry = _half_adder(circuit, a, b, namer, created, f"{tag}_ha{i}")
+            else:
+                s, carry = _full_adder(circuit, a, b, carry, namer, created, f"{tag}_fa{i}")
+        else:
+            operand = a if a is not None else b
+            if carry is None:
+                result.append(operand)  # nothing to add
+                continue
+            s, carry = _half_adder(circuit, operand, carry, namer, created, f"{tag}_hc{i}")
+        result.append(s)
+    if carry is not None:
+        result.append(carry)
+    return result
+
+
+def build_popcount(
+    circuit: Circuit,
+    nets: Sequence[str],
+    namer: Namer,
+    created: List[str],
+    *,
+    tag: str = "pc",
+) -> List[str]:
+    """Popcount of ``nets`` as a little-endian sum bit vector.
+
+    Built as a balanced adder (Wallace-style reduction of partial sums), the
+    same structure RTL synthesis produces for ``$countones``.
+    """
+    if not nets:
+        raise ValueError("popcount of an empty net list")
+    # Start with one 1-bit number per net, then repeatedly add pairs.
+    numbers: List[List[str]] = [[net] for net in nets]
+    round_idx = 0
+    while len(numbers) > 1:
+        next_numbers: List[List[str]] = []
+        for i in range(0, len(numbers) - 1, 2):
+            summed = _ripple_add(
+                circuit, numbers[i], numbers[i + 1], namer, created,
+                f"{tag}_r{round_idx}_{i // 2}",
+            )
+            next_numbers.append(summed)
+        if len(numbers) % 2 == 1:
+            next_numbers.append(numbers[-1])
+        numbers = next_numbers
+        round_idx += 1
+    return numbers[0]
+
+
+def build_equals_constant(
+    circuit: Circuit,
+    bits: Sequence[str],
+    constant: int,
+    namer: Namer,
+    created: List[str],
+    *,
+    tag: str = "eq",
+) -> str:
+    """Return a net that is 1 iff the little-endian ``bits`` equal ``constant``.
+
+    Each bit is passed through (constant bit = 1) or inverted (constant bit =
+    0) and the results are AND-reduced, which is how an equality-against-
+    constant comparator synthesises.
+    """
+    if constant < 0 or constant >= (1 << len(bits)):
+        raise ValueError(
+            f"constant {constant} does not fit in {len(bits)} bits"
+        )
+    literals: List[str] = []
+    for i, bit in enumerate(bits):
+        want_one = (constant >> i) & 1
+        if want_one:
+            literals.append(bit)
+        else:
+            literals.append(build_inverter(circuit, bit, namer, created))
+    return build_and_tree(circuit, literals, namer, created, tag=tag)

@@ -1,0 +1,145 @@
+"""Common infrastructure for logic-locking schemes.
+
+Every scheme consumes an unlocked :class:`~repro.netlist.circuit.Circuit` and
+produces a :class:`LockingResult`: the locked circuit, the secret key, and the
+ground-truth label of every gate (design vs. protection).  Ground-truth labels
+are what the GNN trains against and what the attack metrics are computed from.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+
+__all__ = [
+    "DESIGN",
+    "ANTISAT",
+    "PERTURB",
+    "RESTORE",
+    "NODE_LABELS",
+    "LockingResult",
+    "LockingScheme",
+    "LockingError",
+    "insert_xor_on_net",
+]
+
+# Node label constants, matching the paper's abbreviations:
+#   DN = design node, AN = Anti-SAT node, PN = perturb node, RN = restore node.
+DESIGN = "DN"
+ANTISAT = "AN"
+PERTURB = "PN"
+RESTORE = "RN"
+
+NODE_LABELS: Tuple[str, ...] = (DESIGN, ANTISAT, PERTURB, RESTORE)
+
+
+class LockingError(ValueError):
+    """Raised when a scheme cannot be applied (e.g. not enough PIs)."""
+
+
+@dataclass
+class LockingResult:
+    """Outcome of locking one circuit."""
+
+    scheme: str
+    original: Circuit
+    locked: Circuit
+    key: Dict[str, bool]
+    labels: Dict[str, str]
+    target_net: str
+    protected_inputs: Tuple[str, ...] = ()
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key_size(self) -> int:
+        return len(self.key)
+
+    @property
+    def key_inputs(self) -> Tuple[str, ...]:
+        return tuple(self.key)
+
+    def key_vector(self) -> np.ndarray:
+        """Key bits ordered by key-input name order of the locked circuit."""
+        return np.array([self.key[k] for k in self.locked.key_inputs], dtype=bool)
+
+    def protection_gates(self) -> Tuple[str, ...]:
+        """Names of all gates that do not belong to the original design."""
+        return tuple(g for g, lab in self.labels.items() if lab != DESIGN)
+
+    def gates_with_label(self, label: str) -> Tuple[str, ...]:
+        return tuple(g for g, lab in self.labels.items() if lab == label)
+
+    def relabelled(self, name_map: Dict[str, str], locked: Circuit) -> "LockingResult":
+        """Propagate labels through a netlist transformation.
+
+        ``name_map`` maps each gate of the transformed circuit to the gate of
+        the pre-transformation circuit it was derived from (as produced by
+        :func:`repro.synth.technology_map`).
+        """
+        new_labels: Dict[str, str] = {}
+        for gate_name in locked.gate_names():
+            source = name_map.get(gate_name, gate_name)
+            new_labels[gate_name] = self.labels.get(source, DESIGN)
+        return LockingResult(
+            scheme=self.scheme,
+            original=self.original,
+            locked=locked,
+            key=dict(self.key),
+            labels=new_labels,
+            target_net=self.target_net,
+            protected_inputs=self.protected_inputs,
+            parameters=dict(self.parameters),
+        )
+
+
+def insert_xor_on_net(circuit: Circuit, target: str, other_input: str) -> str:
+    """Splice an XOR gate onto the design net ``target``.
+
+    After the call, the original driver of ``target`` drives a fresh "shadow"
+    net, and a new XOR gate named ``target`` computes ``shadow ^ other_input``;
+    every sink (and the PO, if ``target`` is one) observes the XOR output.
+    This is how both Anti-SAT (Y into an internal net) and SFLL (perturb /
+    restore signals into the protected output) integrate with the design.
+
+    Returns the shadow net name.  The inserted XOR gate is named ``target``.
+    """
+    if not circuit.has_gate(target):
+        raise LockingError(f"cannot splice XOR onto {target}: not a design gate")
+    shadow = circuit.fresh_net_name(f"{target}_orig")
+    was_output = circuit.is_output(target)
+    circuit.rename_net(target, shadow)
+    circuit.add_gate(target, "XOR", [shadow, other_input])
+    # rename_net rewired every sink to the shadow net; point them back at the
+    # XOR output so the corruption actually propagates.
+    for sink in circuit.fanout_of(shadow):
+        if sink == target:
+            continue
+        circuit.replace_gate_input(sink, shadow, target)
+    if was_output:
+        circuit.remove_output(shadow)
+        circuit.add_output(target)
+    return shadow
+
+
+class LockingScheme(abc.ABC):
+    """Base class for locking schemes."""
+
+    #: Human-readable scheme name (e.g. ``"Anti-SAT"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def lock(
+        self,
+        circuit: Circuit,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LockingResult:
+        """Lock ``circuit`` and return the locked netlist with ground truth."""
+
+    def _rng(self, rng: Optional[np.random.Generator]) -> np.random.Generator:
+        return rng if rng is not None else np.random.default_rng()

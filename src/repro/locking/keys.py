@@ -1,0 +1,38 @@
+"""Key generation and key-input naming helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["random_key_bits", "key_input_names", "key_assignment", "hamming_distance"]
+
+KEY_INPUT_PREFIX = "keyinput"
+
+
+def random_key_bits(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """``n`` uniformly random key bits as a boolean numpy vector."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return rng.integers(0, 2, size=n).astype(bool)
+
+
+def key_input_names(n: int, *, start: int = 0, prefix: str = KEY_INPUT_PREFIX) -> List[str]:
+    """Standard key-input net names ``keyinput<start>`` ... ``keyinput<start+n-1>``."""
+    return [f"{prefix}{i}" for i in range(start, start + n)]
+
+
+def key_assignment(names: Sequence[str], bits: Sequence[bool]) -> Dict[str, bool]:
+    """Zip key-input names with key bits into an assignment dict."""
+    if len(names) != len(bits):
+        raise ValueError(f"{len(names)} key inputs but {len(bits)} key bits")
+    return {name: bool(bit) for name, bit in zip(names, bits)}
+
+
+def hamming_distance(a: Sequence[bool], b: Sequence[bool]) -> int:
+    """Hamming distance between two equal-length bit vectors."""
+    a_arr = np.asarray(a, dtype=bool)
+    b_arr = np.asarray(b, dtype=bool)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError("bit vectors must have equal length")
+    return int(np.count_nonzero(a_arr ^ b_arr))

@@ -1,0 +1,82 @@
+"""Traditional XOR/XNOR key-gate locking (EPIC-style random logic locking).
+
+This pre-SAT-attack scheme is *not* provably secure — the oracle-guided SAT
+attack recovers its key in a handful of iterations.  It is included as the
+contrast case for the SAT-attack baseline: Anti-SAT / SFLL-HD need an
+exponential number of SAT iterations, random XOR locking does not, which is
+the motivation for PSLL in the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from .base import DESIGN, LockingError, LockingResult, LockingScheme, insert_xor_on_net
+from .keys import key_assignment, key_input_names, random_key_bits
+
+__all__ = ["RandomXorLocking"]
+
+#: Label for traditional key-gates (they are neither perturb nor restore).
+KEYGATE = "KG"
+
+
+class RandomXorLocking(LockingScheme):
+    """Insert ``key_size`` XOR/XNOR key gates on random internal nets."""
+
+    name = "RandomXOR"
+
+    def __init__(self, key_size: int):
+        if key_size < 1:
+            raise LockingError("key size must be positive")
+        self.key_size = key_size
+
+    def lock(
+        self,
+        circuit: Circuit,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LockingResult:
+        rng = self._rng(rng)
+        if len(circuit) < self.key_size:
+            raise LockingError(
+                f"circuit {circuit.name} has only {len(circuit)} gates; cannot "
+                f"insert {self.key_size} key gates"
+            )
+        original = circuit.copy()
+        locked = circuit.copy(f"{circuit.name}_xorlock_k{self.key_size}")
+
+        key_names = key_input_names(self.key_size)
+        key_bits = random_key_bits(self.key_size, rng)
+        key = key_assignment(key_names, key_bits)
+        for name in key_names:
+            locked.add_key_input(name)
+
+        targets = list(
+            rng.choice(list(original.gate_names()), size=self.key_size, replace=False)
+        )
+        created: List[str] = []
+        for key_name, key_bit, target in zip(key_names, key_bits, targets):
+            insert_xor_on_net(locked, str(target), key_name)
+            created.append(str(target))
+            if key_bit:
+                # Key bit 1 means the inserted gate must be an XNOR so the
+                # correct key restores the original polarity.
+                gate = locked.gate(str(target))
+                locked.set_gate(str(target), "XNOR", gate.inputs)
+
+        labels: Dict[str, str] = {g: DESIGN for g in locked.gate_names()}
+        for g in created:
+            labels[g] = KEYGATE
+        return LockingResult(
+            scheme=self.name,
+            original=original,
+            locked=locked,
+            key=key,
+            labels=labels,
+            target_net=created[0] if created else "",
+            protected_inputs=(),
+            parameters={"key_size": self.key_size},
+        )

@@ -1,0 +1,159 @@
+"""Reader / writer for the ISCAS ``bench`` netlist format.
+
+The bench format is the non-industry format the paper criticises prior attacks
+for being restricted to; the Anti-SAT locking binary only accepts it.  A bench
+file looks like::
+
+    # comment
+    INPUT(a)
+    INPUT(keyinput0)
+    OUTPUT(y)
+    n1 = NAND(a, b)
+    y = NOT(n1)
+
+Key inputs are recognised by name prefix (``keyinput`` by default), matching
+how logic-locking tools emit them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from .circuit import Circuit, CircuitError
+from .gates import BENCH8, CellLibrary
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench", "write_bench_file"]
+
+_KEY_PREFIXES = ("keyinput", "KEYINPUT", "key_input")
+
+_INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)$")
+
+_BENCH_ALIASES = {
+    "INV": "NOT",
+    "NOT": "NOT",
+    "BUFF": "BUF",
+    "BUF": "BUF",
+}
+
+
+def _is_key_input(name: str, key_prefixes: Tuple[str, ...]) -> bool:
+    return any(name.startswith(p) for p in key_prefixes)
+
+
+def parse_bench(
+    text: str,
+    *,
+    name: str = "bench_design",
+    library: CellLibrary = BENCH8,
+    key_prefixes: Tuple[str, ...] = _KEY_PREFIXES,
+) -> Circuit:
+    """Parse bench-format text into a :class:`Circuit`.
+
+    Inputs whose names start with one of ``key_prefixes`` become key inputs.
+    Output statements may name a net that is also an internal gate; in that
+    case the net is simply marked as a primary output.
+    """
+    circuit = Circuit(name, library)
+    pending_outputs: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _INPUT_RE.match(line)
+        if match:
+            net = match.group(1)
+            if _is_key_input(net, key_prefixes):
+                circuit.add_key_input(net)
+            else:
+                circuit.add_input(net)
+            continue
+        match = _OUTPUT_RE.match(line)
+        if match:
+            pending_outputs.append(match.group(1))
+            continue
+        match = _GATE_RE.match(line)
+        if match:
+            out, cell_name, arg_text = match.groups()
+            cell_name = cell_name.upper()
+            cell_name = _BENCH_ALIASES.get(cell_name, cell_name)
+            if cell_name not in library:
+                raise CircuitError(
+                    f"bench parse error: unknown cell {cell_name!r} in line {line!r}"
+                )
+            args = [a.strip() for a in arg_text.split(",") if a.strip()]
+            circuit.add_gate(out, cell_name, args)
+            continue
+        raise CircuitError(f"bench parse error: cannot parse line {line!r}")
+    for net in pending_outputs:
+        circuit.add_output(net)
+    return circuit
+
+
+def parse_bench_file(path: str | Path, **kwargs) -> Circuit:
+    """Parse a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=kwargs.pop("name", path.stem), **kwargs)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialise a circuit to bench-format text.
+
+    Only cells expressible in the bench vocabulary (AND/NAND/OR/NOR/XOR/XNOR/
+    NOT/BUF and the fixed-arity equivalents) are supported.
+    """
+    lines: List[str] = [f"# {circuit.name}"]
+    for net in circuit.inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.key_inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({net})")
+    lines.append("")
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        cell = _bench_cell_name(gate.cell.name)
+        args = ", ".join(gate.inputs)
+        lines.append(f"{name} = {cell}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(write_bench(circuit))
+    return path
+
+
+_FIXED_TO_BENCH = {
+    "INV": "NOT",
+    "AND2": "AND",
+    "AND3": "AND",
+    "AND4": "AND",
+    "NAND2": "NAND",
+    "NAND3": "NAND",
+    "NAND4": "NAND",
+    "OR2": "OR",
+    "OR3": "OR",
+    "OR4": "OR",
+    "NOR2": "NOR",
+    "NOR3": "NOR",
+    "NOR4": "NOR",
+    "XOR2": "XOR",
+    "XOR3": "XOR",
+    "XNOR2": "XNOR",
+    "XNOR3": "XNOR",
+}
+
+
+def _bench_cell_name(cell_name: str) -> str:
+    if cell_name in BENCH8:
+        return cell_name
+    mapped = _FIXED_TO_BENCH.get(cell_name)
+    if mapped is None:
+        raise CircuitError(
+            f"cell {cell_name} has no bench equivalent; re-map to BENCH8 first"
+        )
+    return mapped

@@ -1,0 +1,313 @@
+"""Cell (gate) types and cell libraries.
+
+The paper evaluates GNNUnlock on netlists written against three different
+cell vocabularies:
+
+* the restricted 8-gate ``bench`` vocabulary used by the Anti-SAT locking
+  binary (feature-vector length 13),
+* a rich commercial 65nm standard-cell library (feature-vector length 34),
+* the Nangate 45nm open cell library (feature-vector length 18).
+
+We reproduce the *shape* of those vocabularies with three libraries:
+:data:`BENCH8`, :data:`GEN65` and :data:`GEN45`.  The feature-vector length of
+a library is ``len(library) + 5`` (see :mod:`repro.core.features`), matching
+the paper's 13 / 34 / 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CellType",
+    "CellLibrary",
+    "BENCH8",
+    "GEN65",
+    "GEN45",
+    "LIBRARIES",
+    "get_library",
+]
+
+
+def _to_arrays(values: Sequence) -> Tuple[np.ndarray, ...]:
+    return tuple(np.asarray(v, dtype=bool) for v in values)
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A combinational cell.
+
+    Parameters
+    ----------
+    name:
+        Library cell name, e.g. ``"NAND2"`` or ``"AOI21"``.
+    arity:
+        Number of inputs.  ``None`` means variadic (bench-style ``AND``/``OR``
+        gates accept any number of inputs >= 1).
+    function:
+        Callable evaluating the cell.  It receives one boolean numpy array per
+        input pin (broadcastable) and returns a boolean numpy array.
+    """
+
+    name: str
+    arity: int | None
+    function: Callable[..., np.ndarray] = field(compare=False, repr=False)
+
+    def evaluate(self, *inputs) -> np.ndarray:
+        """Evaluate the cell on scalar bools or numpy bool arrays."""
+        if self.arity is not None and len(inputs) != self.arity:
+            raise ValueError(
+                f"cell {self.name} expects {self.arity} inputs, got {len(inputs)}"
+            )
+        if self.arity is None and len(inputs) < 1:
+            raise ValueError(f"cell {self.name} expects at least one input")
+        return self.function(*_to_arrays(inputs))
+
+    @property
+    def is_variadic(self) -> bool:
+        return self.arity is None
+
+
+class CellLibrary:
+    """An ordered collection of :class:`CellType` objects.
+
+    The ordering is significant: feature vectors index neighbourhood gate-type
+    counts by the library order, and parsers/writers resolve cell names through
+    the library.
+    """
+
+    def __init__(self, name: str, cells: Sequence[CellType]):
+        self.name = name
+        self._cells: Dict[str, CellType] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise ValueError(f"duplicate cell {cell.name} in library {name}")
+            self._cells[cell.name] = cell
+        self._order = {cell.name: i for i, cell in enumerate(cells)}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __getitem__(self, name: str) -> CellType:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(f"cell {name!r} not in library {self.name}") from None
+
+    def index(self, name: str) -> int:
+        """Position of a cell in the library ordering (for feature vectors)."""
+        return self._order[name]
+
+    @property
+    def cell_names(self) -> Tuple[str, ...]:
+        return tuple(self._cells)
+
+    @property
+    def feature_length(self) -> int:
+        """Length of the per-node feature vector for this library.
+
+        Five structural entries (connected-to-PI, connected-to-KI,
+        connected-to-PO, in-degree, out-degree) plus one neighbourhood count
+        per cell type.
+        """
+        return len(self) + 5
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CellLibrary({self.name!r}, {len(self)} cells)"
+
+
+# ---------------------------------------------------------------------------
+# Boolean primitives used to define cell functions.
+# ---------------------------------------------------------------------------
+
+def _and(*xs):
+    out = xs[0].copy()
+    for x in xs[1:]:
+        out = out & x
+    return out
+
+
+def _or(*xs):
+    out = xs[0].copy()
+    for x in xs[1:]:
+        out = out | x
+    return out
+
+
+def _xor(*xs):
+    out = xs[0].copy()
+    for x in xs[1:]:
+        out = out ^ x
+    return out
+
+
+def _not(x):
+    return ~x
+
+
+def _buf(x):
+    return x.copy()
+
+
+def _nand(*xs):
+    return ~_and(*xs)
+
+
+def _nor(*xs):
+    return ~_or(*xs)
+
+
+def _xnor(*xs):
+    return ~_xor(*xs)
+
+
+def _aoi21(a, b, c):
+    return ~((a & b) | c)
+
+
+def _aoi22(a, b, c, d):
+    return ~((a & b) | (c & d))
+
+
+def _oai21(a, b, c):
+    return ~((a | b) & c)
+
+
+def _oai22(a, b, c, d):
+    return ~((a | b) & (c | d))
+
+
+def _aoi211(a, b, c, d):
+    return ~((a & b) | c | d)
+
+
+def _oai211(a, b, c, d):
+    return ~((a | b) & c & d)
+
+
+def _aoi221(a, b, c, d, e):
+    return ~((a & b) | (c & d) | e)
+
+
+def _oai221(a, b, c, d, e):
+    return ~((a | b) & (c | d) & e)
+
+
+def _mux2(a, b, s):
+    return (a & ~s) | (b & s)
+
+
+def _maj3(a, b, c):
+    return (a & b) | (a & c) | (b & c)
+
+
+def _nand2b(a, b):
+    # NAND with one inverted input: ~( ~a & b )
+    return ~(~a & b)
+
+
+# ---------------------------------------------------------------------------
+# BENCH8: the 8-gate vocabulary of the ISCAS bench format (variadic gates).
+# ---------------------------------------------------------------------------
+
+BENCH8 = CellLibrary(
+    "BENCH8",
+    [
+        CellType("AND", None, _and),
+        CellType("NAND", None, _nand),
+        CellType("OR", None, _or),
+        CellType("NOR", None, _nor),
+        CellType("XOR", None, _xor),
+        CellType("XNOR", None, _xnor),
+        CellType("NOT", 1, _not),
+        CellType("BUF", 1, _buf),
+    ],
+)
+
+
+# ---------------------------------------------------------------------------
+# GEN65: rich standard-cell-like library (29 cells -> |f| = 34).
+# ---------------------------------------------------------------------------
+
+GEN65 = CellLibrary(
+    "GEN65",
+    [
+        CellType("INV", 1, _not),
+        CellType("BUF", 1, _buf),
+        CellType("AND2", 2, _and),
+        CellType("AND3", 3, _and),
+        CellType("AND4", 4, _and),
+        CellType("NAND2", 2, _nand),
+        CellType("NAND3", 3, _nand),
+        CellType("NAND4", 4, _nand),
+        CellType("OR2", 2, _or),
+        CellType("OR3", 3, _or),
+        CellType("OR4", 4, _or),
+        CellType("NOR2", 2, _nor),
+        CellType("NOR3", 3, _nor),
+        CellType("NOR4", 4, _nor),
+        CellType("XOR2", 2, _xor),
+        CellType("XNOR2", 2, _xnor),
+        CellType("XOR3", 3, _xor),
+        CellType("XNOR3", 3, _xnor),
+        CellType("AOI21", 3, _aoi21),
+        CellType("AOI22", 4, _aoi22),
+        CellType("OAI21", 3, _oai21),
+        CellType("OAI22", 4, _oai22),
+        CellType("AOI211", 4, _aoi211),
+        CellType("OAI211", 4, _oai211),
+        CellType("AOI221", 5, _aoi221),
+        CellType("OAI221", 5, _oai221),
+        CellType("MUX2", 3, _mux2),
+        CellType("MAJ3", 3, _maj3),
+        CellType("NAND2B", 2, _nand2b),
+    ],
+)
+
+
+# ---------------------------------------------------------------------------
+# GEN45: reduced open-cell-like library (13 cells -> |f| = 18).
+# ---------------------------------------------------------------------------
+
+GEN45 = CellLibrary(
+    "GEN45",
+    [
+        CellType("INV", 1, _not),
+        CellType("BUF", 1, _buf),
+        CellType("AND2", 2, _and),
+        CellType("NAND2", 2, _nand),
+        CellType("NAND3", 3, _nand),
+        CellType("OR2", 2, _or),
+        CellType("NOR2", 2, _nor),
+        CellType("NOR3", 3, _nor),
+        CellType("XOR2", 2, _xor),
+        CellType("XNOR2", 2, _xnor),
+        CellType("AOI21", 3, _aoi21),
+        CellType("OAI21", 3, _oai21),
+        CellType("MUX2", 3, _mux2),
+    ],
+)
+
+
+LIBRARIES: Dict[str, CellLibrary] = {
+    lib.name: lib for lib in (BENCH8, GEN65, GEN45)
+}
+
+
+def get_library(name: str) -> CellLibrary:
+    """Look up a library by name (``"BENCH8"``, ``"GEN65"`` or ``"GEN45"``)."""
+    try:
+        return LIBRARIES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown library {name!r}; available: {sorted(LIBRARIES)}"
+        ) from None

@@ -1,0 +1,58 @@
+"""Netlist statistics used for dataset summaries (Table III) and reporting."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from .circuit import Circuit
+from .traversal import gate_levels
+
+__all__ = ["CircuitStats", "circuit_stats", "cell_histogram"]
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of one netlist."""
+
+    name: str
+    library: str
+    n_gates: int
+    n_inputs: int
+    n_key_inputs: int
+    n_outputs: int
+    depth: int
+    cell_counts: Dict[str, int]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "library": self.library,
+            "n_gates": self.n_gates,
+            "n_inputs": self.n_inputs,
+            "n_key_inputs": self.n_key_inputs,
+            "n_outputs": self.n_outputs,
+            "depth": self.depth,
+            "cell_counts": dict(self.cell_counts),
+        }
+
+
+def cell_histogram(circuit: Circuit) -> Dict[str, int]:
+    """Count of gates per cell type."""
+    return dict(Counter(gate.cell.name for gate in circuit))
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute summary statistics for one circuit."""
+    levels = gate_levels(circuit) if len(circuit) else {}
+    return CircuitStats(
+        name=circuit.name,
+        library=circuit.library.name,
+        n_gates=len(circuit),
+        n_inputs=len(circuit.inputs),
+        n_key_inputs=len(circuit.key_inputs),
+        n_outputs=len(circuit.outputs),
+        depth=max(levels.values()) if levels else 0,
+        cell_counts=cell_histogram(circuit),
+    )

@@ -1,0 +1,93 @@
+"""Structural validation of netlists.
+
+Locking transforms, synthesis passes and protection-logic removal all mutate
+netlists; :func:`validate_circuit` is the invariant checker they (and the
+property-based tests) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .circuit import Circuit, CircuitError
+
+__all__ = ["ValidationReport", "validate_circuit", "check_circuit"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a structural validation pass."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_circuit(circuit: Circuit, *, allow_dangling: bool = False) -> ValidationReport:
+    """Check the structural invariants of a netlist.
+
+    Errors
+    ------
+    * a gate reads a net that is neither an input, a key input, nor driven by
+      a gate,
+    * a primary output is not driven,
+    * the netlist contains a combinational cycle,
+    * a gate's fan-in count violates its cell arity (checked on construction,
+      revalidated here for safety).
+
+    Warnings
+    --------
+    * a gate output drives nothing and is not a primary output (dead logic),
+    * an input or key input drives nothing.
+    """
+    report = ValidationReport()
+    gates = circuit.gates
+    declared = set(circuit.inputs) | set(circuit.key_inputs) | set(gates)
+
+    for gate in gates.values():
+        for net in gate.inputs:
+            if net not in declared:
+                msg = f"gate {gate.name} reads undeclared net {net}"
+                if allow_dangling:
+                    report.warnings.append(msg)
+                else:
+                    report.errors.append(msg)
+        if gate.cell.arity is not None and len(gate.inputs) != gate.cell.arity:
+            report.errors.append(
+                f"gate {gate.name}: arity mismatch for cell {gate.cell.name}"
+            )
+
+    for net in circuit.outputs:
+        if net not in declared:
+            report.errors.append(f"primary output {net} is not driven")
+
+    try:
+        circuit.topological_order()
+    except CircuitError as exc:
+        if not allow_dangling or "cycle" in str(exc):
+            report.errors.append(str(exc))
+
+    fanout = circuit.fanout_map()
+    outputs = set(circuit.outputs)
+    for name in gates:
+        if name not in fanout and name not in outputs:
+            report.warnings.append(f"gate {name} drives nothing (dead logic)")
+    for net in list(circuit.inputs) + list(circuit.key_inputs):
+        if net not in fanout and net not in outputs:
+            report.warnings.append(f"input {net} drives nothing")
+
+    return report
+
+
+def check_circuit(circuit: Circuit) -> None:
+    """Raise :class:`CircuitError` if the netlist is structurally invalid."""
+    report = validate_circuit(circuit)
+    if not report.ok:
+        raise CircuitError("; ".join(report.errors))

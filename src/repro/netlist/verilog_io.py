@@ -1,0 +1,168 @@
+"""Reader / writer for flat structural (gate-level) Verilog netlists.
+
+The paper's point about "circuit formats" is that real design flows hand off
+synthesised Verilog netlists, not bench files.  We support the restricted
+structural subset that synthesis tools emit::
+
+    module c2670 ( a, b, keyinput0, y );
+      input a, b;
+      input keyinput0;
+      output y;
+      wire n1, n2;
+      NAND2 U1 ( .A(a), .B(b), .Y(n1) );
+      INV U2 ( .A(n1), .Y(y) );
+    endmodule
+
+Pin naming convention: inputs are ``A, B, C, D, E`` (or ``S`` for the MUX
+select) in cell-port order and the output pin is ``Y``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit, CircuitError
+from .gates import GEN65, CellLibrary
+
+__all__ = [
+    "parse_verilog",
+    "parse_verilog_file",
+    "write_verilog",
+    "write_verilog_file",
+]
+
+_KEY_PREFIXES = ("keyinput", "KEYINPUT", "key_input")
+
+_MODULE_RE = re.compile(r"module\s+([A-Za-z_][\w$]*)\s*\((.*?)\)\s*;", re.DOTALL)
+_DECL_RE = re.compile(r"\b(input|output|wire)\b\s+(.*?);", re.DOTALL)
+_INSTANCE_RE = re.compile(
+    r"([A-Za-z_][\w]*)\s+([A-Za-z_][\w$]*)\s*\(\s*(\..*?)\)\s*;", re.DOTALL
+)
+_PIN_RE = re.compile(r"\.([A-Za-z_]\w*)\s*\(\s*([^)]+?)\s*\)")
+
+_INPUT_PIN_ORDER = ("A", "B", "C", "D", "E", "S")
+_OUTPUT_PIN = "Y"
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//.*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return text
+
+
+def _split_names(decl: str) -> List[str]:
+    return [n.strip() for n in decl.replace("\n", " ").split(",") if n.strip()]
+
+
+def parse_verilog(
+    text: str,
+    *,
+    library: CellLibrary = GEN65,
+    key_prefixes: Tuple[str, ...] = _KEY_PREFIXES,
+) -> Circuit:
+    """Parse a flat structural Verilog netlist into a :class:`Circuit`."""
+    text = _strip_comments(text)
+    module_match = _MODULE_RE.search(text)
+    if module_match is None:
+        raise CircuitError("verilog parse error: no module header found")
+    module_name = module_match.group(1)
+    body = text[module_match.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise CircuitError("verilog parse error: missing endmodule")
+    body = body[:end]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    wires: List[str] = []
+    for kind, decl in _DECL_RE.findall(body):
+        names = _split_names(decl)
+        if kind == "input":
+            inputs.extend(names)
+        elif kind == "output":
+            outputs.extend(names)
+        else:
+            wires.extend(names)
+
+    circuit = Circuit(module_name, library)
+    for net in inputs:
+        if any(net.startswith(p) for p in key_prefixes):
+            circuit.add_key_input(net)
+        else:
+            circuit.add_input(net)
+
+    # Remove declarations so that the instance regex does not trip over them.
+    instance_body = _DECL_RE.sub("", body)
+    instance_to_net: Dict[str, str] = {}
+    for cell_name, inst_name, pin_text in _INSTANCE_RE.findall(instance_body):
+        if cell_name not in library:
+            raise CircuitError(
+                f"verilog parse error: unknown cell {cell_name!r} "
+                f"(library {library.name})"
+            )
+        pins = dict(_PIN_RE.findall(pin_text))
+        if _OUTPUT_PIN not in pins:
+            raise CircuitError(f"instance {inst_name}: missing output pin Y")
+        out_net = pins.pop(_OUTPUT_PIN)
+        ordered_inputs = []
+        for pin in _INPUT_PIN_ORDER:
+            if pin in pins:
+                ordered_inputs.append(pins.pop(pin))
+        if pins:
+            raise CircuitError(
+                f"instance {inst_name}: unrecognised pins {sorted(pins)}"
+            )
+        circuit.add_gate(out_net, cell_name, ordered_inputs)
+        instance_to_net[inst_name] = out_net
+
+    for net in outputs:
+        circuit.add_output(net)
+    return circuit
+
+
+def parse_verilog_file(path: str | Path, **kwargs) -> Circuit:
+    """Parse a structural Verilog file from disk."""
+    return parse_verilog(Path(path).read_text(), **kwargs)
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialise a circuit to flat structural Verilog."""
+    ports = list(circuit.inputs) + list(circuit.key_inputs) + list(circuit.outputs)
+    lines: List[str] = []
+    lines.append(f"module {circuit.name} ( {', '.join(ports)} );")
+    for net in circuit.inputs:
+        lines.append(f"  input {net};")
+    for net in circuit.key_inputs:
+        lines.append(f"  input {net};")
+    for net in circuit.outputs:
+        lines.append(f"  output {net};")
+    wires = [
+        name
+        for name in circuit.gate_names()
+        if name not in circuit.outputs
+    ]
+    for net in wires:
+        lines.append(f"  wire {net};")
+    lines.append("")
+    for idx, name in enumerate(circuit.topological_order()):
+        gate = circuit.gate(name)
+        pin_map = []
+        for pin, net in zip(_INPUT_PIN_ORDER, gate.inputs):
+            pin_map.append(f".{pin}({net})")
+        if len(gate.inputs) > len(_INPUT_PIN_ORDER):
+            raise CircuitError(
+                f"gate {name}: {len(gate.inputs)} inputs exceed Verilog pin naming; "
+                "re-map to a fixed-arity library first"
+            )
+        pin_map.append(f".{_OUTPUT_PIN}({name})")
+        lines.append(f"  {gate.cell.name} U{idx} ( {', '.join(pin_map)} );")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(circuit: Circuit, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(write_verilog(circuit))
+    return path

@@ -1,0 +1,114 @@
+"""CNF formula representation.
+
+Variables are positive integers; literals are non-zero integers where a
+negative literal denotes the negated variable (DIMACS convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A conjunction of clauses over integer variables."""
+
+    def __init__(self) -> None:
+        self._clauses: List[Tuple[int, ...]] = []
+        self._n_vars = 0
+        self._names: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable, optionally registering a name for it."""
+        self._n_vars += 1
+        var = self._n_vars
+        if name is not None:
+            if name in self._names:
+                raise ValueError(f"variable name {name!r} already in use")
+            self._names[name] = var
+        return var
+
+    def var(self, name: str) -> int:
+        """Look up (or lazily create) the variable with the given name."""
+        if name not in self._names:
+            return self.new_var(name)
+        return self._names[name]
+
+    def has_name(self, name: str) -> bool:
+        return name in self._names
+
+    @property
+    def names(self) -> Dict[str, int]:
+        return dict(self._names)
+
+    @property
+    def n_vars(self) -> int:
+        return self._n_vars
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def clauses(self) -> List[Tuple[int, ...]]:
+        return list(self._clauses)
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(int(l) for l in literals)
+        if not clause:
+            # An empty clause makes the formula trivially unsatisfiable; keep
+            # it so the solver reports UNSAT instead of silently dropping it.
+            self._clauses.append(clause)
+            return
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            self._n_vars = max(self._n_vars, abs(lit))
+        self._clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend(self, other: "CNF", offset: Optional[int] = None) -> None:
+        """Append another formula's clauses, shifting its variables by ``offset``."""
+        shift = self._n_vars if offset is None else offset
+        for clause in other._clauses:
+            self.add_clause(
+                tuple((lit + shift) if lit > 0 else (lit - shift) for lit in clause)
+            )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dimacs(self) -> str:
+        """Serialise to DIMACS CNF text."""
+        lines = [f"p cnf {self._n_vars} {len(self._clauses)}"]
+        for clause in self._clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS CNF text."""
+        cnf = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("c") or line.startswith("p"):
+                continue
+            literals = [int(tok) for tok in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            cnf.add_clause(literals)
+        return cnf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CNF(n_vars={self._n_vars}, n_clauses={len(self._clauses)})"

@@ -1,0 +1,360 @@
+"""A CDCL SAT solver.
+
+This replaces the external SAT engines the paper's toolchain relies on
+(equivalence checking with Synopsys Formality, the SAT queries inside the FALL
+attack, and the classic oracle-guided SAT attack we provide as an extra
+baseline).  It implements the standard conflict-driven clause-learning loop:
+
+* two-watched-literal unit propagation,
+* 1-UIP conflict analysis with clause learning,
+* non-chronological backjumping,
+* activity-based (VSIDS-style) decision heuristic with decay,
+* Luby-sequence restarts,
+* phase saving.
+
+It is not competitive with MiniSat, but it is exact, dependency-free and fast
+enough for the miters produced by the scaled benchmark circuits used here.
+Assumption literals are handled by adding them as unit clauses to a fresh
+solver (every public entry point builds a fresh solver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cnf import CNF
+
+__all__ = ["SatResult", "SatSolver", "solve"]
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT query."""
+
+    satisfiable: bool
+    assignment: Dict[int, bool]
+    conflicts: int
+    decisions: int
+    propagations: int
+
+    def value(self, var: int) -> bool:
+        """Value of a variable in the satisfying assignment (False if free)."""
+        return self.assignment.get(var, False)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    if (1 << k) - 1 == i:
+        return 1 << (k - 1)
+    return _luby(i - (1 << (k - 1)) + 1)
+
+
+class SatSolver:
+    """Conflict-driven clause-learning solver over a :class:`CNF` formula.
+
+    ``phase_seed`` randomises the initial decision phases, which diversifies
+    the models returned by repeated enumeration queries (used by the baseline
+    attacks when collecting protected-pattern samples).
+    """
+
+    def __init__(
+        self,
+        cnf: CNF,
+        assumptions: Sequence[int] = (),
+        *,
+        phase_seed: Optional[int] = None,
+    ):
+        self.n_vars = cnf.n_vars
+        for lit in assumptions:
+            self.n_vars = max(self.n_vars, abs(lit))
+        self.clauses: List[List[int]] = []
+        self._unsat_on_input = False
+        self._pending_units: List[int] = []
+
+        for clause in list(cnf.clauses) + [(int(l),) for l in assumptions]:
+            clause = list(dict.fromkeys(clause))  # dedupe, keep order
+            if len(clause) == 0:
+                self._unsat_on_input = True
+                continue
+            if any(-lit in clause for lit in clause):
+                continue  # tautology
+            if len(clause) == 1:
+                self._pending_units.append(clause[0])
+            else:
+                self.clauses.append(clause)
+
+        size = self.n_vars + 1
+        self.assignment: List[Optional[bool]] = [None] * size
+        self.level: List[int] = [0] * size
+        self.reason: List[Optional[int]] = [None] * size
+        self.activity: List[float] = [0.0] * size
+        self.phase: List[bool] = [False] * size
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        if phase_seed is not None:
+            import random
+
+            rng = random.Random(phase_seed)
+            self.phase = [rng.random() < 0.5 for _ in range(size)]
+
+        self.watches: Dict[int, List[int]] = {}
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+        for idx, clause in enumerate(self.clauses):
+            self._watch(clause[0], idx)
+            self._watch(clause[1], idx)
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    def _watch(self, lit: int, clause_idx: int) -> None:
+        self.watches.setdefault(lit, []).append(clause_idx)
+
+    def _lit_value(self, lit: int) -> Optional[bool]:
+        val = self.assignment[abs(lit)]
+        if val is None:
+            return None
+        return val if lit > 0 else not val
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        """Assign ``lit`` true; returns False if it is already false."""
+        current = self._lit_value(lit)
+        if current is not None:
+            return current
+        var = abs(lit)
+        self.assignment[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # ------------------------------------------------------------------
+    # Unit propagation (two watched literals)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[int]:
+        """Propagate pending assignments; returns a conflicting clause index."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.propagations += 1
+            false_lit = -lit
+            watching = self.watches.get(false_lit, [])
+            kept: List[int] = []
+            i = 0
+            n = len(watching)
+            while i < n:
+                clause_idx = watching[i]
+                i += 1
+                clause = self.clauses[clause_idx]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    kept.append(clause_idx)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause_idx)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause_idx)
+                if self._lit_value(first) is False:
+                    kept.extend(watching[i:])
+                    self.watches[false_lit] = kept
+                    return clause_idx
+                self._enqueue(first, clause_idx)
+            self.watches[false_lit] = kept
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.n_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict_idx: int) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis; returns (learned clause, backjump level).
+
+        The asserting literal is placed first in the learned clause.
+        """
+        current_level = self._decision_level()
+        learned_tail: List[int] = []
+        seen = [False] * (self.n_vars + 1)
+        counter = 0
+        resolve_lit: Optional[int] = None
+        clause: List[int] = self.clauses[conflict_idx]
+        trail_idx = len(self.trail) - 1
+
+        while True:
+            for q in clause:
+                if resolve_lit is not None and q == resolve_lit:
+                    continue
+                var = abs(q)
+                if seen[var] or self.level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self.level[var] >= current_level:
+                    counter += 1
+                else:
+                    learned_tail.append(q)
+            while not seen[abs(self.trail[trail_idx])]:
+                trail_idx -= 1
+            resolve_lit = self.trail[trail_idx]
+            var = abs(resolve_lit)
+            seen[var] = False
+            counter -= 1
+            trail_idx -= 1
+            if counter == 0:
+                break
+            reason_idx = self.reason[var]
+            assert reason_idx is not None, "resolving on a decision before UIP"
+            clause = self.clauses[reason_idx]
+
+        learned = [-resolve_lit] + learned_tail
+        if len(learned) == 1:
+            return learned, 0
+        back_level = max(self.level[abs(l)] for l in learned_tail)
+        return learned, back_level
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self.trail_lim[level]
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            self.phase[var] = bool(self.assignment[var])
+            self.assignment[var] = None
+            self.reason[var] = None
+        del self.trail[limit:]
+        del self.trail_lim[level:]
+        self.qhead = min(self.qhead, len(self.trail))
+
+    def _add_learned(self, learned: List[int]) -> None:
+        """Record a learned clause and enqueue its asserting literal."""
+        if len(learned) == 1:
+            self._enqueue(learned[0], None)
+            return
+        # Watch the asserting literal and a literal from the backjump level.
+        idx = len(self.clauses)
+        back_level = max(self.level[abs(l)] for l in learned[1:])
+        for k in range(1, len(learned)):
+            if self.level[abs(learned[k])] == back_level:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        self.clauses.append(list(learned))
+        self._watch(learned[0], idx)
+        self._watch(learned[1], idx)
+        self._enqueue(learned[0], idx)
+
+    # ------------------------------------------------------------------
+    # Decision heuristic
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> Optional[int]:
+        best_var = None
+        best_act = -1.0
+        for var in range(1, self.n_vars + 1):
+            if self.assignment[var] is None and self.activity[var] > best_act:
+                best_var = var
+                best_act = self.activity[var]
+        return best_var
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, *, max_conflicts: Optional[int] = None) -> SatResult:
+        """Run the CDCL loop to completion.
+
+        Raises ``RuntimeError`` if ``max_conflicts`` is exceeded, so callers
+        can budget expensive queries (e.g. the FALL SlidingWindow algorithm).
+        """
+        if self._unsat_on_input:
+            return self._result(False)
+        for lit in self._pending_units:
+            if not self._enqueue(lit, None):
+                return self._result(False)
+
+        restart_idx = 1
+        restart_budget = 64 * _luby(restart_idx)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict_idx = self._propagate()
+            if conflict_idx is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if max_conflicts is not None and self.conflicts > max_conflicts:
+                    raise RuntimeError("SAT conflict budget exceeded")
+                if self._decision_level() == 0:
+                    return self._result(False)
+                learned, back_level = self._analyze(conflict_idx)
+                self._cancel_until(back_level)
+                self._add_learned(learned)
+                self.var_inc /= self.var_decay
+                continue
+
+            if conflicts_since_restart >= restart_budget:
+                conflicts_since_restart = 0
+                restart_idx += 1
+                restart_budget = 64 * _luby(restart_idx)
+                self._cancel_until(0)
+                continue
+
+            var = self._pick_branch_var()
+            if var is None:
+                return self._result(True)
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(var if self.phase[var] else -var, None)
+
+    def _result(self, satisfiable: bool) -> SatResult:
+        assignment: Dict[int, bool] = {}
+        if satisfiable:
+            assignment = {
+                v: bool(self.assignment[v])
+                for v in range(1, self.n_vars + 1)
+                if self.assignment[v] is not None
+            }
+        return SatResult(
+            satisfiable, assignment, self.conflicts, self.decisions,
+            self.propagations,
+        )
+
+
+def solve(
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    *,
+    max_conflicts: Optional[int] = None,
+    phase_seed: Optional[int] = None,
+) -> SatResult:
+    """Solve ``cnf`` (optionally under assumption literals) with a fresh solver."""
+    return SatSolver(cnf, assumptions, phase_seed=phase_seed).solve(
+        max_conflicts=max_conflicts
+    )

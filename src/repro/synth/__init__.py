@@ -1,0 +1,24 @@
+"""Synthesis substrate: decomposition, optimisation, technology mapping."""
+
+from .decompose import decompose_to_primitives
+from .optimize import (
+    compose_name_maps,
+    remove_buffers,
+    remove_dead_gates,
+    remove_double_inverters,
+)
+from .techmap import MAPPABLE_LIBRARIES, technology_map
+from .flow import SynthesisOptions, synthesize, synthesize_locked
+
+__all__ = [
+    "decompose_to_primitives",
+    "compose_name_maps",
+    "remove_buffers",
+    "remove_dead_gates",
+    "remove_double_inverters",
+    "MAPPABLE_LIBRARIES",
+    "technology_map",
+    "SynthesisOptions",
+    "synthesize",
+    "synthesize_locked",
+]

@@ -1,0 +1,71 @@
+"""Decomposition of variadic bench-style gates into 2-input primitives.
+
+This is the first stage of the synthesis flow: after it, every gate is an
+INV/BUF or a 2-input AND/OR/XOR/NAND/NOR/XNOR, which the technology mapper
+then re-expresses in the target standard-cell library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import BENCH8
+
+__all__ = ["decompose_to_primitives"]
+
+_TREE_FAMILIES = {
+    "AND": ("AND", False),
+    "NAND": ("AND", True),
+    "OR": ("OR", False),
+    "NOR": ("OR", True),
+    "XOR": ("XOR", False),
+    "XNOR": ("XOR", True),
+}
+
+
+def decompose_to_primitives(circuit: Circuit) -> Tuple[Circuit, Dict[str, str]]:
+    """Rewrite ``circuit`` so that no gate has more than two inputs.
+
+    Returns the new circuit (still in the BENCH8 vocabulary) and a name map
+    from every new gate name to the original gate it was derived from, so
+    ground-truth protection labels can be propagated.
+    """
+    out = Circuit(circuit.name, BENCH8)
+    name_map: Dict[str, str] = {}
+    for net in circuit.inputs:
+        out.add_input(net)
+    for net in circuit.key_inputs:
+        out.add_key_input(net)
+
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        cell = gate.cell.name
+        inputs = list(gate.inputs)
+        if cell in ("NOT", "BUF") or len(inputs) <= 2:
+            out.add_gate(name, cell, inputs)
+            name_map[name] = name
+            continue
+        family, invert = _TREE_FAMILIES[cell]
+        # Balanced tree of 2-input gates; the root keeps the original name so
+        # downstream sinks stay wired without renaming.
+        layer = inputs
+        counter = 0
+        while len(layer) > 2:
+            next_layer: List[str] = []
+            for i in range(0, len(layer) - 1, 2):
+                fresh = out.fresh_net_name(f"{name}_dc{counter}")
+                counter += 1
+                out.add_gate(fresh, family, [layer[i], layer[i + 1]])
+                name_map[fresh] = name
+                next_layer.append(fresh)
+            if len(layer) % 2 == 1:
+                next_layer.append(layer[-1])
+            layer = next_layer
+        root_cell = family if not invert else {"AND": "NAND", "OR": "NOR", "XOR": "XNOR"}[family]
+        out.add_gate(name, root_cell, layer)
+        name_map[name] = name
+
+    for net in circuit.outputs:
+        out.add_output(net)
+    return out, name_map

@@ -1,0 +1,96 @@
+"""End-to-end synthesis flow (the Synopsys Design Compiler substitute).
+
+``synthesize`` chains decomposition, optional clean-up passes and technology
+mapping; ``synthesize_locked`` additionally carries the locking ground truth
+through the flow so the mapped netlist keeps per-gate protection labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..locking.base import LockingResult
+from ..netlist.circuit import Circuit
+from ..netlist.gates import BENCH8, CellLibrary, get_library
+from .decompose import decompose_to_primitives
+from .optimize import compose_name_maps, remove_buffers
+from .techmap import technology_map
+
+__all__ = ["SynthesisOptions", "synthesize", "synthesize_locked"]
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Knobs of the synthesis flow.
+
+    ``technology`` selects the target library by name ("GEN65" mimics the
+    65nm flow of the paper, "GEN45" the Nangate 45nm flow, "BENCH8" skips
+    mapping entirely — the Anti-SAT datasets stay in bench format).
+    """
+
+    technology: str = "GEN65"
+    effort: str = "medium"
+    remove_buffers: bool = False
+
+    def library(self) -> CellLibrary:
+        return get_library(self.technology)
+
+
+def synthesize(
+    circuit: Circuit,
+    options: SynthesisOptions = SynthesisOptions(),
+    *,
+    merge_groups: Optional[Dict[str, str]] = None,
+) -> Tuple[Circuit, Dict[str, str]]:
+    """Synthesise ``circuit`` onto the target technology.
+
+    Returns the mapped circuit and a gate-name map from mapped gates back to
+    the gates of the input circuit (identity for untouched gates).
+    """
+    library = options.library()
+    if library is BENCH8:
+        work = circuit.copy()
+        return work, {name: name for name in work.gate_names()}
+
+    decomposed, map1 = decompose_to_primitives(circuit)
+    name_map = map1
+    work = decomposed
+    if options.remove_buffers:
+        work, map2 = remove_buffers(work)
+        name_map = compose_name_maps(name_map, map2)
+
+    groups = None
+    if merge_groups is not None:
+        groups = {
+            gate: merge_groups.get(source, merge_groups.get(gate, "design"))
+            for gate, source in name_map.items()
+        }
+    mapped, map3 = technology_map(
+        work, library, merge_groups=groups, effort=options.effort
+    )
+    return mapped, compose_name_maps(name_map, map3)
+
+
+def synthesize_locked(
+    result: LockingResult,
+    options: SynthesisOptions = SynthesisOptions(),
+) -> LockingResult:
+    """Synthesise a locked netlist, carrying the ground-truth labels along.
+
+    The original (unlocked) design is synthesised with the same options so
+    that recovered-vs-original equivalence checks compare netlists in the same
+    technology, mirroring the paper's Formality-based evaluation.
+    """
+    library = options.library()
+    if library is BENCH8:
+        return result
+
+    mapped_locked, locked_map = synthesize(
+        result.locked, options, merge_groups=result.labels
+    )
+    relabelled = result.relabelled(locked_map, mapped_locked)
+
+    mapped_original, _ = synthesize(result.original, options)
+    relabelled.original = mapped_original
+    return relabelled

@@ -1,0 +1,155 @@
+"""Unit tests for the prior-art baseline attacks (Table I behaviours)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    fall_attack,
+    locate_antisat_output,
+    sat_attack,
+    sfll_hd_unlocked_attack,
+    sps_attack,
+    trace_sfll_structure,
+)
+from repro.benchgen import get_benchmark
+from repro.locking import (
+    AntiSatLocking,
+    RandomXorLocking,
+    SfllHdLocking,
+    TTLockLocking,
+)
+from repro.netlist import CircuitError
+from repro.synth import SynthesisOptions, synthesize_locked
+
+
+@pytest.fixture(scope="module")
+def c3540():
+    return get_benchmark("c3540")
+
+
+@pytest.fixture(scope="module")
+def antisat16(c3540):
+    return AntiSatLocking(16).lock(c3540.copy(), rng=np.random.default_rng(10))
+
+
+@pytest.fixture(scope="module")
+def ttlock16(c3540):
+    return TTLockLocking(16).lock(c3540.copy(), rng=np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def sfll_16_2(c3540):
+    return SfllHdLocking(16, 2).lock(c3540.copy(), rng=np.random.default_rng(12))
+
+
+@pytest.fixture(scope="module")
+def sfll_16_8(c3540):
+    # The K/h = 2 corner case from Section V-D.
+    return SfllHdLocking(16, 8).lock(c3540.copy(), rng=np.random.default_rng(13))
+
+
+class TestStructureTracing:
+    def test_traces_sfll_structure(self, ttlock16):
+        structure = trace_sfll_structure(ttlock16.locked)
+        assert set(structure.protected_inputs) == set(ttlock16.protected_inputs)
+        assert structure.restoring_xor == ttlock16.target_net
+        assert len(structure.pairing) == 16
+
+    def test_rejects_non_bench_netlists(self, sfll_16_2):
+        mapped = synthesize_locked(sfll_16_2, SynthesisOptions(technology="GEN65"))
+        with pytest.raises(CircuitError):
+            trace_sfll_structure(mapped.locked)
+
+    def test_rejects_unlocked_circuit(self, c3540):
+        with pytest.raises(CircuitError):
+            trace_sfll_structure(c3540)
+
+
+class TestSps:
+    def test_breaks_antisat(self, antisat16):
+        result = sps_attack(antisat16)
+        assert result.success
+        assert result.statistics["best_ads"] > 0.9
+        assert result.recovered_circuit is not None
+
+    def test_locates_antisat_output(self, antisat16):
+        gate, ads = locate_antisat_output(antisat16.locked)
+        assert antisat16.labels[gate] == "AN"
+
+    def test_fails_on_sfll(self, ttlock16, sfll_16_2):
+        assert not sps_attack(ttlock16).success
+        assert not sps_attack(sfll_16_2).success
+
+
+class TestFall:
+    def test_breaks_ttlock(self, ttlock16):
+        result = fall_attack(ttlock16)
+        assert result.success
+        assert result.statistics["algorithm"] == "AnalyzeUnateness"
+        assert result.recovered_key == ttlock16.key
+
+    def test_breaks_sfll_hd2(self, sfll_16_2):
+        result = fall_attack(sfll_16_2)
+        assert result.success
+        assert result.statistics["algorithm"] == "Hamming2D"
+
+    def test_reports_zero_keys_on_corner_case(self, sfll_16_8):
+        result = fall_attack(sfll_16_8)
+        assert not result.success
+        assert result.statistics.get("keys_reported") == 0
+
+    def test_not_applicable_to_antisat(self, antisat16):
+        assert not fall_attack(antisat16).success
+
+    def test_fails_on_synthesised_format(self, sfll_16_2):
+        mapped = synthesize_locked(sfll_16_2, SynthesisOptions(technology="GEN65"))
+        result = fall_attack(mapped)
+        assert not result.success
+        assert "bench" in result.reason
+
+
+class TestSfllHdUnlocked:
+    def test_documented_h_limit(self, sfll_16_2, ttlock16):
+        assert not sfll_hd_unlocked_attack(sfll_16_2).success
+        assert not sfll_hd_unlocked_attack(ttlock16).success
+
+    def test_corner_case_fails(self, sfll_16_8):
+        result = sfll_hd_unlocked_attack(sfll_16_8)
+        assert not result.success
+        assert "corner case" in result.reason
+
+    def test_succeeds_in_applicability_window(self, c3540):
+        result = SfllHdLocking(20, 5).lock(c3540.copy(), rng=np.random.default_rng(14))
+        outcome = sfll_hd_unlocked_attack(result)
+        assert outcome.success
+        assert outcome.recovered_key is not None
+
+    def test_not_applicable_to_antisat(self, antisat16):
+        assert not sfll_hd_unlocked_attack(antisat16).success
+
+
+class TestSatAttack:
+    def test_breaks_traditional_xor_locking(self, c3540):
+        locked = RandomXorLocking(6).lock(c3540.copy(), rng=np.random.default_rng(15))
+        result = sat_attack(locked, max_iterations=32)
+        assert result.success
+        assert result.statistics["iterations"] <= 32
+
+    def test_psll_exhausts_iteration_budget(self, c3540):
+        # Use an instance whose corruption is observable at the outputs (the
+        # fixture instance happens to be masked by the surrounding logic, in
+        # which case the SAT attack trivially terminates).
+        locked = AntiSatLocking(16).lock(c3540.copy(), rng=np.random.default_rng(4))
+        result = sat_attack(locked, max_iterations=6)
+        assert not result.success
+        assert "budget" in result.reason
+
+    def test_requires_key_inputs(self, c3540, ttlock16):
+        unlocked = ttlock16.original
+        from repro.locking import LockingResult
+
+        fake = LockingResult(
+            scheme="none", original=unlocked, locked=unlocked.copy(),
+            key={}, labels={}, target_net="",
+        )
+        assert not sat_attack(fake).success

@@ -1,0 +1,118 @@
+"""Unit tests for the netlist-to-graph transformation and feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import block_diagonal, circuit_to_graph, extract_features, feature_names
+from repro.netlist import BENCH8, Circuit
+
+
+@pytest.fixture
+def keyed_circuit() -> Circuit:
+    c = Circuit("keyed", BENCH8)
+    for net in ("a", "b"):
+        c.add_input(net)
+    c.add_key_input("keyinput0")
+    c.add_gate("n1", "AND", ["a", "b"])
+    c.add_gate("n2", "XOR", ["n1", "keyinput0"])
+    c.add_gate("n3", "XNOR", ["n1", "a"])
+    c.add_gate("y", "OR", ["n2", "n3"])
+    c.add_output("y")
+    return c
+
+
+class TestGraph:
+    def test_nodes_are_gates_only(self, keyed_circuit):
+        graph = circuit_to_graph(keyed_circuit)
+        assert set(graph.nodes) == {"n1", "n2", "n3", "y"}
+        assert graph.n_nodes == 4
+
+    def test_adjacency_is_symmetric_and_binary(self, keyed_circuit):
+        graph = circuit_to_graph(keyed_circuit)
+        adj = graph.adjacency.toarray()
+        assert np.array_equal(adj, adj.T)
+        assert set(np.unique(adj)) <= {0.0, 1.0}
+        # n1 connects to n2 and n3; y connects to n2 and n3.
+        idx = {n: i for i, n in enumerate(graph.nodes)}
+        assert adj[idx["n1"], idx["n2"]] == 1
+        assert adj[idx["n1"], idx["y"]] == 0
+
+    def test_pis_kis_pos_are_not_edges(self, keyed_circuit):
+        graph = circuit_to_graph(keyed_circuit)
+        idx = {n: i for i, n in enumerate(graph.nodes)}
+        # n1 reads only PIs: its only edges are to its sinks (n2, n3).
+        assert graph.adjacency[idx["n1"]].nnz == 2
+
+    def test_node_index(self, keyed_circuit):
+        graph = circuit_to_graph(keyed_circuit)
+        for i, name in enumerate(graph.nodes):
+            assert graph.node_index(name) == i
+
+    def test_block_diagonal(self, keyed_circuit, tiny_circuit):
+        g1 = circuit_to_graph(keyed_circuit)
+        g2 = circuit_to_graph(tiny_circuit)
+        block = block_diagonal([g1, g2])
+        assert block.shape == (g1.n_nodes + g2.n_nodes, g1.n_nodes + g2.n_nodes)
+        # No cross-block edges.
+        assert block[: g1.n_nodes, g1.n_nodes:].nnz == 0
+
+    def test_empty_block_diagonal(self):
+        assert block_diagonal([]).shape == (0, 0)
+
+
+class TestFeatures:
+    def test_feature_vector_length(self, keyed_circuit):
+        features = extract_features(keyed_circuit)
+        assert features.shape == (4, keyed_circuit.library.feature_length)
+        assert features.shape[1] == 13
+
+    def test_feature_names_align(self, keyed_circuit):
+        names = feature_names(keyed_circuit)
+        assert len(names) == 13
+        assert names[:5] == ["PI", "KI", "PO", "IN", "OUT"]
+        assert names[5] == "NB_AND"
+
+    def test_structural_features(self, keyed_circuit):
+        graph = circuit_to_graph(keyed_circuit)
+        features = extract_features(keyed_circuit, graph)
+        idx = {n: i for i, n in enumerate(graph.nodes)}
+        names = feature_names(keyed_circuit)
+        pi, ki, po, in_deg, out_deg = (names.index(x) for x in ("PI", "KI", "PO", "IN", "OUT"))
+        # n1 reads two PIs, no KI, not a PO, in-degree 2, out-degree 2.
+        assert features[idx["n1"], pi] == 1
+        assert features[idx["n1"], ki] == 0
+        assert features[idx["n1"], po] == 0
+        assert features[idx["n1"], in_deg] == 2
+        assert features[idx["n1"], out_deg] == 2
+        # n2 reads a KI; y is a PO with out-degree 0.
+        assert features[idx["n2"], ki] == 1
+        assert features[idx["y"], po] == 1
+        assert features[idx["y"], out_deg] == 0
+
+    def test_neighbourhood_counts_two_hops(self, keyed_circuit):
+        graph = circuit_to_graph(keyed_circuit)
+        features = extract_features(keyed_circuit, graph)
+        idx = {n: i for i, n in enumerate(graph.nodes)}
+        names = feature_names(keyed_circuit)
+        # Two-hop neighbourhood of n1 = {n2, n3, y}: one XOR, one XNOR, one OR,
+        # and the node itself (an AND) is not counted.
+        assert features[idx["n1"], names.index("NB_XOR")] == 1
+        assert features[idx["n1"], names.index("NB_XNOR")] == 1
+        assert features[idx["n1"], names.index("NB_OR")] == 1
+        assert features[idx["n1"], names.index("NB_AND")] == 0
+
+    def test_one_hop_option(self, keyed_circuit):
+        graph = circuit_to_graph(keyed_circuit)
+        one_hop = extract_features(keyed_circuit, graph, hops=1)
+        names = feature_names(keyed_circuit)
+        idx = {n: i for i, n in enumerate(graph.nodes)}
+        # With one hop, n1 no longer sees the OR gate y.
+        assert one_hop[idx["n1"], names.index("NB_OR")] == 0
+
+    def test_library_determines_feature_length(self, bench_c3540):
+        from repro.synth import SynthesisOptions, synthesize
+
+        mapped65, _ = synthesize(bench_c3540, SynthesisOptions(technology="GEN65"))
+        mapped45, _ = synthesize(bench_c3540, SynthesisOptions(technology="GEN45"))
+        assert extract_features(mapped65).shape[1] == 34
+        assert extract_features(mapped45).shape[1] == 18

@@ -1,0 +1,89 @@
+"""Unit tests for classification metrics and table reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import classification_report, format_percent, format_table
+from repro.core.metrics import ClassificationReport
+
+
+class TestClassificationReport:
+    def test_perfect_predictions(self):
+        report = classification_report([0, 1, 1, 0], [0, 1, 1, 0], ["DN", "AN"])
+        assert report.accuracy == 1.0
+        assert report.n_misclassified == 0
+        assert report.misclassification_summary() == "-"
+        assert report.per_class["DN"].precision == 1.0
+        assert report.per_class["AN"].recall == 1.0
+        assert report.macro_average()["f1"] == 1.0
+
+    def test_confusion_matrix_and_breakdown(self):
+        true = [0, 0, 0, 1, 1, 2]
+        pred = [0, 1, 0, 1, 2, 2]
+        report = classification_report(true, pred, ["DN", "RN", "PN"])
+        assert report.confusion[0, 1] == 1
+        assert report.confusion[1, 2] == 1
+        assert report.n_misclassified == 2
+        assert "1 DN as RN" in report.misclassification_summary()
+        assert "1 RN as PN" in report.misclassification_summary()
+        assert report.accuracy == pytest.approx(4 / 6)
+
+    def test_per_class_metrics_values(self):
+        true = [0, 0, 1, 1]
+        pred = [0, 1, 1, 1]
+        report = classification_report(true, pred, ["DN", "AN"])
+        an = report.per_class["AN"]
+        assert an.precision == pytest.approx(2 / 3)
+        assert an.recall == pytest.approx(1.0)
+        assert an.support == 2
+        dn = report.per_class["DN"]
+        assert dn.recall == pytest.approx(0.5)
+
+    def test_absent_class_handled(self):
+        report = classification_report([0, 0], [0, 0], ["DN", "AN"])
+        an = report.per_class["AN"]
+        assert an.support == 0
+        assert an.precision == 1.0  # nothing predicted, nothing to penalise
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            classification_report([0, 1], [0], ["DN", "AN"])
+
+    def test_empty_input(self):
+        report = classification_report([], [], ["DN", "AN"])
+        assert report.accuracy == 1.0
+
+
+class TestFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.9936) == "99.36"
+        assert format_percent(1.0, decimals=1) == "100.0"
+
+    def test_format_table_alignment(self):
+        table = format_table(["Name", "Value"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert lines[1].startswith("| Name")
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "longer" in table
+
+    def test_format_report_row(self):
+        from repro.core import format_report_row
+
+        class _FakeOutcome:
+            target_benchmark = "c7552"
+            instances = [1, 2]
+            gnn_accuracy = 0.995
+            removal_success_rate = 1.0
+            gnn_report = ClassificationReport(
+                accuracy=0.995,
+                per_class={},
+                confusion=np.zeros((2, 2), dtype=int),
+                class_names=("DN", "AN"),
+                misclassified={("AN", "DN"): 1},
+            )
+
+        row = format_report_row(_FakeOutcome(), ["DN", "AN"])
+        assert row["Test"] == "c7552"
+        assert row["GNN Acc. (%)"] == "99.50"
+        assert row["#MN"] == "1 AN as DN"
+        assert row["Removal Success (%)"] == "100.00"

@@ -1,0 +1,179 @@
+"""Unit tests for GraphData, the GraphSAINT sampler and the trainer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gnn import (
+    GnnConfig,
+    GraphData,
+    RandomWalkSampler,
+    Trainer,
+    GraphSageClassifier,
+    normalize_adjacency,
+    train_node_classifier,
+)
+
+
+def _two_cluster_graph(n=200, seed=0, feature_dim=6):
+    rng = np.random.default_rng(seed)
+    labels = np.array([0] * (n // 2) + [1] * (n - n // 2))
+    features = rng.normal(size=(n, feature_dim)) + labels[:, None] * 2.0
+    rows, cols = [], []
+    for i in range(n):
+        for _ in range(3):
+            same = rng.random() < 0.9
+            base = 0 if (labels[i] == 0) == same else n // 2
+            j = int(rng.integers(0, n // 2)) + base
+            rows += [i, j]
+            cols += [j, i]
+    adj = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+    adj.data[:] = 1
+    split = rng.random(n)
+    data = GraphData(
+        adjacency=adj,
+        features=features,
+        labels=labels,
+        train_mask=split < 0.6,
+        val_mask=(split >= 0.6) & (split < 0.8),
+        test_mask=split >= 0.8,
+    )
+    return data
+
+
+class TestGraphData:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GraphData(
+                adjacency=sp.eye(3, format="csr"),
+                features=np.zeros((4, 2)),
+                labels=np.zeros(4, dtype=int),
+                train_mask=np.ones(4, bool),
+                val_mask=np.zeros(4, bool),
+                test_mask=np.zeros(4, bool),
+            )
+        with pytest.raises(ValueError):
+            GraphData(
+                adjacency=sp.eye(4, format="csr"),
+                features=np.zeros((4, 2)),
+                labels=np.zeros(3, dtype=int),
+                train_mask=np.ones(4, bool),
+                val_mask=np.zeros(4, bool),
+                test_mask=np.zeros(4, bool),
+            )
+
+    def test_properties(self):
+        data = _two_cluster_graph(50)
+        assert data.n_nodes == 50
+        assert data.n_features == 6
+        assert data.n_classes == 2
+
+    def test_normalized_adjacency_rows(self):
+        data = _two_cluster_graph(30)
+        norm = data.normalized_adjacency()
+        sums = np.asarray(norm.sum(axis=1)).ravel()
+        nonzero = np.asarray(data.adjacency.sum(axis=1)).ravel() > 0
+        assert np.allclose(sums[nonzero], 1.0)
+
+    def test_isolated_node_handled(self):
+        adj = sp.csr_matrix((3, 3))
+        norm = normalize_adjacency(adj)
+        assert norm.nnz == 0
+
+    def test_subgraph_selection(self):
+        data = _two_cluster_graph(40)
+        sub = data.subgraph(np.arange(10))
+        assert sub.n_nodes == 10
+        assert sub.adjacency.shape == (10, 10)
+        assert np.array_equal(sub.labels, data.labels[:10])
+
+
+class TestSampler:
+    def test_sampled_subgraph_contains_training_nodes(self):
+        data = _two_cluster_graph(100)
+        sampler = RandomWalkSampler(
+            data, n_roots=20, walk_length=2, rng=np.random.default_rng(0)
+        )
+        batch = sampler.sample()
+        assert batch.data.n_nodes > 0
+        assert batch.data.n_nodes <= data.n_nodes
+        assert batch.loss_weights.shape == (batch.data.n_nodes,)
+        assert (batch.loss_weights > 0).all()
+
+    def test_loss_weights_normalised(self):
+        data = _two_cluster_graph(100)
+        sampler = RandomWalkSampler(
+            data, n_roots=30, walk_length=2, rng=np.random.default_rng(1)
+        )
+        batch = sampler.sample()
+        assert batch.loss_weights.mean() == pytest.approx(1.0)
+
+    def test_parameter_validation(self):
+        data = _two_cluster_graph(20)
+        with pytest.raises(ValueError):
+            RandomWalkSampler(data, n_roots=0)
+        with pytest.raises(ValueError):
+            RandomWalkSampler(data, walk_length=0)
+
+    def test_requires_training_nodes(self):
+        data = _two_cluster_graph(20)
+        data.train_mask[:] = False
+        with pytest.raises(ValueError):
+            RandomWalkSampler(data)
+
+
+class TestTrainer:
+    def test_training_learns_two_clusters(self):
+        data = _two_cluster_graph(300, seed=3)
+        config = GnnConfig(
+            n_features=6, n_classes=2, hidden_dim=16, epochs=60,
+            root_nodes=80, eval_every=5, seed=0,
+        )
+        model, history = train_node_classifier(data, config)
+        accuracy = (
+            model.predict(data.features, data.normalized_adjacency())[data.test_mask]
+            == data.labels[data.test_mask]
+        ).mean()
+        assert accuracy > 0.9
+        assert history.best_val_accuracy > 0.9
+        assert history.epochs_run <= config.epochs
+        assert history.train_time_s > 0
+
+    def test_full_batch_mode(self):
+        data = _two_cluster_graph(120, seed=4)
+        config = GnnConfig(
+            n_features=6, n_classes=2, hidden_dim=8, epochs=30,
+            sampler="full", eval_every=5, seed=0,
+        )
+        model, history = train_node_classifier(data, config)
+        assert history.epochs_run > 0
+
+    def test_early_stopping(self):
+        data = _two_cluster_graph(120, seed=5)
+        config = GnnConfig(
+            n_features=6, n_classes=2, hidden_dim=8, epochs=500,
+            patience=10, eval_every=5, root_nodes=50, seed=0,
+        )
+        _, history = train_node_classifier(data, config)
+        assert history.epochs_run < 500
+
+    def test_config_adjusted_to_graph(self):
+        data = _two_cluster_graph(80, seed=6)
+        config = GnnConfig(n_features=99, n_classes=1, hidden_dim=8, epochs=10,
+                           root_nodes=30, eval_every=5)
+        model, _ = train_node_classifier(data, config)
+        assert model.config.n_features == data.n_features
+        assert model.config.n_classes == data.n_classes
+
+    def test_class_weights_balanced(self):
+        data = _two_cluster_graph(100, seed=7)
+        # Make class 1 rare in training.
+        data.train_mask[data.labels == 1] &= np.random.default_rng(0).random(
+            (data.labels == 1).sum()
+        ) < 0.2
+        config = GnnConfig(n_features=6, n_classes=2, hidden_dim=8, epochs=5,
+                           root_nodes=30, eval_every=5)
+        model = GraphSageClassifier(config)
+        trainer = Trainer(model, data, config=config)
+        weights = trainer._compute_class_weights()
+        assert weights[1] > weights[0]

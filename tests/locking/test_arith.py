@@ -1,0 +1,96 @@
+"""Unit tests for the gate-level arithmetic builders used by SFLL-HD."""
+
+import numpy as np
+import pytest
+
+from repro.locking.arith import (
+    build_and_tree,
+    build_equals_constant,
+    build_inverter,
+    build_or_tree,
+    build_popcount,
+)
+from repro.netlist import BENCH8, Circuit, exhaustive_patterns, simulate_patterns
+
+
+def _fresh(n_inputs):
+    circuit = Circuit("arith", BENCH8)
+    nets = []
+    for i in range(n_inputs):
+        name = f"x{i}"
+        circuit.add_input(name)
+        nets.append(name)
+    created = []
+    counter = [0]
+
+    def namer(tag):
+        counter[0] += 1
+        return f"{tag}_{counter[0]}"
+
+    return circuit, nets, namer, created
+
+
+class TestTrees:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_and_tree(self, width):
+        circuit, nets, namer, created = _fresh(width)
+        root = build_and_tree(circuit, nets, namer, created)
+        circuit.add_output(root)
+        patterns = exhaustive_patterns(width)
+        out = simulate_patterns(circuit, patterns, outputs=[root])
+        assert np.array_equal(out[:, 0], patterns.all(axis=1))
+        assert set(created) == set(circuit.gate_names())
+
+    @pytest.mark.parametrize("width", [2, 4, 7])
+    def test_or_tree(self, width):
+        circuit, nets, namer, created = _fresh(width)
+        root = build_or_tree(circuit, nets, namer, created)
+        circuit.add_output(root)
+        patterns = exhaustive_patterns(width)
+        out = simulate_patterns(circuit, patterns, outputs=[root])
+        assert np.array_equal(out[:, 0], patterns.any(axis=1))
+
+    def test_empty_tree_rejected(self):
+        circuit, nets, namer, created = _fresh(2)
+        with pytest.raises(ValueError):
+            build_and_tree(circuit, [], namer, created)
+
+    def test_inverter(self):
+        circuit, nets, namer, created = _fresh(1)
+        inv = build_inverter(circuit, nets[0], namer, created)
+        circuit.add_output(inv)
+        out = simulate_patterns(circuit, exhaustive_patterns(1), outputs=[inv])
+        assert out[:, 0].tolist() == [True, False]
+
+
+class TestPopcountAndComparator:
+    @pytest.mark.parametrize("width", [2, 3, 5, 8])
+    def test_popcount_counts_ones(self, width):
+        circuit, nets, namer, created = _fresh(width)
+        bits = build_popcount(circuit, nets, namer, created)
+        for bit in bits:
+            circuit.add_output(bit)
+        patterns = exhaustive_patterns(width)
+        out = simulate_patterns(circuit, patterns, outputs=bits)
+        values = (out * (1 << np.arange(len(bits)))).sum(axis=1)
+        assert np.array_equal(values, patterns.sum(axis=1))
+
+    @pytest.mark.parametrize("width,constant", [(3, 0), (3, 2), (4, 3), (5, 5)])
+    def test_equals_constant(self, width, constant):
+        circuit, nets, namer, created = _fresh(width)
+        bits = build_popcount(circuit, nets, namer, created)
+        eq = build_equals_constant(circuit, bits, constant, namer, created)
+        circuit.add_output(eq)
+        patterns = exhaustive_patterns(width)
+        out = simulate_patterns(circuit, patterns, outputs=[eq])
+        assert np.array_equal(out[:, 0], patterns.sum(axis=1) == constant)
+
+    def test_equals_constant_range_checked(self):
+        circuit, nets, namer, created = _fresh(2)
+        with pytest.raises(ValueError):
+            build_equals_constant(circuit, nets, 5, namer, created)
+
+    def test_popcount_empty_rejected(self):
+        circuit, nets, namer, created = _fresh(2)
+        with pytest.raises(ValueError):
+            build_popcount(circuit, [], namer, created)

@@ -1,0 +1,225 @@
+"""Unit tests for the locking schemes: Anti-SAT, TTLock, SFLL-HD, RandomXOR."""
+
+import numpy as np
+import pytest
+
+from repro.locking import (
+    ANTISAT,
+    DESIGN,
+    PERTURB,
+    RESTORE,
+    AntiSatLocking,
+    LockingError,
+    RandomXorLocking,
+    SfllHdLocking,
+    TTLockLocking,
+    hamming_distance,
+    insert_xor_on_net,
+    key_assignment,
+    key_input_names,
+    random_key_bits,
+)
+from repro.netlist import simulate, validate_circuit
+from repro.sat import check_equivalence
+
+
+class TestKeys:
+    def test_key_input_names(self):
+        assert key_input_names(3) == ["keyinput0", "keyinput1", "keyinput2"]
+        assert key_input_names(2, start=5) == ["keyinput5", "keyinput6"]
+
+    def test_key_assignment(self):
+        assert key_assignment(["k0", "k1"], [True, False]) == {"k0": True, "k1": False}
+        with pytest.raises(ValueError):
+            key_assignment(["k0"], [True, False])
+
+    def test_random_key_bits_deterministic(self):
+        a = random_key_bits(16, np.random.default_rng(5))
+        b = random_key_bits(16, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_hamming_distance(self):
+        assert hamming_distance([1, 0, 1], [1, 1, 1]) == 1
+        with pytest.raises(ValueError):
+            hamming_distance([1, 0], [1])
+
+
+class TestInsertXor:
+    def test_internal_net_splice(self, tiny_circuit):
+        tiny_circuit.add_input("sig")
+        shadow = insert_xor_on_net(tiny_circuit, "n1", "sig")
+        assert tiny_circuit.gate("n1").cell.name == "XOR"
+        assert shadow in tiny_circuit.gate("n1").inputs
+        # Sinks of the original net now read the XOR output.
+        assert "n1" in tiny_circuit.gate("y").inputs
+        assert validate_circuit(tiny_circuit).ok
+
+    def test_primary_output_splice(self, tiny_circuit):
+        tiny_circuit.add_input("sig")
+        insert_xor_on_net(tiny_circuit, "y", "sig")
+        assert tiny_circuit.is_output("y")
+        assert validate_circuit(tiny_circuit).ok
+
+    def test_non_gate_rejected(self, tiny_circuit):
+        with pytest.raises(LockingError):
+            insert_xor_on_net(tiny_circuit, "a", "b")
+
+
+def _locked_is_correct_under_key(result, n_patterns=128, seed=0):
+    rng = np.random.default_rng(seed)
+    original, locked = result.original, result.locked
+    pis = original.inputs
+    patterns = rng.integers(0, 2, size=(n_patterns, len(pis))).astype(bool)
+    assign = {p: patterns[:, i] for i, p in enumerate(pis)}
+    out_orig = simulate(original, assign)
+    assign_locked = dict(assign)
+    assign_locked.update({k: np.full(n_patterns, v) for k, v in result.key.items()})
+    out_locked = simulate(locked, assign_locked)
+    return all(
+        np.array_equal(out_orig[po], out_locked[po]) for po in original.outputs
+    )
+
+
+class TestAntiSat:
+    def test_parameters_validated(self):
+        with pytest.raises(LockingError):
+            AntiSatLocking(3)
+        with pytest.raises(LockingError):
+            AntiSatLocking(2)
+
+    def test_locked_structure(self, antisat_locked):
+        result = antisat_locked
+        assert result.scheme == "Anti-SAT"
+        assert result.key_size == 8
+        assert len(result.locked.key_inputs) == 8
+        assert validate_circuit(result.locked).ok
+        labels = set(result.labels.values())
+        assert labels == {DESIGN, ANTISAT}
+
+    def test_correct_key_preserves_function(self, antisat_locked):
+        assert _locked_is_correct_under_key(antisat_locked)
+
+    def test_correct_key_equivalence_sat(self, antisat_locked):
+        assert check_equivalence(
+            antisat_locked.locked, antisat_locked.original,
+            key_assignment=antisat_locked.key,
+        ).equivalent
+
+    def test_key_halves_equal(self, antisat_locked):
+        bits = antisat_locked.key_vector()
+        n = len(bits) // 2
+        assert np.array_equal(bits[:n], bits[n:])
+
+    def test_protection_gate_count_grows_with_key(self, small_random_circuit, rng):
+        small = AntiSatLocking(8).lock(small_random_circuit, rng=rng)
+        large = AntiSatLocking(16).lock(small_random_circuit, rng=rng)
+        assert len(large.protection_gates()) > len(small.protection_gates())
+
+    def test_too_few_inputs_rejected(self, tiny_circuit, rng):
+        with pytest.raises(LockingError):
+            AntiSatLocking(16).lock(tiny_circuit, rng=rng)
+
+    def test_every_antisat_gate_has_ki_in_fanin(self, antisat_locked):
+        from repro.netlist import has_key_input_in_fanin
+
+        locked = antisat_locked.locked
+        for gate in antisat_locked.gates_with_label(ANTISAT):
+            assert has_key_input_in_fanin(locked, gate)
+
+
+class TestSfllHd:
+    def test_parameters_validated(self):
+        with pytest.raises(LockingError):
+            SfllHdLocking(1, 0)
+        with pytest.raises(LockingError):
+            SfllHdLocking(8, 9)
+
+    def test_ttlock_is_sfll_hd0(self, ttlock_locked):
+        assert ttlock_locked.scheme == "TTLock"
+        assert ttlock_locked.parameters["h"] == 0
+
+    def test_labels_cover_three_classes(self, sfll_hd2_locked):
+        labels = set(sfll_hd2_locked.labels.values())
+        assert labels == {DESIGN, PERTURB, RESTORE}
+
+    def test_correct_key_preserves_function(self, ttlock_locked, sfll_hd2_locked):
+        assert _locked_is_correct_under_key(ttlock_locked)
+        assert _locked_is_correct_under_key(sfll_hd2_locked)
+
+    def test_correct_key_equivalence_sat(self, sfll_hd2_locked):
+        assert check_equivalence(
+            sfll_hd2_locked.locked, sfll_hd2_locked.original,
+            key_assignment=sfll_hd2_locked.key,
+        ).equivalent
+
+    def test_wrong_key_breaks_protected_pattern(self, ttlock_locked):
+        # TTLock protects exactly the pattern equal to the secret key: applying
+        # a wrong key and the protected pattern must corrupt the output.
+        result = ttlock_locked
+        locked, original = result.locked, result.original
+        protected = dict(zip(result.protected_inputs, result.key_vector()))
+        assign = {pi: False for pi in original.inputs}
+        assign.update(protected)
+        out_orig = simulate(original, assign, outputs=[result.target_net])
+        wrong = {k: (not v) for k, v in result.key.items()}
+        assign_locked = dict(assign)
+        assign_locked.update(wrong)
+        out_locked = simulate(locked, assign_locked, outputs=[result.target_net])
+        assert bool(out_orig[result.target_net][0]) != bool(
+            out_locked[result.target_net][0]
+        )
+
+    def test_restore_gates_have_keys_perturb_do_not(self, sfll_hd2_locked):
+        from repro.netlist import key_inputs_in_fanin
+
+        locked = sfll_hd2_locked.locked
+        for gate in sfll_hd2_locked.gates_with_label(RESTORE):
+            assert key_inputs_in_fanin(locked, gate)
+        for gate in sfll_hd2_locked.gates_with_label(PERTURB):
+            assert not key_inputs_in_fanin(locked, gate)
+
+    def test_perturb_support_is_protected_inputs(self, sfll_hd2_locked):
+        from repro.netlist import primary_inputs_in_fanin
+
+        locked = sfll_hd2_locked.locked
+        protected = set(sfll_hd2_locked.protected_inputs)
+        target = sfll_hd2_locked.target_net
+        strip_xor = None
+        for gate in sfll_hd2_locked.gates_with_label(PERTURB):
+            if gate in locked.gate(target).inputs:
+                strip_xor = gate
+                continue
+            assert primary_inputs_in_fanin(locked, gate) <= protected
+        assert strip_xor is not None
+
+    def test_larger_h_changes_structure(self, small_random_circuit, rng):
+        hd0 = TTLockLocking(8).lock(small_random_circuit, rng=rng)
+        hd2 = SfllHdLocking(8, 2).lock(small_random_circuit, rng=rng)
+        assert len(hd2.protection_gates()) > len(hd0.protection_gates())
+
+    def test_key_size_requires_enough_inputs(self, tiny_circuit, rng):
+        with pytest.raises(LockingError):
+            SfllHdLocking(8, 2).lock(tiny_circuit, rng=rng)
+
+
+class TestRandomXor:
+    def test_lock_and_unlock(self, small_random_circuit, rng):
+        result = RandomXorLocking(5).lock(small_random_circuit, rng=rng)
+        assert validate_circuit(result.locked).ok
+        assert len(result.locked.key_inputs) == 5
+        assert check_equivalence(
+            result.locked, result.original, key_assignment=result.key
+        ).equivalent
+
+    def test_wrong_key_changes_function(self, small_random_circuit, rng):
+        result = RandomXorLocking(5).lock(small_random_circuit, rng=rng)
+        wrong = dict(result.key)
+        first = next(iter(wrong))
+        wrong[first] = not wrong[first]
+        assert not check_equivalence(
+            result.locked, result.original, key_assignment=wrong
+        ).equivalent
+
+    def test_too_many_key_gates_rejected(self, tiny_circuit, rng):
+        with pytest.raises(LockingError):
+            RandomXorLocking(10).lock(tiny_circuit, rng=rng)

@@ -1,0 +1,70 @@
+"""Property-based tests: locking must always be reversible with the right key."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen import RandomLogicSpec, generate_random_circuit
+from repro.locking import AntiSatLocking, SfllHdLocking, TTLockLocking
+from repro.netlist import random_patterns, simulate, validate_circuit
+
+
+def _circuit(seed: int):
+    spec = RandomLogicSpec(
+        name=f"prop{seed}", n_inputs=20, n_outputs=4, n_gates=50, seed=seed
+    )
+    return generate_random_circuit(spec)
+
+
+def _correct_under_key(result, n_patterns=64, seed=0):
+    rng = np.random.default_rng(seed)
+    original, locked = result.original, result.locked
+    pis = original.inputs
+    patterns = random_patterns(len(pis), n_patterns, rng)
+    assign = {p: patterns[:, i] for i, p in enumerate(pis)}
+    out_orig = simulate(original, assign)
+    assign_locked = dict(assign)
+    assign_locked.update({k: np.full(n_patterns, v) for k, v in result.key.items()})
+    out_locked = simulate(locked, assign_locked)
+    return all(np.array_equal(out_orig[po], out_locked[po]) for po in original.outputs)
+
+
+class TestLockingProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        key_size=st.sampled_from([4, 8, 12]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_antisat_correct_key_preserves_function(self, seed, key_size):
+        circuit = _circuit(seed)
+        result = AntiSatLocking(key_size).lock(circuit, rng=np.random.default_rng(seed))
+        assert validate_circuit(result.locked).ok
+        assert _correct_under_key(result, seed=seed)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        key_size=st.sampled_from([4, 8, 12]),
+        h=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sfll_correct_key_preserves_function(self, seed, key_size, h):
+        h = min(h, key_size)
+        circuit = _circuit(seed)
+        result = SfllHdLocking(key_size, h).lock(
+            circuit, rng=np.random.default_rng(seed)
+        )
+        assert validate_circuit(result.locked).ok
+        assert _correct_under_key(result, seed=seed)
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_labels_partition_the_locked_netlist(self, seed):
+        circuit = _circuit(seed)
+        result = TTLockLocking(8).lock(circuit, rng=np.random.default_rng(seed))
+        assert set(result.labels) == set(result.locked.gate_names())
+        # Every original design gate is still present and labelled as design.
+        for gate in result.original.gate_names():
+            if result.locked.has_gate(gate):
+                continue
+            # The only original gate allowed to disappear is the protected
+            # output driver, which is renamed to a shadow net by the splice.
+            assert gate == result.target_net

@@ -1,0 +1,140 @@
+"""Unit tests for the Circuit netlist container."""
+
+import pytest
+
+from repro.netlist import BENCH8, Circuit, CircuitError
+
+
+@pytest.fixture
+def simple() -> Circuit:
+    c = Circuit("simple", BENCH8)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_key_input("keyinput0")
+    c.add_gate("n1", "AND", ["a", "b"])
+    c.add_gate("y", "XOR", ["n1", "keyinput0"])
+    c.add_output("y")
+    return c
+
+
+class TestConstruction:
+    def test_counts(self, simple):
+        assert len(simple) == 2
+        assert simple.inputs == ("a", "b")
+        assert simple.key_inputs == ("keyinput0",)
+        assert simple.all_inputs == ("a", "b", "keyinput0")
+        assert simple.outputs == ("y",)
+
+    def test_duplicate_net_rejected(self, simple):
+        with pytest.raises(CircuitError):
+            simple.add_input("a")
+        with pytest.raises(CircuitError):
+            simple.add_gate("n1", "OR", ["a", "b"])
+
+    def test_duplicate_output_rejected(self, simple):
+        with pytest.raises(CircuitError):
+            simple.add_output("y")
+
+    def test_wrong_arity_rejected(self, simple):
+        with pytest.raises(CircuitError):
+            simple.add_gate("bad", "NOT", ["a", "b"])
+
+    def test_empty_inputs_rejected(self, simple):
+        with pytest.raises(CircuitError):
+            simple.add_gate("bad", "AND", [])
+
+    def test_invalid_net_name(self, simple):
+        with pytest.raises(CircuitError):
+            simple.add_input("")
+
+    def test_contains_and_net_exists(self, simple):
+        assert "a" in simple
+        assert "n1" in simple
+        assert "nope" not in simple
+
+    def test_is_predicates(self, simple):
+        assert simple.is_input("a")
+        assert simple.is_key_input("keyinput0")
+        assert simple.is_output("y")
+        assert not simple.is_input("keyinput0")
+
+
+class TestMutation:
+    def test_remove_gate(self, simple):
+        simple.remove_gate("y")
+        assert not simple.has_gate("y")
+        with pytest.raises(CircuitError):
+            simple.remove_gate("y")
+
+    def test_remove_output_and_key_input(self, simple):
+        simple.remove_output("y")
+        assert simple.outputs == ()
+        simple.remove_key_input("keyinput0")
+        assert simple.key_inputs == ()
+        with pytest.raises(CircuitError):
+            simple.remove_output("y")
+
+    def test_rename_net_rewires_sinks(self, simple):
+        simple.rename_net("n1", "mid")
+        assert simple.has_gate("mid")
+        assert "mid" in simple.gate("y").inputs
+        assert not simple.has_gate("n1")
+
+    def test_rename_primary_output(self, simple):
+        simple.rename_net("y", "out")
+        assert simple.outputs == ("out",)
+
+    def test_replace_gate_input(self, simple):
+        simple.replace_gate_input("y", "keyinput0", "a")
+        assert simple.gate("y").inputs == ("n1", "a")
+        with pytest.raises(CircuitError):
+            simple.replace_gate_input("y", "keyinput0", "a")
+
+    def test_set_gate(self, simple):
+        simple.set_gate("y", "XNOR", ["n1", "keyinput0"])
+        assert simple.gate("y").cell.name == "XNOR"
+        with pytest.raises(CircuitError):
+            simple.set_gate("missing", "AND", ["a", "b"])
+
+    def test_fresh_net_name(self, simple):
+        assert simple.fresh_net_name("new") == "new"
+        assert simple.fresh_net_name("a") != "a"
+
+
+class TestConnectivity:
+    def test_fanout_map(self, simple):
+        fanout = simple.fanout_map()
+        assert fanout["a"] == ["n1"]
+        assert fanout["n1"] == ["y"]
+
+    def test_topological_order(self, simple):
+        order = simple.topological_order()
+        assert order.index("n1") < order.index("y")
+
+    def test_cycle_detection(self):
+        c = Circuit("cyc", BENCH8)
+        c.add_input("a")
+        c.add_gate("n1", "AND", ["a", "n2"])
+        c.add_gate("n2", "AND", ["a", "n1"])
+        with pytest.raises(CircuitError):
+            c.topological_order()
+
+    def test_undeclared_net_detected(self):
+        c = Circuit("bad", BENCH8)
+        c.add_input("a")
+        c.add_gate("n1", "AND", ["a", "ghost"])
+        with pytest.raises(CircuitError):
+            c.topological_order()
+
+    def test_copy_is_independent(self, simple):
+        clone = simple.copy("clone")
+        clone.remove_gate("y")
+        assert simple.has_gate("y")
+        assert clone.name == "clone"
+        assert not clone.has_gate("y")
+
+    def test_topo_cache_invalidation(self, simple):
+        first = simple.topological_order()
+        simple.add_gate("n2", "OR", ["a", "b"])
+        second = simple.topological_order()
+        assert "n2" in second and "n2" not in first

@@ -1,0 +1,111 @@
+"""Unit tests for cell types and cell libraries."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import BENCH8, GEN45, GEN65, get_library
+from repro.netlist.gates import CellType
+
+
+class TestCellEvaluation:
+    def test_and_gate_truth_table(self):
+        cell = BENCH8["AND"]
+        assert bool(cell.evaluate(True, True))
+        assert not bool(cell.evaluate(True, False))
+        assert not bool(cell.evaluate(False, False))
+
+    def test_variadic_and(self):
+        cell = BENCH8["AND"]
+        assert bool(cell.evaluate(True, True, True, True))
+        assert not bool(cell.evaluate(True, True, False, True))
+
+    def test_nand_is_negated_and(self):
+        for bits in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            a = bool(BENCH8["AND"].evaluate(*bits))
+            n = bool(BENCH8["NAND"].evaluate(*bits))
+            assert a != n
+
+    def test_xor_parity(self):
+        cell = BENCH8["XOR"]
+        assert bool(cell.evaluate(True, False, False))
+        assert not bool(cell.evaluate(True, True, False, False))
+
+    def test_xnor_is_negated_xor(self):
+        for bits in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            assert bool(BENCH8["XOR"].evaluate(*bits)) != bool(
+                BENCH8["XNOR"].evaluate(*bits)
+            )
+
+    def test_not_and_buf(self):
+        assert not bool(BENCH8["NOT"].evaluate(True))
+        assert bool(BENCH8["BUF"].evaluate(True))
+
+    def test_vectorised_evaluation(self):
+        out = BENCH8["OR"].evaluate(np.array([True, False]), np.array([False, False]))
+        assert out.tolist() == [True, False]
+
+    def test_fixed_arity_enforced(self):
+        with pytest.raises(ValueError):
+            GEN65["NAND2"].evaluate(True, True, True)
+
+    def test_variadic_requires_one_input(self):
+        with pytest.raises(ValueError):
+            BENCH8["AND"].evaluate()
+
+    def test_aoi21(self):
+        cell = GEN65["AOI21"]
+        # ~((a & b) | c)
+        assert bool(cell.evaluate(False, False, False))
+        assert not bool(cell.evaluate(True, True, False))
+        assert not bool(cell.evaluate(False, False, True))
+
+    def test_oai22(self):
+        cell = GEN65["OAI22"]
+        # ~((a|b) & (c|d))
+        assert bool(cell.evaluate(False, False, True, True))
+        assert not bool(cell.evaluate(True, False, False, True))
+
+    def test_mux2(self):
+        cell = GEN65["MUX2"]
+        assert not bool(cell.evaluate(False, True, False))  # select a
+        assert bool(cell.evaluate(False, True, True))  # select b
+
+    def test_maj3(self):
+        cell = GEN65["MAJ3"]
+        assert bool(cell.evaluate(True, True, False))
+        assert not bool(cell.evaluate(True, False, False))
+
+
+class TestLibraries:
+    def test_feature_lengths_match_paper(self):
+        # Table III: bench |f|=13, 65nm |f|=34, 45nm |f|=18.
+        assert BENCH8.feature_length == 13
+        assert GEN65.feature_length == 34
+        assert GEN45.feature_length == 18
+
+    def test_library_lookup(self):
+        assert get_library("bench8") is BENCH8
+        assert get_library("GEN65") is GEN65
+        with pytest.raises(KeyError):
+            get_library("unknown")
+
+    def test_index_is_stable_and_dense(self):
+        indices = [GEN65.index(cell.name) for cell in GEN65]
+        assert indices == list(range(len(GEN65)))
+
+    def test_contains_and_getitem(self):
+        assert "NAND2" in GEN45
+        assert "NAND4" not in GEN45
+        with pytest.raises(KeyError):
+            GEN45["NAND4"]
+
+    def test_gen45_is_subvocabulary_style(self):
+        # Every GEN45 cell name also exists in GEN65 (smaller library).
+        for cell in GEN45:
+            assert cell.name in GEN65
+
+    def test_duplicate_cells_rejected(self):
+        from repro.netlist.gates import CellLibrary, _not
+
+        with pytest.raises(ValueError):
+            CellLibrary("dup", [CellType("INV", 1, _not), CellType("INV", 1, _not)])

@@ -1,0 +1,146 @@
+"""Unit tests for bench and Verilog netlist readers/writers."""
+
+import pytest
+
+from repro.netlist import (
+    BENCH8,
+    GEN45,
+    GEN65,
+    Circuit,
+    CircuitError,
+    parse_bench,
+    parse_bench_file,
+    parse_verilog,
+    parse_verilog_file,
+    write_bench,
+    write_bench_file,
+    write_verilog,
+    write_verilog_file,
+)
+from repro.sat import check_equivalence
+
+BENCH_TEXT = """
+# example with a key input
+INPUT(a)
+INPUT(b)
+INPUT(keyinput0)
+OUTPUT(y)
+n1 = NAND(a, b)
+n2 = XOR(n1, keyinput0)
+y = NOT(n2)
+"""
+
+VERILOG_TEXT = """
+// structural netlist
+module top ( a, b, keyinput0, y );
+  input a, b;
+  input keyinput0;
+  output y;
+  wire n1, n2;
+  NAND2 U1 ( .A(a), .B(b), .Y(n1) );
+  XOR2 U2 ( .A(n1), .B(keyinput0), .Y(n2) );
+  INV U3 ( .A(n2), .Y(y) );
+endmodule
+"""
+
+
+class TestBenchIo:
+    def test_parse_recognises_ports_and_gates(self):
+        circuit = parse_bench(BENCH_TEXT, name="top")
+        assert circuit.inputs == ("a", "b")
+        assert circuit.key_inputs == ("keyinput0",)
+        assert circuit.outputs == ("y",)
+        assert len(circuit) == 3
+        assert circuit.gate("n1").cell.name == "NAND"
+
+    def test_roundtrip_preserves_function(self, tiny_circuit):
+        text = write_bench(tiny_circuit)
+        parsed = parse_bench(text, name=tiny_circuit.name)
+        assert check_equivalence(tiny_circuit, parsed, method="exhaustive").equivalent
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hello\n\nINPUT(a)\nOUTPUT(y)\ny = BUF(a)\n"
+        circuit = parse_bench(text)
+        assert len(circuit) == 1
+
+    def test_inv_alias(self):
+        circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = INV(a)\n")
+        assert circuit.gate("y").cell.name == "NOT"
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_bench("INPUT(a)\nnot a bench line\n")
+
+    def test_file_roundtrip(self, tiny_circuit, tmp_path):
+        path = write_bench_file(tiny_circuit, tmp_path / "tiny.bench")
+        parsed = parse_bench_file(path)
+        assert parsed.name == "tiny"
+        assert len(parsed) == len(tiny_circuit)
+
+    def test_write_rejects_unmappable_cells(self):
+        circuit = Circuit("c", GEN65)
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_input("c")
+        circuit.add_gate("y", "AOI21", ["a", "b", "c"])
+        circuit.add_output("y")
+        with pytest.raises(CircuitError):
+            write_bench(circuit)
+
+    def test_write_maps_fixed_arity_cells(self):
+        circuit = Circuit("c", GEN65)
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("y", "NAND2", ["a", "b"])
+        circuit.add_output("y")
+        assert "NAND(a, b)" in write_bench(circuit)
+
+
+class TestVerilogIo:
+    def test_parse_recognises_structure(self):
+        circuit = parse_verilog(VERILOG_TEXT)
+        assert circuit.name == "top"
+        assert circuit.inputs == ("a", "b")
+        assert circuit.key_inputs == ("keyinput0",)
+        assert len(circuit) == 3
+        assert circuit.gate("n2").cell.name == "XOR2"
+        assert circuit.gate("n2").inputs == ("n1", "keyinput0")
+
+    def test_roundtrip_preserves_function(self):
+        original = parse_verilog(VERILOG_TEXT)
+        text = write_verilog(original)
+        parsed = parse_verilog(text)
+        assert check_equivalence(original, parsed, method="exhaustive").equivalent
+
+    def test_file_roundtrip(self, tmp_path):
+        original = parse_verilog(VERILOG_TEXT)
+        path = write_verilog_file(original, tmp_path / "top.v")
+        parsed = parse_verilog_file(path)
+        assert len(parsed) == len(original)
+
+    def test_unknown_cell_rejected(self):
+        bad = VERILOG_TEXT.replace("NAND2", "NANDX")
+        with pytest.raises(CircuitError):
+            parse_verilog(bad)
+
+    def test_gen45_library_parsing(self):
+        text = VERILOG_TEXT
+        circuit = parse_verilog(text, library=GEN45)
+        assert circuit.library is GEN45
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_verilog("wire a;")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_verilog("module m (a); input a;")
+
+    def test_block_comments_stripped(self):
+        text = VERILOG_TEXT.replace("// structural netlist", "/* multi\nline */")
+        circuit = parse_verilog(text)
+        assert len(circuit) == 3

@@ -1,0 +1,120 @@
+"""Unit tests for traversal utilities, validation and statistics."""
+
+import pytest
+
+from repro.netlist import (
+    BENCH8,
+    Circuit,
+    CircuitError,
+    cell_histogram,
+    check_circuit,
+    circuit_stats,
+    fanin_cone,
+    fanout_cone,
+    gate_levels,
+    has_key_input_in_fanin,
+    key_inputs_in_fanin,
+    output_cone,
+    primary_inputs_in_fanin,
+    transitive_inputs,
+    validate_circuit,
+)
+
+
+@pytest.fixture
+def keyed() -> Circuit:
+    c = Circuit("keyed", BENCH8)
+    for net in ("a", "b"):
+        c.add_input(net)
+    c.add_key_input("keyinput0")
+    c.add_gate("n1", "AND", ["a", "b"])
+    c.add_gate("n2", "XOR", ["n1", "keyinput0"])
+    c.add_gate("y", "OR", ["n2", "a"])
+    c.add_output("y")
+    return c
+
+
+class TestTraversal:
+    def test_fanin_cone(self, keyed):
+        assert fanin_cone(keyed, "y") == {"y", "n2", "n1"}
+        assert fanin_cone(keyed, "y", include_start=False) == {"n2", "n1"}
+
+    def test_fanout_cone(self, keyed):
+        assert fanout_cone(keyed, "n1") == {"n1", "n2", "y"}
+        assert fanout_cone(keyed, "a", include_start=False) == {"n1", "y", "n2"}
+
+    def test_transitive_inputs(self, keyed):
+        assert transitive_inputs(keyed, "y") == {"a", "b", "keyinput0"}
+        assert transitive_inputs(keyed, "n1") == {"a", "b"}
+
+    def test_key_and_primary_input_helpers(self, keyed):
+        assert key_inputs_in_fanin(keyed, "y") == {"keyinput0"}
+        assert key_inputs_in_fanin(keyed, "n1") == set()
+        assert primary_inputs_in_fanin(keyed, "n2") == {"a", "b"}
+        assert has_key_input_in_fanin(keyed, "n2")
+        assert not has_key_input_in_fanin(keyed, "n1")
+
+    def test_gate_levels(self, keyed):
+        levels = gate_levels(keyed)
+        assert levels["n1"] == 1
+        assert levels["n2"] == 2
+        assert levels["y"] == 3
+
+    def test_output_cone(self, keyed):
+        assert output_cone(keyed, "y") == {"y", "n1", "n2"}
+
+
+class TestValidation:
+    def test_valid_circuit(self, keyed):
+        report = validate_circuit(keyed)
+        assert report.ok
+        check_circuit(keyed)  # should not raise
+
+    def test_undriven_output_is_error(self, keyed):
+        keyed.add_output("ghost")
+        report = validate_circuit(keyed)
+        assert not report.ok
+        with pytest.raises(CircuitError):
+            check_circuit(keyed)
+
+    def test_dangling_reference_is_error(self, keyed):
+        keyed.remove_gate("n1")
+        report = validate_circuit(keyed)
+        assert any("n1" in err for err in report.errors)
+
+    def test_dangling_allowed_mode(self, keyed):
+        keyed.remove_gate("n1")
+        report = validate_circuit(keyed, allow_dangling=True)
+        assert report.ok
+
+    def test_dead_logic_is_warning(self, keyed):
+        keyed.add_gate("dead", "AND", ["a", "b"])
+        report = validate_circuit(keyed)
+        assert report.ok
+        assert any("dead" in w for w in report.warnings)
+
+    def test_unused_input_is_warning(self, keyed):
+        keyed.add_input("unused")
+        report = validate_circuit(keyed)
+        assert any("unused" in w for w in report.warnings)
+
+
+class TestStats:
+    def test_cell_histogram(self, keyed):
+        hist = cell_histogram(keyed)
+        assert hist == {"AND": 1, "XOR": 1, "OR": 1}
+
+    def test_circuit_stats(self, keyed):
+        stats = circuit_stats(keyed)
+        assert stats.n_gates == 3
+        assert stats.n_inputs == 2
+        assert stats.n_key_inputs == 1
+        assert stats.n_outputs == 1
+        assert stats.depth == 3
+        assert stats.as_dict()["library"] == "BENCH8"
+
+    def test_empty_circuit_stats(self):
+        empty = Circuit("empty", BENCH8)
+        stats = circuit_stats(empty)
+        assert stats.n_gates == 0
+        assert stats.depth == 0

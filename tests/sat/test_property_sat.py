@@ -1,0 +1,93 @@
+"""Property-based tests for the SAT solver and the Tseitin encoding."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import BENCH8, Circuit, exhaustive_patterns, simulate_patterns
+from repro.sat import CNF, encode_circuit, solve
+
+
+@st.composite
+def random_cnf(draw):
+    n_vars = draw(st.integers(min_value=2, max_value=8))
+    n_clauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n_vars).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=width,
+                max_size=width,
+            )
+        )
+        clauses.append(clause)
+    return n_vars, clauses
+
+
+def _brute_force_sat(n_vars, clauses):
+    for assignment in range(1 << n_vars):
+        values = [(assignment >> i) & 1 for i in range(n_vars)]
+        if all(
+            any((lit > 0) == bool(values[abs(lit) - 1]) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestSolverProperties:
+    @given(random_cnf())
+    @settings(max_examples=60, deadline=None)
+    def test_solver_agrees_with_brute_force(self, instance):
+        n_vars, clauses = instance
+        cnf = CNF()
+        for clause in clauses:
+            cnf.add_clause(clause)
+        expected = _brute_force_sat(n_vars, clauses)
+        result = solve(cnf)
+        assert result.satisfiable == expected
+        if result.satisfiable:
+            for clause in clauses:
+                assert any((lit > 0) == result.value(abs(lit)) for lit in clause)
+
+
+@st.composite
+def random_small_circuit(draw):
+    n_inputs = draw(st.integers(min_value=2, max_value=4))
+    n_gates = draw(st.integers(min_value=1, max_value=8))
+    circuit = Circuit("prop", BENCH8)
+    nets = []
+    for i in range(n_inputs):
+        name = f"i{i}"
+        circuit.add_input(name)
+        nets.append(name)
+    cells = ["AND", "OR", "XOR", "NAND", "NOR", "XNOR", "NOT", "BUF"]
+    for g in range(n_gates):
+        cell = draw(st.sampled_from(cells))
+        arity = 1 if cell in ("NOT", "BUF") else draw(st.integers(2, 3))
+        inputs = [nets[draw(st.integers(0, len(nets) - 1))] for _ in range(arity)]
+        name = f"g{g}"
+        circuit.add_gate(name, cell, inputs)
+        nets.append(name)
+    circuit.add_output(f"g{n_gates - 1}")
+    return circuit
+
+
+class TestEncodingProperties:
+    @given(random_small_circuit())
+    @settings(max_examples=40, deadline=None)
+    def test_cnf_agrees_with_simulation(self, circuit):
+        output = circuit.outputs[0]
+        cnf, var_of = encode_circuit(circuit)
+        inputs = list(circuit.all_inputs)
+        patterns = exhaustive_patterns(len(inputs))
+        sim = simulate_patterns(circuit, patterns, input_order=inputs, outputs=[output])
+        for row, expected in zip(patterns[:: max(1, len(patterns) // 8)], sim[:: max(1, len(patterns) // 8), 0]):
+            assumptions = [
+                var_of[n] if bit else -var_of[n] for n, bit in zip(inputs, row)
+            ]
+            result = solve(cnf, assumptions=assumptions)
+            assert result.satisfiable
+            assert result.value(var_of[output]) == bool(expected)

@@ -1,0 +1,150 @@
+"""Unit tests for circuit-to-CNF encoding and equivalence checking."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import BENCH8, GEN65, Circuit, exhaustive_patterns, simulate_patterns
+from repro.sat import (
+    CircuitEncoder,
+    check_equivalence,
+    encode_circuit,
+    equivalent,
+    miter_cnf,
+    solve,
+    structurally_equivalent,
+    structurally_identical,
+)
+from repro.sat.equivalence import EquivalenceResult
+
+
+def _truth_table_matches_cnf(circuit, output):
+    """Every satisfying assignment of (CNF ∧ out=1) matches the simulation."""
+    cnf, var_of = encode_circuit(circuit)
+    inputs = list(circuit.all_inputs)
+    patterns = exhaustive_patterns(len(inputs))
+    sim = simulate_patterns(circuit, patterns, input_order=inputs, outputs=[output])
+    for row, expected in zip(patterns, sim[:, 0]):
+        assumptions = [
+            var_of[n] if bit else -var_of[n] for n, bit in zip(inputs, row)
+        ]
+        result = solve(cnf, assumptions=assumptions)
+        assert result.satisfiable
+        assert result.value(var_of[output]) == bool(expected)
+
+
+class TestTseitin:
+    def test_bench_cells_encoded_correctly(self, tiny_circuit):
+        _truth_table_matches_cnf(tiny_circuit, "y")
+        _truth_table_matches_cnf(tiny_circuit, "z")
+
+    def test_complex_cells_encoded_via_truth_table(self):
+        circuit = Circuit("complex", GEN65)
+        for net in ("a", "b", "c"):
+            circuit.add_input(net)
+        circuit.add_gate("y", "AOI21", ["a", "b", "c"])
+        circuit.add_gate("m", "MUX2", ["a", "b", "c"])
+        circuit.add_output("y")
+        circuit.add_output("m")
+        _truth_table_matches_cnf(circuit, "y")
+        _truth_table_matches_cnf(circuit, "m")
+
+    def test_wide_xor_chain_encoding(self):
+        circuit = Circuit("xors", BENCH8)
+        for net in ("a", "b", "c", "d"):
+            circuit.add_input(net)
+        circuit.add_gate("y", "XNOR", ["a", "b", "c", "d"])
+        circuit.add_output("y")
+        _truth_table_matches_cnf(circuit, "y")
+
+    def test_shared_nets_between_encodings(self, tiny_circuit):
+        encoder = CircuitEncoder()
+        vars_a = encoder.encode(tiny_circuit, prefix="A::")
+        vars_b = encoder.encode(
+            tiny_circuit, prefix="B::", share_nets={"a": vars_a["a"]}
+        )
+        assert vars_a["a"] == vars_b["a"]
+        assert vars_a["y"] != vars_b["y"]
+
+
+class TestEquivalence:
+    def test_identical_circuits_equivalent(self, tiny_circuit):
+        result = check_equivalence(tiny_circuit, tiny_circuit.copy())
+        assert result.equivalent
+        assert result.method == "structural"
+
+    def test_sat_method_on_identical(self, tiny_circuit):
+        result = check_equivalence(tiny_circuit, tiny_circuit.copy(), method="sat")
+        assert result.equivalent and result.method == "sat"
+
+    def test_inequivalent_circuits_detected(self, tiny_circuit):
+        other = tiny_circuit.copy()
+        other.set_gate("y", "XNOR", ["n1", "c"])
+        result = check_equivalence(tiny_circuit, other)
+        assert not result.equivalent
+        assert result.counterexample is not None
+        # The counterexample must actually distinguish the circuits.
+        from repro.netlist import simulate
+
+        a = simulate(tiny_circuit, result.counterexample, outputs=["y"])["y"][0]
+        b = simulate(other, result.counterexample, outputs=["y"])["y"][0]
+        assert bool(a) != bool(b)
+
+    def test_exhaustive_matches_sat(self, tiny_circuit):
+        other = tiny_circuit.copy()
+        other.set_gate("z", "NOR", ["b", "c"])  # NOT(OR) == NOR, still equivalent
+        other.remove_gate("n2")
+        assert check_equivalence(tiny_circuit, other, method="sat").equivalent
+        assert check_equivalence(tiny_circuit, other, method="exhaustive").equivalent
+
+    def test_key_assignment_pins_keys(self):
+        locked = Circuit("locked", BENCH8)
+        locked.add_input("a")
+        locked.add_key_input("keyinput0")
+        locked.add_gate("y", "XOR", ["a", "keyinput0"])
+        locked.add_output("y")
+        original = Circuit("orig", BENCH8)
+        original.add_input("a")
+        original.add_gate("y", "BUF", ["a"])
+        original.add_output("y")
+        assert check_equivalence(
+            locked, original, key_assignment={"keyinput0": False}
+        ).equivalent
+        assert not check_equivalence(
+            locked, original, key_assignment={"keyinput0": True}
+        ).equivalent
+
+    def test_interface_mismatch_rejected(self, tiny_circuit):
+        other = tiny_circuit.copy()
+        other.add_input("extra")
+        with pytest.raises(Exception):
+            check_equivalence(tiny_circuit, other, method="exhaustive")
+
+    def test_structural_identity_and_renamed_equivalence(self, tiny_circuit):
+        renamed = tiny_circuit.copy()
+        renamed.rename_net("n1", "renamed_net")
+        assert structurally_identical(tiny_circuit, tiny_circuit.copy())
+        assert not structurally_identical(tiny_circuit, renamed)
+        assert structurally_equivalent(tiny_circuit, renamed)
+        assert check_equivalence(tiny_circuit, renamed).method == "structural"
+
+    def test_structural_equivalence_is_sound(self, tiny_circuit):
+        other = tiny_circuit.copy()
+        other.set_gate("y", "XNOR", ["n1", "c"])
+        assert not structurally_equivalent(tiny_circuit, other)
+
+    def test_commutative_input_order_ignored(self, tiny_circuit):
+        other = tiny_circuit.copy()
+        other.set_gate("n1", "AND", ["b", "a"])
+        assert structurally_identical(tiny_circuit, other)
+
+    def test_equivalent_shorthand(self, tiny_circuit):
+        assert equivalent(tiny_circuit, tiny_circuit.copy())
+
+    def test_miter_cnf_structure(self, tiny_circuit):
+        cnf, shared = miter_cnf(tiny_circuit, tiny_circuit.copy())
+        assert set(shared) == {"a", "b", "c"}
+        assert not solve(cnf).satisfiable  # identical halves -> miter UNSAT
+
+    def test_result_bool(self):
+        assert bool(EquivalenceResult(True, None, "sat"))
+        assert not bool(EquivalenceResult(False, {}, "sat"))
