@@ -2,63 +2,32 @@
 
 For every attacked benchmark: GNN accuracy, per-class precision / recall /
 F1 (AN = Anti-SAT node, DN = design node), the misclassified-node breakdown,
-and the removal success after post-processing.
+and the removal success after post-processing.  The attacks run as one
+campaign through :mod:`repro.runner` (parallel workers, cached datasets and
+models).
 """
 
 import pytest
 
-from benchmarks.common import PROFILE, attack_config, emit, iscas_benchmarks, itc_benchmarks
-from repro.core import (
-    GnnUnlockAttack,
-    build_dataset,
-    format_percent,
-    format_table,
-    generate_instances,
+from benchmarks.common import (
+    attack_config,
+    bench_suites,
+    emit,
+    iscas_benchmarks,
+    run_bench_campaign,
 )
-
-
-def _attack_suite(benchmarks, key_sizes, config):
-    instances = generate_instances(
-        "antisat", benchmarks, key_sizes=key_sizes, config=config
-    )
-    dataset = build_dataset(instances)
-    attack = GnnUnlockAttack(dataset, config=config)
-    rows = []
-    for target in benchmarks:
-        outcome = attack.attack(target)
-        an = outcome.gnn_report.per_class["AN"]
-        dn = outcome.gnn_report.per_class["DN"]
-        rows.append(
-            [
-                target,
-                len(outcome.instances),
-                format_percent(outcome.gnn_accuracy),
-                format_percent(an.precision),
-                format_percent(dn.precision),
-                format_percent(an.recall),
-                format_percent(dn.recall),
-                format_percent(an.f1),
-                format_percent(dn.f1),
-                outcome.gnn_report.misclassification_summary(),
-                format_percent(outcome.removal_success_rate),
-            ]
-        )
-    return rows
+from repro.runner import CampaignSpec, paper_table
 
 
 def _run_table4() -> str:
-    config = attack_config()
-    rows = _attack_suite(iscas_benchmarks(), config.iscas_key_sizes, config)
-    if itc_benchmarks():
-        rows += _attack_suite(itc_benchmarks(), config.itc_key_sizes, config)
-    return format_table(
-        [
-            "Test", "#TestGraphs", "GNN Acc. (%)",
-            "Prec AN (%)", "Prec DN (%)", "Rec AN (%)", "Rec DN (%)",
-            "F1 AN (%)", "F1 DN (%)", "#MN", "Removal Success (%)",
-        ],
-        rows,
+    spec = CampaignSpec(
+        name="table4",
+        schemes=("antisat",),
+        suites=tuple(bench_suites()),
+        config=attack_config(),
     )
+    results = run_bench_campaign(spec)
+    return paper_table([r.record for r in results], class_order=("AN", "DN"))
 
 
 @pytest.mark.benchmark(group="table4")

@@ -2,56 +2,31 @@
 
 For every attacked benchmark: GNN accuracy, per-class precision / recall / F1
 (RN = restore, PN = perturb, DN = design), the misclassification breakdown and
-the removal success after post-processing.
+the removal success after post-processing.  The attacks run as one campaign
+through :mod:`repro.runner` (parallel workers, cached datasets and models).
 """
 
 import pytest
 
-from benchmarks.common import PROFILE, attack_config, emit, iscas_benchmarks, itc_benchmarks
-from repro.core import (
-    GnnUnlockAttack,
-    build_dataset,
-    format_percent,
-    format_table,
-    generate_instances,
-)
+from benchmarks.common import attack_config, bench_suites, emit, run_bench_campaign
+from repro.runner import CampaignSpec, paper_table
 
 _CLASS_ORDER = ("RN", "PN", "DN")
 
 
-def _attack_suite(benchmarks, key_sizes, config):
-    instances = generate_instances(
-        "sfll", benchmarks, key_sizes=key_sizes, h=2, config=config,
-        technology="GEN65",
-    )
-    dataset = build_dataset(instances)
-    attack = GnnUnlockAttack(dataset, config=config)
-    rows = []
-    for target in benchmarks:
-        outcome = attack.attack(target)
-        row = [target, len(outcome.instances), format_percent(outcome.gnn_accuracy)]
-        for metric in ("precision", "recall", "f1"):
-            for cls in _CLASS_ORDER:
-                row.append(
-                    format_percent(getattr(outcome.gnn_report.per_class[cls], metric))
-                )
-        row.append(outcome.gnn_report.misclassification_summary())
-        row.append(format_percent(outcome.removal_success_rate))
-        rows.append(row)
-    return rows
-
-
 def _run_table5() -> str:
-    config = attack_config()
-    rows = _attack_suite(iscas_benchmarks(), config.iscas_key_sizes, config)
-    if itc_benchmarks():
-        rows += _attack_suite(itc_benchmarks(), config.itc_key_sizes, config)
-    headers = ["Test", "#TestGraphs", "GNN Acc. (%)"]
-    for metric in ("Prec", "Rec", "F1"):
-        for cls in _CLASS_ORDER:
-            headers.append(f"{metric} {cls} (%)")
-    headers += ["#Misclassified", "Removal Success (%)"]
-    return format_table(headers, rows)
+    spec = CampaignSpec(
+        name="table5",
+        schemes=("sfll:2@GEN65",),
+        suites=tuple(bench_suites()),
+        config=attack_config(),
+    )
+    results = run_bench_campaign(spec)
+    return paper_table(
+        [r.record for r in results],
+        class_order=_CLASS_ORDER,
+        mn_header="#Misclassified",
+    )
 
 
 @pytest.mark.benchmark(group="table5")

@@ -1,12 +1,22 @@
 """Shared configuration for the benchmark harnesses.
 
-Every harness regenerates one table of the paper.  ``REPRO_BENCH_PROFILE``
-selects the workload size:
+The harnesses are thin wrappers over :mod:`repro.runner`: each one declares a
+:class:`~repro.runner.CampaignSpec`, runs it through the shared campaign
+executor (parallel workers + artifact cache), and renders the records into
+one table of the paper.
+
+``REPRO_BENCH_PROFILE`` selects the workload size (see
+:func:`repro.runner.profile_config`):
 
 * ``quick``  (default) — ISCAS-85-like benchmarks, one lock per setting,
   reduced key-size sweep; each table regenerates in well under a minute.
-* ``full``   — both suites, the paper's key-size sweeps and three locks per
+* ``full``   — both suites, the paper's key-size sweeps and two locks per
   setting; expect tens of minutes on a laptop CPU.
+
+``REPRO_BENCH_WORKERS`` caps the process count (default: up to 4);
+``REPRO_BENCH_WORKERS=1`` forces serial execution.  Generated datasets and
+trained models are cached under ``benchmarks/results/cache`` so re-running a
+table (or a table that shares datasets with another) skips the heavy work.
 
 Tables are printed to stdout and appended to ``benchmarks/results/``.
 """
@@ -15,41 +25,66 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
+from repro.benchgen import available_benchmarks
 from repro.core import AttackConfig
+from repro.runner import (
+    CampaignSpec,
+    TaskResult,
+    profile_config,
+    profile_suites,
+    run_campaign,
+)
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+CACHE_DIR = RESULTS_DIR / "cache"
 
 PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
 
 
 def attack_config() -> AttackConfig:
     """The AttackConfig used by all harnesses for the selected profile."""
-    if PROFILE == "full":
-        return AttackConfig(
-            locks_per_setting=2,
-            iscas_key_sizes=(8, 16, 32, 64),
-            itc_key_sizes=(32, 64, 128),
-            seed=11,
-        ).with_gnn(hidden_dim=64, epochs=120, root_nodes=1500, eval_every=10)
-    return AttackConfig(
-        locks_per_setting=1,
-        iscas_key_sizes=(8, 16, 32),
-        itc_key_sizes=(32, 64),
-        seed=11,
-    ).with_gnn(hidden_dim=32, epochs=60, root_nodes=600, eval_every=5)
+    return profile_config(PROFILE)
+
+
+def bench_workers() -> int:
+    """Worker-process count for campaign-backed harnesses."""
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env:
+        return max(1, int(env))
+    return min(4, os.cpu_count() or 1)
+
+
+def run_bench_campaign(spec: CampaignSpec) -> List[TaskResult]:
+    """Run a harness campaign with the shared worker pool and cache."""
+    results = run_campaign(
+        spec.expand(),
+        workers=bench_workers(),
+        serial=bench_workers() == 1,
+        cache_dir=CACHE_DIR,
+    )
+    failures = [r for r in results if not r.ok]
+    if failures:
+        details = "; ".join(f"{r.task_id}: {r.error}" for r in failures)
+        raise RuntimeError(f"{len(failures)} campaign task(s) failed: {details}")
+    return results
+
+
+def bench_suites() -> List[str]:
+    """Suites covered by the selected profile (ISCAS always, ITC on full)."""
+    return list(profile_suites(PROFILE))
 
 
 def iscas_benchmarks() -> List[str]:
-    return ["c2670", "c3540", "c5315", "c7552"]
+    return available_benchmarks("ISCAS-85")
 
 
 def itc_benchmarks() -> List[str]:
     """ITC-99-like targets; empty in the quick profile (ISCAS-only) so every
     table regenerates in minutes — the full profile covers both suites."""
     if PROFILE == "full":
-        return ["b14_C", "b15_C", "b17_C", "b20_C", "b21_C", "b22_C"]
+        return available_benchmarks("ITC-99")
     return []
 
 

@@ -1,47 +1,69 @@
 """Capability comparison across attacks and locking schemes (Table I flavour).
 
 Locks one benchmark with traditional XOR locking, Anti-SAT, TTLock and
-SFLL-HD2, runs every applicable attack on every instance, and prints a
-capability matrix.
+SFLL-HD2, runs every applicable baseline attack on every instance — as one
+parallel campaign through :mod:`repro.runner` — and prints a capability
+matrix.
 """
 
-import numpy as np
+from repro.core import AttackConfig, format_table
+from repro.runner import CampaignSpec, run_campaign
 
-from repro.baselines import fall_attack, sat_attack, sfll_hd_unlocked_attack, sps_attack
-from repro.benchgen import get_benchmark
-from repro.core import format_table
-from repro.locking import (
-    AntiSatLocking,
-    RandomXorLocking,
-    SfllHdLocking,
-    TTLockLocking,
+#: (scheme grid entry, key size) per capability-matrix row.
+_SCHEMES = (
+    ("xor", 8),
+    ("antisat", 16),
+    ("ttlock", 16),
+    ("sfll:2", 16),
 )
+
+_ATTACKS = ("sat", "sps", "fall", "sfll-hd-unlocked")
+
+_ROW_LABELS = {
+    "xor": "RandomXOR",
+    "antisat": "Anti-SAT",
+    "ttlock": "TTLock",
+    "sfll": "SFLL-HD2",
+}
 
 
 def main() -> None:
-    rng = np.random.default_rng(21)
-    circuit = get_benchmark("c7552")
-    locked = {
-        "RandomXOR": RandomXorLocking(8).lock(circuit.copy(), rng=rng),
-        "Anti-SAT": AntiSatLocking(16).lock(circuit.copy(), rng=rng),
-        "TTLock": TTLockLocking(16).lock(circuit.copy(), rng=rng),
-        "SFLL-HD2": SfllHdLocking(16, 2).lock(circuit.copy(), rng=rng),
-    }
-    attacks = {
-        "SAT (oracle)": lambda r: sat_attack(r, max_iterations=16),
-        "SPS": sps_attack,
-        "FALL": fall_attack,
-        "SFLL-HD-Unlocked": sfll_hd_unlocked_attack,
-    }
+    config = AttackConfig(locks_per_setting=1, seed=21)
+    tasks = []
+    for scheme, key_size in _SCHEMES:
+        spec = CampaignSpec(
+            name="capability",
+            schemes=(f"{scheme}@BENCH8",),
+            benchmarks=("c7552",),
+            key_size_groups=((key_size,),),
+            attacks=_ATTACKS,
+            attack_params={"sat": {"max_iterations": 16}},
+            config=config,
+        )
+        tasks += spec.expand()
 
+    results = run_campaign(tasks, use_cache=False)
+    by_task = {}
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(f"{result.task_id} failed: {result.error}")
+        record = result.record
+        by_task[(record["scheme"], record["attack"])] = record["baseline_success"]
+
+    attack_names = {
+        "sat": "SAT (oracle)",
+        "sps": "SPS",
+        "fall": "FALL",
+        "sfll-hd-unlocked": "SFLL-HD-Unlocked",
+    }
     rows = []
-    for scheme, result in locked.items():
-        row = [scheme]
-        for attack in attacks.values():
-            outcome = attack(result)
-            row.append("break" if outcome.success else "-")
+    for scheme, _ in _SCHEMES:
+        scheme_key = "sfll" if scheme.startswith("sfll") else scheme
+        row = [_ROW_LABELS[scheme_key]]
+        for attack in _ATTACKS:
+            row.append("break" if by_task[(scheme_key, attack)] else "-")
         rows.append(row)
-    print(format_table(["Scheme"] + list(attacks), rows))
+    print(format_table(["Scheme"] + [attack_names[a] for a in _ATTACKS], rows))
     print(
         "\nGNNUnlock (see quickstart.py / the benchmark harnesses) breaks "
         "Anti-SAT, TTLock and SFLL-HD without an oracle, which is the gap "

@@ -1,0 +1,8 @@
+"""``python -m repro`` entry point (see :mod:`repro.runner.cli`)."""
+
+import sys
+
+from .runner.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

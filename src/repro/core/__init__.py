@@ -16,13 +16,20 @@ from .generation import (
     generate_dataset,
     generate_instances,
     make_scheme,
+    required_key_inputs,
     suite_benchmarks,
     suite_key_sizes,
 )
 from .metrics import ClassificationReport, ClassMetrics, classification_report
 from .postprocess import postprocess_antisat, postprocess_predictions, postprocess_sfll
 from .removal import RemovalError, remove_protection_logic
-from .attack import AttackOutcome, GnnUnlockAttack, InstanceOutcome
+from .attack import (
+    AttackOutcome,
+    GnnUnlockAttack,
+    InstanceOutcome,
+    attack_design,
+    train_attack_model,
+)
 from .reporting import format_percent, format_report_row, format_table
 
 __all__ = [
@@ -45,6 +52,7 @@ __all__ = [
     "generate_dataset",
     "generate_instances",
     "make_scheme",
+    "required_key_inputs",
     "suite_benchmarks",
     "suite_key_sizes",
     "ClassificationReport",
@@ -58,6 +66,8 @@ __all__ = [
     "AttackOutcome",
     "GnnUnlockAttack",
     "InstanceOutcome",
+    "attack_design",
+    "train_attack_model",
     "format_table",
     "format_percent",
     "format_report_row",

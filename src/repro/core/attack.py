@@ -33,7 +33,13 @@ from .postprocess import postprocess_predictions
 from .removal import RemovalError, remove_protection_logic
 from .splits import SplitMasks, leave_one_design_out
 
-__all__ = ["InstanceOutcome", "AttackOutcome", "GnnUnlockAttack"]
+__all__ = [
+    "InstanceOutcome",
+    "AttackOutcome",
+    "GnnUnlockAttack",
+    "train_attack_model",
+    "attack_design",
+]
 
 
 @dataclass
@@ -88,6 +94,132 @@ class AttackOutcome:
         return self.gnn_report.n_misclassified
 
 
+def _class_names_of(dataset: NodeDataset) -> tuple:
+    return tuple(sorted(dataset.class_map, key=dataset.class_map.get))
+
+
+def _resolve_gnn_config(dataset: NodeDataset, config: AttackConfig) -> GnnConfig:
+    base = config.gnn
+    return GnnConfig(
+        **{
+            **base.__dict__,
+            "n_features": dataset.n_features,
+            "n_classes": dataset.n_classes,
+        }
+    )
+
+
+def train_attack_model(
+    dataset: NodeDataset,
+    target_benchmark: str,
+    *,
+    config: Optional[AttackConfig] = None,
+    validation_benchmark: Optional[str] = None,
+):
+    """Steps 1-2 of the attack: split the dataset and train the classifier.
+
+    Returns ``(model, history, split)``.  Separated from :func:`attack_design`
+    so campaign runners can cache the trained model and re-enter the attack
+    at the prediction stage.
+    """
+    config = config if config is not None else AttackConfig()
+    split = leave_one_design_out(
+        dataset, target_benchmark, validation_benchmark=validation_benchmark
+    )
+    graph_data = dataset.to_graph_data(split.train, split.val, split.test)
+    gnn_config = _resolve_gnn_config(dataset, config)
+    model, history = train_node_classifier(
+        graph_data, gnn_config, rng=np.random.default_rng(gnn_config.seed)
+    )
+    return model, history, split
+
+
+def attack_design(
+    dataset: NodeDataset,
+    target_benchmark: str,
+    *,
+    config: Optional[AttackConfig] = None,
+    validation_benchmark: Optional[str] = None,
+    verify_removal: bool = True,
+    apply_postprocessing: bool = True,
+    model: Optional[GraphSageClassifier] = None,
+    history: Optional[TrainingHistory] = None,
+) -> AttackOutcome:
+    """Task-level entry point: attack one benchmark of a dataset.
+
+    This is the unit of work a campaign runner schedules.  Passing a
+    pre-trained ``model`` (with its ``history``) skips training and re-enters
+    the attack at the prediction stage — the split is recomputed
+    deterministically, so a cached model produces an outcome identical to the
+    run that trained it.
+    """
+    start = time.perf_counter()
+    config = config if config is not None else AttackConfig()
+    class_names = _class_names_of(dataset)
+    if model is None:
+        model, history, split = train_attack_model(
+            dataset,
+            target_benchmark,
+            config=config,
+            validation_benchmark=validation_benchmark,
+        )
+    else:
+        if history is None:
+            history = TrainingHistory()
+        split = leave_one_design_out(
+            dataset, target_benchmark, validation_benchmark=validation_benchmark
+        )
+    graph_data = dataset.to_graph_data(split.train, split.val, split.test)
+    predictions = model.predict(
+        graph_data.features, graph_data.normalized_adjacency()
+    )
+
+    instance_outcomes: List[InstanceOutcome] = []
+    all_true: List[np.ndarray] = []
+    all_gnn_pred: List[np.ndarray] = []
+    all_post_pred: List[np.ndarray] = []
+    for idx in dataset.instances_of_benchmark(target_benchmark):
+        outcome = _attack_instance(
+            dataset,
+            class_names,
+            idx,
+            predictions,
+            verify_removal=verify_removal,
+            apply_postprocessing=apply_postprocessing,
+        )
+        instance_outcomes.append(outcome)
+        nodes = dataset.nodes_of_instance(idx)
+        all_true.append(dataset.labels[nodes])
+        all_gnn_pred.append(predictions[nodes])
+        post_classes = (
+            outcome.post_classes
+            if outcome.post_classes is not None
+            else predictions[nodes]
+        )
+        all_post_pred.append(post_classes)
+
+    true_concat = np.concatenate(all_true)
+    gnn_concat = np.concatenate(all_gnn_pred)
+    post_concat = np.concatenate(all_post_pred)
+    gnn_report = classification_report(true_concat, gnn_concat, class_names)
+    post_report = classification_report(true_concat, post_concat, class_names)
+
+    counts = split.counts()
+    return AttackOutcome(
+        target_benchmark=target_benchmark,
+        validation_benchmark=split.validation_benchmark,
+        scheme=dataset.instances[0].result.scheme,
+        instances=instance_outcomes,
+        gnn_report=gnn_report,
+        post_report=post_report,
+        history=history,
+        train_nodes=counts["train"],
+        val_nodes=counts["val"],
+        test_nodes=counts["test"],
+        attack_time_s=time.perf_counter() - start,
+    )
+
+
 class GnnUnlockAttack:
     """Run GNNUnlock against designs of a :class:`NodeDataset`."""
 
@@ -99,9 +231,7 @@ class GnnUnlockAttack:
     ):
         self.dataset = dataset
         self.config = config if config is not None else AttackConfig()
-        self._class_names = tuple(
-            sorted(dataset.class_map, key=dataset.class_map.get)
-        )
+        self._class_names = _class_names_of(dataset)
 
     # ------------------------------------------------------------------
     def attack(
@@ -113,61 +243,13 @@ class GnnUnlockAttack:
         apply_postprocessing: bool = True,
     ) -> AttackOutcome:
         """Attack one benchmark with leave-one-design-out training."""
-        start = time.perf_counter()
-        dataset = self.dataset
-        split = leave_one_design_out(
-            dataset, target_benchmark, validation_benchmark=validation_benchmark
-        )
-        graph_data = dataset.to_graph_data(split.train, split.val, split.test)
-        gnn_config = self._resolve_gnn_config(dataset)
-        model, history = train_node_classifier(
-            graph_data, gnn_config, rng=np.random.default_rng(gnn_config.seed)
-        )
-        predictions = model.predict(
-            graph_data.features, graph_data.normalized_adjacency()
-        )
-
-        instance_outcomes: List[InstanceOutcome] = []
-        all_true: List[np.ndarray] = []
-        all_gnn_pred: List[np.ndarray] = []
-        all_post_pred: List[np.ndarray] = []
-        for idx in dataset.instances_of_benchmark(target_benchmark):
-            outcome = self._attack_instance(
-                idx,
-                predictions,
-                verify_removal=verify_removal,
-                apply_postprocessing=apply_postprocessing,
-            )
-            instance_outcomes.append(outcome)
-            nodes = dataset.nodes_of_instance(idx)
-            all_true.append(dataset.labels[nodes])
-            all_gnn_pred.append(predictions[nodes])
-            post_classes = (
-                outcome.post_classes
-                if outcome.post_classes is not None
-                else predictions[nodes]
-            )
-            all_post_pred.append(post_classes)
-
-        true_concat = np.concatenate(all_true)
-        gnn_concat = np.concatenate(all_gnn_pred)
-        post_concat = np.concatenate(all_post_pred)
-        gnn_report = classification_report(true_concat, gnn_concat, self._class_names)
-        post_report = classification_report(true_concat, post_concat, self._class_names)
-
-        counts = split.counts()
-        return AttackOutcome(
-            target_benchmark=target_benchmark,
-            validation_benchmark=split.validation_benchmark,
-            scheme=dataset.instances[0].result.scheme,
-            instances=instance_outcomes,
-            gnn_report=gnn_report,
-            post_report=post_report,
-            history=history,
-            train_nodes=counts["train"],
-            val_nodes=counts["val"],
-            test_nodes=counts["test"],
-            attack_time_s=time.perf_counter() - start,
+        return attack_design(
+            self.dataset,
+            target_benchmark,
+            config=self.config,
+            validation_benchmark=validation_benchmark,
+            verify_removal=verify_removal,
+            apply_postprocessing=apply_postprocessing,
         )
 
     def attack_all(self, **kwargs) -> Dict[str, AttackOutcome]:
@@ -177,71 +259,57 @@ class GnnUnlockAttack:
             outcomes[benchmark] = self.attack(benchmark, **kwargs)
         return outcomes
 
-    # ------------------------------------------------------------------
-    def _resolve_gnn_config(self, dataset: NodeDataset) -> GnnConfig:
-        base = self.config.gnn
-        return GnnConfig(
-            **{
-                **base.__dict__,
-                "n_features": dataset.n_features,
-                "n_classes": dataset.n_classes,
-            }
-        )
 
-    def _attack_instance(
-        self,
-        instance_idx: int,
-        predictions: np.ndarray,
-        *,
-        verify_removal: bool,
-        apply_postprocessing: bool,
-    ) -> InstanceOutcome:
-        dataset = self.dataset
-        instance = dataset.instances[instance_idx]
-        nodes = dataset.nodes_of_instance(instance_idx)
-        graph = dataset.graphs[instance_idx]
-        circuit = instance.result.locked
+def _attack_instance(
+    dataset: NodeDataset,
+    class_names: Sequence[str],
+    instance_idx: int,
+    predictions: np.ndarray,
+    *,
+    verify_removal: bool,
+    apply_postprocessing: bool,
+) -> InstanceOutcome:
+    instance = dataset.instances[instance_idx]
+    nodes = dataset.nodes_of_instance(instance_idx)
+    graph = dataset.graphs[instance_idx]
+    circuit = instance.result.locked
 
-        true_classes = dataset.labels[nodes]
-        predicted_classes = predictions[nodes]
-        gnn_report = classification_report(
-            true_classes, predicted_classes, self._class_names
-        )
+    true_classes = dataset.labels[nodes]
+    predicted_classes = predictions[nodes]
+    gnn_report = classification_report(true_classes, predicted_classes, class_names)
 
-        predicted_labels = dict(
-            zip(graph.nodes, classes_to_labels(predicted_classes, dataset.class_map))
-        )
-        if apply_postprocessing:
-            final_labels = postprocess_predictions(circuit, predicted_labels)
-        else:
-            final_labels = dict(predicted_labels)
-        final_classes = np.array(
-            [dataset.class_map[final_labels[node]] for node in graph.nodes]
-        )
-        post_report = classification_report(
-            true_classes, final_classes, self._class_names
-        )
+    predicted_labels = dict(
+        zip(graph.nodes, classes_to_labels(predicted_classes, dataset.class_map))
+    )
+    if apply_postprocessing:
+        final_labels = postprocess_predictions(circuit, predicted_labels)
+    else:
+        final_labels = dict(predicted_labels)
+    final_classes = np.array(
+        [dataset.class_map[final_labels[node]] for node in graph.nodes]
+    )
+    post_report = classification_report(true_classes, final_classes, class_names)
 
-        recovered: Optional[Circuit] = None
-        removal_error: Optional[str] = None
-        removal_success = False
-        if verify_removal:
-            try:
-                recovered = remove_protection_logic(circuit, final_labels)
-                equivalence = check_equivalence(
-                    recovered, instance.result.original, method="auto"
-                )
-                removal_success = bool(equivalence.equivalent)
-            except Exception as exc:  # noqa: BLE001 - an attack failure is a result
-                removal_error = str(exc)
-                removal_success = False
+    recovered: Optional[Circuit] = None
+    removal_error: Optional[str] = None
+    removal_success = False
+    if verify_removal:
+        try:
+            recovered = remove_protection_logic(circuit, final_labels)
+            equivalence = check_equivalence(
+                recovered, instance.result.original, method="auto"
+            )
+            removal_success = bool(equivalence.equivalent)
+        except Exception as exc:  # noqa: BLE001 - an attack failure is a result
+            removal_error = str(exc)
+            removal_success = False
 
-        return InstanceOutcome(
-            instance=instance,
-            gnn_report=gnn_report,
-            post_report=post_report,
-            removal_success=removal_success,
-            recovered=recovered,
-            removal_error=removal_error,
-            post_classes=final_classes,
-        )
+    return InstanceOutcome(
+        instance=instance,
+        gnn_report=gnn_report,
+        post_report=post_report,
+        removal_success=removal_success,
+        recovered=recovered,
+        removal_error=removal_error,
+        post_classes=final_classes,
+    )

@@ -9,7 +9,6 @@ the original Anti-SAT locking tool only handles bench files.
 
 from __future__ import annotations
 
-import hashlib
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -19,6 +18,7 @@ from ..benchgen.registry import get_benchmark
 from ..locking.antisat import AntiSatLocking
 from ..locking.base import LockingError, LockingScheme
 from ..locking.sfll_hd import SfllHdLocking, TTLockLocking
+from ..locking.xor_lock import RandomXorLocking
 from ..synth.flow import SynthesisOptions, synthesize_locked
 from .config import AttackConfig
 from .dataset import LockedInstance, NodeDataset, build_dataset
@@ -27,6 +27,7 @@ __all__ = [
     "make_scheme",
     "generate_instances",
     "generate_dataset",
+    "required_key_inputs",
     "suite_benchmarks",
     "suite_key_sizes",
 ]
@@ -39,6 +40,8 @@ def make_scheme(scheme: str, key_size: int, h: Optional[int] = None) -> LockingS
         return AntiSatLocking(key_size)
     if normalized in ("ttlock",):
         return TTLockLocking(key_size)
+    if normalized in ("xor", "randomxor"):
+        return RandomXorLocking(key_size)
     if normalized in ("sfll", "sfllhd"):
         if h is None:
             raise ValueError("SFLL-HD requires the Hamming distance h")
@@ -67,13 +70,11 @@ def suite_key_sizes(suite: str, config: AttackConfig) -> Sequence[int]:
     )
 
 
-def _instance_seed(base_seed: int, *parts: object) -> int:
-    digest = hashlib.sha256(("|".join(map(str, parts)) + f"|{base_seed}").encode())
-    return int.from_bytes(digest.digest()[:8], "big")
-
-
-def _required_inputs(scheme: str, key_size: int) -> int:
+def required_key_inputs(scheme: str, key_size: int) -> int:
+    """Primary-input count a benchmark needs to be lockable at ``key_size``."""
     normalized = scheme.lower().replace("-", "").replace("_", "")
+    if normalized in ("xor", "randomxor"):
+        return 0
     return key_size // 2 if normalized == "antisat" else key_size
 
 
@@ -98,11 +99,11 @@ def generate_instances(
         profile = ALL_PROFILES[bench_name]
         circuit = get_benchmark(bench_name, size_scale=config.size_scale)
         for key_size in key_sizes:
-            if len(circuit.inputs) < _required_inputs(scheme, key_size):
+            if len(circuit.inputs) < required_key_inputs(scheme, key_size):
                 continue
             for copy_index in range(config.locks_per_setting):
                 rng = np.random.default_rng(
-                    _instance_seed(config.seed, scheme, bench_name, key_size, h, copy_index)
+                    config.derive_seed(scheme, bench_name, key_size, h, copy_index)
                 )
                 locker = make_scheme(scheme, key_size, h)
                 result = locker.lock(circuit.copy(), rng=rng)

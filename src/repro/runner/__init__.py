@@ -1,0 +1,56 @@
+"""Campaign orchestration: parallel attack execution with artifact caching.
+
+The runner turns the one-design-at-a-time attack loop into a declarative,
+parallel, cached system:
+
+* :mod:`~repro.runner.campaign` — :class:`CampaignSpec` grids expand into
+  independent, deterministically seeded :class:`AttackTask` units.
+* :mod:`~repro.runner.executor` — process-pool execution with per-task crash
+  isolation, timeouts, and ordered structured results.
+* :mod:`~repro.runner.cache` — content-addressed on-disk cache for generated
+  locked datasets and trained GNN models.
+* :mod:`~repro.runner.store` — append-only JSONL result store plus the
+  aggregation helpers that reproduce the paper-table summaries.
+* :mod:`~repro.runner.cli` — the ``python -m repro`` command line.
+"""
+
+from .cache import ArtifactCache, CacheStats, default_cache_dir, fingerprint
+from .campaign import (
+    AttackTask,
+    BASELINE_ATTACKS,
+    CampaignSpec,
+    DatasetSpec,
+    PROFILES,
+    SchemeSpec,
+    parse_scheme_spec,
+    profile_campaign,
+    profile_config,
+    profile_suites,
+)
+from .executor import TaskResult, execute_task, outcome_record, run_campaign
+from .store import ResultStore, aggregate, campaign_table, paper_table
+
+__all__ = [
+    "ArtifactCache",
+    "AttackTask",
+    "BASELINE_ATTACKS",
+    "CacheStats",
+    "CampaignSpec",
+    "DatasetSpec",
+    "PROFILES",
+    "ResultStore",
+    "SchemeSpec",
+    "TaskResult",
+    "aggregate",
+    "campaign_table",
+    "default_cache_dir",
+    "execute_task",
+    "fingerprint",
+    "outcome_record",
+    "paper_table",
+    "parse_scheme_spec",
+    "profile_campaign",
+    "profile_config",
+    "profile_suites",
+    "run_campaign",
+]

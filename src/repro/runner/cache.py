@@ -1,0 +1,167 @@
+"""Content-addressed on-disk artifact cache.
+
+Campaigns repeatedly need two expensive artifact kinds: generated locked
+datasets and trained GNN models.  Both are fully determined by a canonical
+spec (the :meth:`~repro.runner.campaign.DatasetSpec.canonical` /
+:meth:`~repro.runner.campaign.AttackTask.canonical` dictionaries), so the
+cache key is the SHA-256 of that spec's canonical JSON — re-running a
+campaign, or running a second campaign that shares a dataset, skips the work.
+
+Layout: ``<root>/<kind>/<key[:2]>/<key>.pkl``.  Writes are atomic
+(temp file + rename) so concurrent workers generating the same artifact
+cannot corrupt each other; the operation is idempotent, the last writer
+wins with identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "canonical_json",
+    "default_cache_dir",
+    "fingerprint",
+]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_MISSING = object()
+
+
+def canonical_json(payload: Mapping) -> str:
+    """Deterministic JSON rendering used for cache keys.
+
+    Keys are sorted, separators minimal, and non-JSON scalars fall back to
+    ``str`` — the rendering must be stable across processes and sessions.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def fingerprint(payload: Mapping) -> str:
+    """SHA-256 hex digest of a canonicalized spec."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-gnnunlock``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-gnnunlock"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ArtifactCache` handle."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    per_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def count(self, kind: str, event: str) -> None:
+        setattr(self, event, getattr(self, event) + 1)
+        bucket = self.per_kind.setdefault(kind, {"hits": 0, "misses": 0, "writes": 0})
+        bucket[event] += 1
+
+
+class ArtifactCache:
+    """Pickle-based content-addressed artifact store.
+
+    ``root=None`` disables the cache: every ``get`` misses and ``put`` is a
+    no-op, so call sites need no conditionals.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None, *, enabled: bool = True):
+        self.root: Optional[Path] = Path(root) if root is not None else None
+        self.enabled = enabled and self.root is not None
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, key: str) -> Optional[Path]:
+        if self.root is None:
+            return None
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def get(self, kind: str, key: str, default: object = None) -> object:
+        """Load a cached artifact, or ``default`` on a miss.
+
+        An unreadable entry (truncated write from a killed process, version
+        skew) counts as a miss and is deleted so it regenerates cleanly.
+        """
+        value = self._load(kind, key)
+        if value is _MISSING:
+            self.stats.count(kind, "misses")
+            return default
+        self.stats.count(kind, "hits")
+        return value
+
+    def has(self, kind: str, key: str) -> bool:
+        """Whether an artifact exists, without loading it or counting stats."""
+        path = self.path_for(kind, key)
+        return self.enabled and path is not None and path.is_file()
+
+    def put(self, kind: str, key: str, value: object) -> Optional[Path]:
+        """Atomically persist an artifact; returns its path (None if disabled)."""
+        path = self.path_for(kind, key)
+        if not self.enabled or path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.count(kind, "writes")
+        return path
+
+    def _load(self, kind: str, key: str) -> object:
+        path = self.path_for(kind, key)
+        if not self.enabled or path is None or not path.is_file():
+            return _MISSING
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:  # noqa: BLE001 - any unreadable entry is a miss
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return _MISSING
+
+    # ------------------------------------------------------------------
+    def entries(self, kind: Optional[str] = None) -> List[Tuple[str, str, int]]:
+        """``(kind, key, size_bytes)`` for every stored artifact."""
+        if not self.enabled or self.root is None or not self.root.is_dir():
+            return []
+        kinds: Iterator[Path]
+        if kind is not None:
+            kinds = iter([self.root / kind])
+        else:
+            kinds = (p for p in sorted(self.root.iterdir()) if p.is_dir())
+        found: List[Tuple[str, str, int]] = []
+        for kind_dir in kinds:
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.glob("*/*.pkl")):
+                found.append((kind_dir.name, path.stem, path.stat().st_size))
+        return found
+
+    def size_bytes(self) -> int:
+        return sum(size for _, _, size in self.entries())

@@ -1,0 +1,386 @@
+"""Declarative attack campaigns.
+
+A :class:`CampaignSpec` describes a grid of
+``{benchmark suite x locking scheme x key-size group x AttackConfig
+overrides x attack}`` and expands it into independent, deterministically
+seeded :class:`AttackTask` units.  One task = one attack on one target
+benchmark; tasks that share a :class:`DatasetSpec` reuse the same generated
+(and cached) locked dataset.
+
+Scheme grid entries are compact strings::
+
+    "antisat"            Anti-SAT, bench-format netlists
+    "ttlock"             TTLock on the default GEN65 library
+    "sfll:2"             SFLL-HD with h = 2
+    "sfll:4@GEN45"       SFLL-HD4 mapped onto the 45nm-like library
+    "xor"                random XOR/XNOR locking (baseline campaigns)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..benchgen.profiles import ALL_PROFILES, DEFAULT_SIZE_SCALE
+from ..core.config import AttackConfig
+from ..core.dataset import LockedInstance, NodeDataset, build_dataset
+from ..core.generation import (
+    generate_instances,
+    required_key_inputs,
+    suite_benchmarks,
+    suite_key_sizes,
+)
+from .cache import fingerprint
+
+__all__ = [
+    "AttackTask",
+    "BASELINE_ATTACKS",
+    "CampaignSpec",
+    "DatasetSpec",
+    "PROFILES",
+    "SchemeSpec",
+    "parse_scheme_spec",
+    "profile_campaign",
+    "profile_config",
+    "profile_suites",
+]
+
+#: Baseline attacks the runner can schedule besides GNNUnlock; values are the
+#: dotted entry points resolved lazily inside the worker (keeps imports cheap).
+BASELINE_ATTACKS: Dict[str, str] = {
+    "sat": "repro.baselines.sat_attack",
+    "sps": "repro.baselines.sps_attack",
+    "fall": "repro.baselines.fall_attack",
+    "sfll-hd-unlocked": "repro.baselines.sfll_hd_unlocked_attack",
+}
+
+#: Technology a scheme maps onto when the spec string names none (mirrors the
+#: paper: Anti-SAT stays in the bench vocabulary, SFLL/TTLock are synthesised).
+_DEFAULT_TECHNOLOGY: Dict[str, str] = {
+    "antisat": "BENCH8",
+    "ttlock": "GEN65",
+    "sfll": "GEN65",
+    "xor": "BENCH8",
+}
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Parsed form of a ``scheme[:h][@TECH]`` grid entry."""
+
+    scheme: str
+    h: Optional[int] = None
+    technology: str = "BENCH8"
+
+    def __str__(self) -> str:
+        text = self.scheme
+        if self.h is not None:
+            text += f":{self.h}"
+        return f"{text}@{self.technology}"
+
+
+def parse_scheme_spec(spec: str) -> SchemeSpec:
+    """Parse ``"sfll:2@GEN65"``-style grid entries."""
+    if isinstance(spec, SchemeSpec):
+        return spec
+    text = spec.strip()
+    technology: Optional[str] = None
+    if "@" in text:
+        text, technology = text.split("@", 1)
+    h: Optional[int] = None
+    if ":" in text:
+        text, h_text = text.split(":", 1)
+        h = int(h_text)
+    scheme = text.lower().replace("-", "").replace("_", "")
+    if scheme not in _DEFAULT_TECHNOLOGY and scheme not in ("sfllhd", "randomxor"):
+        raise ValueError(f"unknown locking scheme in grid entry {spec!r}")
+    scheme = {"sfllhd": "sfll", "randomxor": "xor"}.get(scheme, scheme)
+    if scheme == "sfll" and h is None:
+        raise ValueError(f"SFLL grid entries need an h value, e.g. 'sfll:2' ({spec!r})")
+    return SchemeSpec(
+        scheme=scheme,
+        h=h,
+        technology=(technology or _DEFAULT_TECHNOLOGY[scheme]).upper(),
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Everything that determines one generated locked dataset.
+
+    The fields are exactly the inputs of
+    :func:`repro.core.generation.generate_instances` — two equal specs
+    produce bit-identical datasets, which is what makes the content-addressed
+    cache sound.
+    """
+
+    scheme: str
+    suite: str
+    benchmarks: Tuple[str, ...]
+    key_sizes: Tuple[int, ...]
+    h: Optional[int] = None
+    technology: str = "BENCH8"
+    locks_per_setting: int = 1
+    size_scale: float = DEFAULT_SIZE_SCALE
+    synthesis_effort: str = "medium"
+    seed: int = 11
+
+    def canonical(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        payload["kind"] = "dataset"
+        return payload
+
+    def fingerprint(self) -> str:
+        return fingerprint(self.canonical())
+
+    def to_config(self, base: Optional[AttackConfig] = None) -> AttackConfig:
+        """AttackConfig whose generation-relevant fields match this spec."""
+        base = base if base is not None else AttackConfig()
+        return dataclasses.replace(
+            base,
+            locks_per_setting=self.locks_per_setting,
+            size_scale=self.size_scale,
+            synthesis_effort=self.synthesis_effort,
+            seed=self.seed,
+        )
+
+    def generate(self) -> List[LockedInstance]:
+        """Generate the locked instances this spec describes."""
+        return generate_instances(
+            self.scheme,
+            self.benchmarks,
+            key_sizes=self.key_sizes,
+            h=self.h,
+            config=self.to_config(),
+            technology=self.technology,
+        )
+
+    def build(self, instances: Sequence[LockedInstance]) -> NodeDataset:
+        return build_dataset(instances)
+
+
+@dataclass(frozen=True)
+class AttackTask:
+    """One schedulable unit: one attack against one target benchmark."""
+
+    task_id: str
+    dataset: DatasetSpec
+    target_benchmark: str
+    attack: str = "gnnunlock"
+    validation_benchmark: Optional[str] = None
+    config: AttackConfig = field(default_factory=AttackConfig)
+    verify_removal: bool = True
+    apply_postprocessing: bool = True
+    #: Extra kwargs for baseline attack functions, as a hashable item tuple.
+    attack_params: Tuple[Tuple[str, object], ...] = ()
+    #: Wall-clock budget measured from campaign submission (None = unlimited).
+    timeout_s: Optional[float] = None
+
+    def canonical(self) -> Dict[str, object]:
+        """Identity of the task *result* (excludes scheduling details)."""
+        return {
+            "kind": "task",
+            "dataset": self.dataset.canonical(),
+            "target": self.target_benchmark,
+            "attack": self.attack,
+            "validation": self.validation_benchmark,
+            "gnn": dict(self.config.gnn.__dict__),
+            "verify_removal": self.verify_removal,
+            "apply_postprocessing": self.apply_postprocessing,
+            "attack_params": sorted(self.attack_params),
+        }
+
+    def fingerprint(self) -> str:
+        return fingerprint(self.canonical())
+
+    def model_canonical(self) -> Dict[str, object]:
+        """Identity of the trained model (prediction-stage knobs excluded)."""
+        return {
+            "kind": "model",
+            "dataset": self.dataset.canonical(),
+            "target": self.target_benchmark,
+            "validation": self.validation_benchmark,
+            "gnn": dict(self.config.gnn.__dict__),
+        }
+
+    def model_fingerprint(self) -> str:
+        return fingerprint(self.model_canonical())
+
+
+# ----------------------------------------------------------------------
+def _lockable(scheme: str, benchmark: str, key_sizes: Sequence[int], size_scale: float) -> bool:
+    """Whether at least one key size of the group fits the benchmark's PIs."""
+    profile = ALL_PROFILES.get(benchmark)
+    if profile is None:
+        return True  # unknown names fail at generation time with a clear error
+    n_inputs = profile.scaled(size_scale)[0]
+    return any(n_inputs >= required_key_inputs(scheme, k) for k in key_sizes)
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative grid of attack tasks.
+
+    ``expand()`` produces the cartesian product of suites, schemes, key-size
+    groups, config overrides and attacks, one task per target benchmark.
+    Targets whose stand-in has too few primary inputs for every key size of a
+    group are skipped, mirroring :func:`generate_instances`.
+    """
+
+    name: str = "campaign"
+    schemes: Sequence[str] = ("antisat",)
+    suites: Sequence[str] = ("ISCAS-85",)
+    #: Key-size groups; each group is the sweep of ONE dataset.  ``None``
+    #: uses the suite's paper sweep from the config as a single group.
+    key_size_groups: Optional[Sequence[Sequence[int]]] = None
+    #: Benchmarks forming each dataset; ``None`` = the whole suite.
+    benchmarks: Optional[Sequence[str]] = None
+    #: Benchmarks to attack; ``None`` = every dataset benchmark.
+    targets: Optional[Sequence[str]] = None
+    #: AttackConfig override grid (see :meth:`AttackConfig.with_overrides`).
+    overrides: Sequence[Mapping[str, object]] = field(default_factory=lambda: ({},))
+    attacks: Sequence[str] = ("gnnunlock",)
+    attack_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    config: AttackConfig = field(default_factory=AttackConfig)
+    timeout_s: Optional[float] = None
+    #: Derive a distinct GNN training seed per task from the task identity.
+    #: Identity-based (not order-based), so serial and parallel runs agree.
+    derive_gnn_seeds: bool = True
+
+    def expand(self) -> List[AttackTask]:
+        tasks: List[AttackTask] = []
+        overrides = list(self.overrides) or [{}]
+        for suite in self.suites:
+            pool = tuple(self.benchmarks or suite_benchmarks(suite))
+            for scheme_text in self.schemes:
+                spec = parse_scheme_spec(scheme_text)
+                for override_idx, override in enumerate(overrides):
+                    config = self.config.with_overrides(override)
+                    groups = self.key_size_groups or (
+                        tuple(suite_key_sizes(suite, config)),
+                    )
+                    for group in groups:
+                        group = tuple(int(k) for k in group)
+                        dataset = DatasetSpec(
+                            scheme=spec.scheme,
+                            suite=suite,
+                            benchmarks=pool,
+                            key_sizes=group,
+                            h=spec.h,
+                            technology=spec.technology,
+                            locks_per_setting=config.locks_per_setting,
+                            size_scale=config.size_scale,
+                            synthesis_effort=config.synthesis_effort,
+                            seed=config.seed,
+                        )
+                        targets = tuple(self.targets or pool)
+                        for attack in self.attacks:
+                            for target in targets:
+                                if target not in pool:
+                                    raise ValueError(
+                                        f"target {target!r} is not part of the "
+                                        f"dataset benchmarks {pool}"
+                                    )
+                                if not _lockable(
+                                    spec.scheme, target, group, config.size_scale
+                                ):
+                                    continue
+                                tasks.append(
+                                    self._make_task(
+                                        spec, suite, dataset, group,
+                                        override_idx, len(overrides),
+                                        attack, target, config,
+                                    )
+                                )
+        return tasks
+
+    def _make_task(
+        self,
+        spec: SchemeSpec,
+        suite: str,
+        dataset: DatasetSpec,
+        group: Tuple[int, ...],
+        override_idx: int,
+        n_overrides: int,
+        attack: str,
+        target: str,
+        config: AttackConfig,
+    ) -> AttackTask:
+        key_part = "k" + ".".join(str(k) for k in group)
+        id_parts = [self.name, str(spec), suite, key_part]
+        if n_overrides > 1:
+            id_parts.append(f"ov{override_idx}")
+        id_parts += [attack, target]
+        task_config = config
+        if self.derive_gnn_seeds and attack == "gnnunlock":
+            task_config = config.with_gnn(
+                seed=config.derive_seed(
+                    "gnn", str(spec), suite, key_part, override_idx, target
+                )
+                % (2**32)
+            )
+        params = tuple(sorted(self.attack_params.get(attack, {}).items()))
+        return AttackTask(
+            task_id="/".join(id_parts),
+            dataset=dataset,
+            target_benchmark=target,
+            attack=attack,
+            config=task_config,
+            attack_params=params,
+            timeout_s=self.timeout_s,
+        )
+
+
+# ----------------------------------------------------------------------
+# Workload profiles (shared by the CLI and the benchmark harnesses).
+
+PROFILES: Tuple[str, ...] = ("quick", "full")
+
+
+def profile_config(profile: str = "quick") -> AttackConfig:
+    """The AttackConfig of a named workload profile.
+
+    * ``quick``  — ISCAS-only, one lock per setting, reduced key sweep;
+      every paper table regenerates in well under a minute.
+    * ``full``   — both suites, the paper's sweeps, two locks per setting;
+      tens of minutes on a laptop CPU.
+    """
+    profile = profile.lower()
+    if profile == "full":
+        return AttackConfig(
+            locks_per_setting=2,
+            iscas_key_sizes=(8, 16, 32, 64),
+            itc_key_sizes=(32, 64, 128),
+            seed=11,
+        ).with_gnn(hidden_dim=64, epochs=120, root_nodes=1500, eval_every=10)
+    if profile == "quick":
+        return AttackConfig(
+            locks_per_setting=1,
+            iscas_key_sizes=(8, 16, 32),
+            itc_key_sizes=(32, 64),
+            seed=11,
+        ).with_gnn(hidden_dim=32, epochs=60, root_nodes=600, eval_every=5)
+    raise ValueError(f"unknown profile {profile!r}; choose from {PROFILES}")
+
+
+def profile_suites(profile: str = "quick") -> Tuple[str, ...]:
+    """Benchmark suites a profile covers."""
+    return ("ISCAS-85", "ITC-99") if profile.lower() == "full" else ("ISCAS-85",)
+
+
+def profile_campaign(profile: str = "quick", **kwargs) -> CampaignSpec:
+    """A ready-to-run campaign for a workload profile.
+
+    Keyword arguments override any :class:`CampaignSpec` field, so callers
+    can narrow the grid (``schemes=("antisat",), targets=("c2670",)``).
+    """
+    fields = {
+        "name": f"{profile}-campaign",
+        "schemes": ("antisat",),
+        "suites": profile_suites(profile),
+        "config": profile_config(profile),
+    }
+    fields.update(kwargs)
+    return CampaignSpec(**fields)

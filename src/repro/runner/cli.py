@@ -1,0 +1,339 @@
+"""``python -m repro`` — campaign orchestration from the command line.
+
+Subcommands::
+
+    repro run      expand a campaign grid and execute it (parallel by default)
+    repro list     show the expanded tasks and their cache status
+    repro report   aggregate a JSONL result store into paper-style tables
+
+Examples::
+
+    python -m repro run --profile quick --targets c2670 c3540
+    python -m repro run --scheme sfll:2@GEN65 --key-sizes 8,16 --workers 4
+    python -m repro run --profile quick --dry-run
+    python -m repro list --profile quick
+    python -m repro report --store runs/quick-campaign.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .cache import ArtifactCache, default_cache_dir
+from .campaign import (
+    BASELINE_ATTACKS,
+    CampaignSpec,
+    PROFILES,
+    profile_campaign,
+)
+from .executor import run_campaign
+from .store import ResultStore, aggregate, campaign_table, paper_table
+
+__all__ = ["build_parser", "main"]
+
+
+def _parse_value(text: str) -> object:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_assignment(text: str) -> tuple:
+    if "=" not in text:
+        raise ValueError(f"expected key=value, got {text!r} (e.g. gnn.epochs=40)")
+    key, value = text.split("=", 1)
+    return key.strip(), value
+
+
+def _override_grid(
+    sets: Sequence[str], sweeps: Sequence[str]
+) -> List[Dict[str, object]]:
+    """--set fixes a field for every task; --sweep adds a grid axis."""
+    base: Dict[str, object] = {}
+    for item in sets:
+        key, value = _parse_assignment(item)
+        base[key] = _parse_value(value)
+    axes = []
+    for item in sweeps:
+        key, values = _parse_assignment(item)
+        axes.append([(key, _parse_value(v)) for v in values.split(",")])
+    if not axes:
+        return [base]
+    grid = []
+    for combo in itertools.product(*axes):
+        override = dict(base)
+        override.update(combo)
+        grid.append(override)
+    return grid
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    grid = parser.add_argument_group("campaign grid")
+    grid.add_argument(
+        "--profile", choices=PROFILES, default="quick",
+        help="workload profile supplying the default config and suites",
+    )
+    grid.add_argument("--name", help="campaign name (default: <profile>-campaign)")
+    grid.add_argument(
+        "--scheme", action="append", dest="schemes", metavar="SPEC",
+        help="locking scheme grid entry, e.g. antisat, ttlock, sfll:2@GEN65; "
+        "repeatable (default: antisat)",
+    )
+    grid.add_argument(
+        "--suite", action="append", dest="suites", metavar="SUITE",
+        help="benchmark suite (ISCAS-85, ITC-99); repeatable "
+        "(default: the profile's suites)",
+    )
+    grid.add_argument(
+        "--key-sizes", action="append", dest="key_size_groups", metavar="K[,K...]",
+        help="comma-separated key-size group forming one dataset sweep; "
+        "repeatable (default: the suite's paper sweep)",
+    )
+    grid.add_argument(
+        "--benchmarks", nargs="+", help="dataset benchmark pool (default: suite)"
+    )
+    grid.add_argument(
+        "--targets", nargs="+", help="benchmarks to attack (default: all in pool)"
+    )
+    grid.add_argument(
+        "--attack", action="append", dest="attacks", metavar="NAME",
+        help=f"attack to schedule: gnnunlock or one of {sorted(BASELINE_ATTACKS)}; "
+        "repeatable (default: gnnunlock)",
+    )
+    grid.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="AttackConfig override applied to every task, e.g. gnn.epochs=40",
+    )
+    grid.add_argument(
+        "--sweep", action="append", default=[], metavar="KEY=V1,V2",
+        help="AttackConfig override axis; repeated sweeps form a grid",
+    )
+    grid.add_argument("--seed", type=int, help="base campaign seed")
+    grid.add_argument("--timeout", type=float, help="per-task budget in seconds")
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    cache = parser.add_argument_group("artifact cache")
+    cache.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help=f"artifact cache directory (default: {default_cache_dir()})",
+    )
+    cache.add_argument(
+        "--no-cache", action="store_true", help="disable the artifact cache"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNNUnlock attack-campaign runner",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="expand and execute a campaign")
+    _add_grid_arguments(run)
+    _add_cache_arguments(run)
+    run.add_argument("--workers", type=int, help="process count (default: CPUs)")
+    run.add_argument(
+        "--serial", action="store_true", help="run in-process, one task at a time"
+    )
+    run.add_argument(
+        "--store", type=Path, default=None,
+        help="JSONL result store (default: runs/<campaign>.jsonl)",
+    )
+    run.add_argument(
+        "--dry-run", action="store_true",
+        help="print the expanded tasks without executing anything",
+    )
+
+    list_cmd = sub.add_parser("list", help="show expanded tasks and cache status")
+    _add_grid_arguments(list_cmd)
+    _add_cache_arguments(list_cmd)
+    list_cmd.add_argument(
+        "--cache", action="store_true", dest="show_cache",
+        help="list cached artifacts instead of campaign tasks",
+    )
+
+    report = sub.add_parser("report", help="aggregate a JSONL result store")
+    report.add_argument("--store", type=Path, required=True, help="JSONL store path")
+    report.add_argument(
+        "--group-by", nargs="+", default=["scheme", "suite", "technology"],
+        help="record fields to average over",
+    )
+    report.add_argument(
+        "--paper", action="store_true",
+        help="also print the Table IV/V-style per-benchmark breakdown",
+    )
+    report.add_argument(
+        "--all", action="store_true", dest="show_all",
+        help="use every record, not just the latest per task",
+    )
+    return parser
+
+
+def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
+    kwargs: Dict[str, object] = {}
+    if args.name:
+        kwargs["name"] = args.name
+    if args.schemes:
+        kwargs["schemes"] = tuple(args.schemes)
+    if args.suites:
+        kwargs["suites"] = tuple(args.suites)
+    if args.key_size_groups:
+        kwargs["key_size_groups"] = tuple(
+            tuple(int(k) for k in group.split(",")) for group in args.key_size_groups
+        )
+    if args.benchmarks:
+        kwargs["benchmarks"] = tuple(args.benchmarks)
+    if args.targets:
+        kwargs["targets"] = tuple(args.targets)
+    if args.attacks:
+        kwargs["attacks"] = tuple(args.attacks)
+    if args.timeout is not None:
+        kwargs["timeout_s"] = args.timeout
+    kwargs["overrides"] = _override_grid(args.set, args.sweep)
+    spec = profile_campaign(args.profile, **kwargs)
+    if args.seed is not None:
+        spec.config = spec.config.with_overrides({"seed": args.seed})
+    return spec
+
+
+def _print_tasks(spec: CampaignSpec, cache: ArtifactCache) -> None:
+    tasks = spec.expand()
+    print(f"campaign {spec.name!r}: {len(tasks)} task(s)")
+    for task in tasks:
+        notes = []
+        if cache.enabled:
+            notes.append(
+                "dataset cached"
+                if cache.has("dataset", task.dataset.fingerprint())
+                else "dataset missing"
+            )
+            if task.attack == "gnnunlock":
+                notes.append(
+                    "model cached"
+                    if cache.has("model", task.model_fingerprint())
+                    else "model missing"
+                )
+        note = f"  [{', '.join(notes)}]" if notes else ""
+        print(f"  {task.task_id}  ({task.fingerprint()[:12]}){note}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _campaign_from_args(args)
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    if args.dry_run:
+        cache = ArtifactCache(None if args.no_cache else cache_dir)
+        _print_tasks(spec, cache)
+        print("dry run: nothing executed")
+        return 0
+    tasks = spec.expand()
+    if not tasks:
+        print("campaign expanded to zero tasks", file=sys.stderr)
+        return 1
+    store_path = args.store if args.store else Path("runs") / f"{spec.name}.jsonl"
+    store = ResultStore(store_path)
+    print(f"campaign {spec.name!r}: {len(tasks)} task(s) -> {store_path}")
+    results = run_campaign(
+        tasks,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        serial=args.serial,
+        store=store,
+        echo=print,
+    )
+    display = []
+    for result in results:
+        record = dict(result.record) if result.record else {"task_id": result.task_id}
+        record["status"] = result.status
+        record["wall_time_s"] = result.wall_time_s
+        record["cache"] = result.cache_events
+        if result.error:
+            record["error"] = result.error
+        display.append(record)
+    print()
+    print(campaign_table(display))
+    failed = [r for r in results if not r.ok]
+    if failed:
+        print(f"\n{len(failed)} task(s) did not finish:", file=sys.stderr)
+        for result in failed:
+            print(f"  {result.task_id}: {result.error}", file=sys.stderr)
+    return 0 if not failed else 2
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    cache = ArtifactCache(cache_dir)
+    if args.show_cache:
+        entries = cache.entries()
+        if not entries:
+            print(f"cache at {cache.root} is empty")
+            return 0
+        total = sum(size for _, _, size in entries)
+        print(f"cache at {cache.root}: {len(entries)} artifact(s), {total} bytes")
+        for kind, key, size in entries:
+            print(f"  {kind:8s} {key[:16]}  {size} bytes")
+        return 0
+    _print_tasks(_campaign_from_args(args), cache)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = store.load() if args.show_all else list(store.latest().values())
+    if not records:
+        print(f"no records in {args.store}", file=sys.stderr)
+        return 1
+    print(campaign_table(records))
+    summary = aggregate(records, group_by=tuple(args.group_by))
+    if summary:
+        from ..core.reporting import format_percent, format_table
+
+        rows = [
+            [
+                *(str(entry.get(field)) for field in args.group_by),
+                entry["n_tasks"],
+                entry["n_instances"],
+                format_percent(entry["gnn_accuracy"]),
+                format_percent(entry["post_accuracy"]),
+                format_percent(entry["removal_success_rate"]),
+                f"{entry['train_time_s']:.2f}",
+            ]
+            for entry in summary
+        ]
+        print()
+        print(
+            format_table(
+                [*args.group_by, "#Tasks", "#Graphs", "GNN Acc. (%)",
+                 "Post Acc. (%)", "Removal (%)", "Train (s)"],
+                rows,
+            )
+        )
+    if args.paper:
+        print()
+        print(paper_table(records))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "list": _cmd_list, "report": _cmd_report}
+    try:
+        return handlers[args.command](args)
+    except ValueError as exc:
+        # Grid/usage mistakes (unknown scheme, malformed sweep, bad override)
+        # are user errors, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

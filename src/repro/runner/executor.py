@@ -1,0 +1,383 @@
+"""Parallel campaign execution.
+
+``run_campaign`` fans :class:`~repro.runner.campaign.AttackTask` units out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker runs
+:func:`execute_task`, which is crash-isolated: every exception inside a task
+is captured as a structured ``failed`` result with its traceback, so one
+broken task never sinks the campaign.  Results come back in task order
+regardless of completion order.
+
+Determinism: dataset generation seeds from the dataset spec
+(:meth:`AttackConfig.derive_seed` per instance) and GNN training seeds from
+the task identity, never from execution order — a parallel run and a serial
+run of the same campaign produce bit-identical records.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback as traceback_module
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.attack import AttackOutcome, attack_design, train_attack_model
+from .cache import ArtifactCache, default_cache_dir
+from .campaign import BASELINE_ATTACKS, AttackTask
+
+__all__ = ["TaskResult", "execute_task", "outcome_record", "run_campaign"]
+
+
+@dataclass
+class TaskResult:
+    """Structured outcome of one task, successful or not."""
+
+    task_id: str
+    fingerprint: str
+    status: str  # "ok" | "failed" | "timeout"
+    wall_time_s: float = 0.0
+    record: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    #: Per-artifact-kind cache outcome: "hit", "miss" or "off".
+    cache_events: Dict[str, str] = field(default_factory=dict)
+    pid: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def outcome_record(outcome: AttackOutcome) -> Dict[str, object]:
+    """Flatten an :class:`AttackOutcome` into a JSON-serializable record."""
+
+    def report_dict(report) -> Dict[str, object]:
+        return {
+            "accuracy": float(report.accuracy),
+            "per_class": {
+                cls: {
+                    "precision": float(m.precision),
+                    "recall": float(m.recall),
+                    "f1": float(m.f1),
+                    "support": int(m.support),
+                }
+                for cls, m in report.per_class.items()
+            },
+            "n_misclassified": int(report.n_misclassified),
+            "misclassification_summary": report.misclassification_summary(),
+        }
+
+    return {
+        "target": outcome.target_benchmark,
+        "validation": outcome.validation_benchmark,
+        "scheme": outcome.scheme,
+        "class_names": list(outcome.gnn_report.class_names),
+        "n_instances": len(outcome.instances),
+        "gnn_accuracy": float(outcome.gnn_accuracy),
+        "post_accuracy": float(outcome.post_accuracy),
+        "removal_success_rate": float(outcome.removal_success_rate),
+        "gnn_report": report_dict(outcome.gnn_report),
+        "post_report": report_dict(outcome.post_report),
+        "instances": [
+            {
+                "name": inst.name,
+                "removal_success": bool(inst.removal_success),
+                "removal_error": inst.removal_error,
+            }
+            for inst in outcome.instances
+        ],
+        "train_nodes": int(outcome.train_nodes),
+        "val_nodes": int(outcome.val_nodes),
+        "test_nodes": int(outcome.test_nodes),
+        "epochs_run": int(outcome.history.epochs_run),
+        "train_time_s": float(outcome.history.train_time_s),
+        "attack_time_s": float(outcome.attack_time_s),
+    }
+
+
+def _task_metadata(task: AttackTask) -> Dict[str, object]:
+    ds = task.dataset
+    return {
+        "task_id": task.task_id,
+        "fingerprint": task.fingerprint(),
+        "attack": task.attack,
+        "scheme": ds.scheme,
+        "h": ds.h,
+        "technology": ds.technology,
+        "suite": ds.suite,
+        "key_sizes": list(ds.key_sizes),
+        "seed": ds.seed,
+        "dataset_fingerprint": ds.fingerprint(),
+    }
+
+
+def _resolve_baseline(name: str) -> Callable:
+    dotted = BASELINE_ATTACKS[name]
+    module_name, _, attr = dotted.rpartition(".")
+    return getattr(import_module(module_name), attr)
+
+
+def execute_task(task: AttackTask, cache_dir: Optional[str] = None) -> TaskResult:
+    """Run one task, consulting/filling the artifact cache.
+
+    Never raises: any failure is captured as a ``failed`` result.  This is
+    the function the process pool ships to workers, so it must stay
+    module-level and picklable-argument-only.
+    """
+    started = time.perf_counter()
+    cache = ArtifactCache(cache_dir)
+    events: Dict[str, str] = {}
+    try:
+        instances = _load_or_generate_dataset(task, cache, events)
+        if task.attack == "gnnunlock":
+            record = _run_gnnunlock(task, instances, cache, events)
+        elif task.attack in BASELINE_ATTACKS:
+            record = _run_baseline(task, instances)
+            events["model"] = "off"
+        else:
+            raise ValueError(
+                f"unknown attack {task.attack!r}; choose 'gnnunlock' or one of "
+                f"{sorted(BASELINE_ATTACKS)}"
+            )
+        record.update(_task_metadata(task))
+        record["cache"] = dict(events)
+        return TaskResult(
+            task_id=task.task_id,
+            fingerprint=task.fingerprint(),
+            status="ok",
+            wall_time_s=time.perf_counter() - started,
+            record=record,
+            cache_events=events,
+            pid=os.getpid(),
+        )
+    except Exception as exc:  # noqa: BLE001 - crash isolation is the contract
+        return TaskResult(
+            task_id=task.task_id,
+            fingerprint=task.fingerprint(),
+            status="failed",
+            wall_time_s=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
+            cache_events=events,
+            pid=os.getpid(),
+        )
+
+
+def _load_or_generate_dataset(
+    task: AttackTask, cache: ArtifactCache, events: Dict[str, str]
+) -> list:
+    if not cache.enabled:
+        events["dataset"] = "off"
+        return task.dataset.generate()
+    key = task.dataset.fingerprint()
+    instances = cache.get("dataset", key)
+    if instances is not None:
+        events["dataset"] = "hit"
+        return instances
+    events["dataset"] = "miss"
+    instances = task.dataset.generate()
+    cache.put("dataset", key, instances)
+    return instances
+
+
+def _run_gnnunlock(
+    task: AttackTask, instances: list, cache: ArtifactCache, events: Dict[str, str]
+) -> Dict[str, object]:
+    dataset = task.dataset.build(instances)
+    model = history = None
+    if cache.enabled:
+        key = task.model_fingerprint()
+        cached = cache.get("model", key)
+        if cached is not None:
+            model, history = cached
+            events["model"] = "hit"
+        else:
+            events["model"] = "miss"
+    else:
+        events["model"] = "off"
+    if model is None:
+        model, history, _ = train_attack_model(
+            dataset,
+            task.target_benchmark,
+            config=task.config,
+            validation_benchmark=task.validation_benchmark,
+        )
+        if cache.enabled:
+            cache.put("model", task.model_fingerprint(), (model, history))
+    outcome = attack_design(
+        dataset,
+        task.target_benchmark,
+        config=task.config,
+        validation_benchmark=task.validation_benchmark,
+        verify_removal=task.verify_removal,
+        apply_postprocessing=task.apply_postprocessing,
+        model=model,
+        history=history,
+    )
+    return outcome_record(outcome)
+
+
+def _run_baseline(task: AttackTask, instances: list) -> Dict[str, object]:
+    attack_fn = _resolve_baseline(task.attack)
+    kwargs = dict(task.attack_params)
+    results = []
+    for inst in instances:
+        if inst.benchmark != task.target_benchmark:
+            continue
+        baseline = attack_fn(inst.result, **kwargs)
+        results.append(
+            {
+                "instance": inst.name,
+                "success": bool(baseline.success),
+                "reason": baseline.reason,
+            }
+        )
+    if not results:
+        raise ValueError(
+            f"dataset has no instances of target {task.target_benchmark!r}"
+        )
+    n_success = sum(r["success"] for r in results)
+    return {
+        "target": task.target_benchmark,
+        "n_instances": len(results),
+        "baseline_success_rate": n_success / len(results),
+        "baseline_success": n_success == len(results),
+        "instances": results,
+    }
+
+
+# ----------------------------------------------------------------------
+def run_campaign(
+    tasks: Sequence[AttackTask],
+    *,
+    workers: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    use_cache: bool = True,
+    serial: bool = False,
+    store=None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> List[TaskResult]:
+    """Run a campaign and return one :class:`TaskResult` per task, in order.
+
+    ``serial=True`` (or a single task / ``workers=1``) executes inline in the
+    calling process; otherwise tasks fan out over ``workers`` processes
+    (default: one per CPU, capped by the task count).  ``store`` is an
+    optional :class:`~repro.runner.store.ResultStore` that every finished
+    task's record is appended to.
+
+    ``timeout_s`` is a campaign wall-clock budget per task, measured from
+    campaign submission (per-task *runtime* cannot be observed from outside
+    the worker).  An expired task that never started is reported as
+    ``timeout`` with a "budget exhausted" error; one caught mid-run is
+    reported as ``timeout`` and its worker process is terminated when the
+    pool shuts down.  Serial mode cannot interrupt an in-flight task — the
+    budget is only checked between tasks.
+    """
+    echo = echo if echo is not None else (lambda message: None)
+    cache_path = str(cache_dir if cache_dir is not None else default_cache_dir())
+    if not use_cache:
+        cache_path = None
+    tasks = list(tasks)
+    results: List[TaskResult] = []
+    submitted = time.perf_counter()
+
+    def timeout_result(task: AttackTask, error: str) -> TaskResult:
+        return TaskResult(
+            task_id=task.task_id,
+            fingerprint=task.fingerprint(),
+            status="timeout",
+            wall_time_s=time.perf_counter() - submitted,
+            error=error,
+        )
+
+    if serial or workers == 1 or len(tasks) <= 1:
+        for index, task in enumerate(tasks):
+            elapsed = time.perf_counter() - submitted
+            if task.timeout_s is not None and elapsed >= task.timeout_s:
+                result = timeout_result(
+                    task,
+                    f"campaign budget of {task.timeout_s}s exhausted before "
+                    "the task started",
+                )
+            else:
+                result = execute_task(task, cache_path)
+            results.append(result)
+            _report(echo, index, len(tasks), result)
+            _append(store, task, result)
+        return results
+
+    workers = workers or min(len(tasks), os.cpu_count() or 2)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    abandoned_worker = False
+    try:
+        futures = [pool.submit(execute_task, task, cache_path) for task in tasks]
+        for index, (task, future) in enumerate(zip(tasks, futures)):
+            remaining: Optional[float] = None
+            if task.timeout_s is not None:
+                remaining = max(0.0, task.timeout_s - (time.perf_counter() - submitted))
+            try:
+                result = future.result(timeout=remaining)
+            except FutureTimeout:
+                if future.cancel():
+                    result = timeout_result(
+                        task,
+                        f"campaign budget of {task.timeout_s}s exhausted before "
+                        "the task started",
+                    )
+                else:
+                    abandoned_worker = True
+                    result = timeout_result(
+                        task,
+                        f"exceeded {task.timeout_s}s budget; worker abandoned",
+                    )
+            except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
+                result = TaskResult(
+                    task_id=task.task_id,
+                    fingerprint=task.fingerprint(),
+                    status="failed",
+                    wall_time_s=time.perf_counter() - submitted,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            results.append(result)
+            _report(echo, index, len(tasks), result)
+            _append(store, task, result)
+    finally:
+        if abandoned_worker:
+            # A hung task would make shutdown(wait=True) block forever; drop
+            # the queue and kill the stragglers so the campaign returns.
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:  # noqa: BLE001 - best-effort cleanup
+                    pass
+        else:
+            pool.shutdown(wait=True)
+    return results
+
+
+def _report(echo: Callable[[str], None], index: int, total: int, result: TaskResult) -> None:
+    cache_note = ", ".join(
+        f"{kind} {event}" for kind, event in sorted(result.cache_events.items())
+    )
+    detail = f" ({cache_note})" if cache_note else ""
+    error = f" — {result.error}" if result.error else ""
+    echo(
+        f"[{index + 1}/{total}] {result.status:7s} {result.task_id} "
+        f"{result.wall_time_s:.2f}s{detail}{error}"
+    )
+
+
+def _append(store, task: AttackTask, result: TaskResult) -> None:
+    if store is None:
+        return
+    record = dict(result.record or _task_metadata(task))
+    record["status"] = result.status
+    record["wall_time_s"] = result.wall_time_s
+    record["cache"] = dict(result.cache_events)
+    if result.error:
+        record["error"] = result.error
+    store.append(record)

@@ -1,0 +1,184 @@
+"""JSONL result store and paper-table aggregation.
+
+Every finished task appends one flat JSON record; the helpers below turn a
+pile of records back into the paper's table shapes (Table IV/V per-class
+breakdowns, Table VI-style averages) and into campaign progress summaries.
+The store is append-only, so re-running a campaign keeps history;
+:meth:`ResultStore.latest` deduplicates by task fingerprint, last write wins.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.reporting import format_percent, format_table
+
+__all__ = [
+    "ResultStore",
+    "aggregate",
+    "campaign_table",
+    "paper_table",
+]
+
+
+class ResultStore:
+    """Append-only JSONL store of task records."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def append(self, record: Mapping[str, object]) -> None:
+        payload = dict(record)
+        payload.setdefault("recorded_at", time.time())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True, default=str) + "\n")
+
+    def load(self) -> List[Dict[str, object]]:
+        """All records, oldest first; unparseable lines are skipped."""
+        if not self.path.is_file():
+            return []
+        records: List[Dict[str, object]] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return records
+
+    def latest(self) -> Dict[str, Dict[str, object]]:
+        """Most recent record per task fingerprint."""
+        latest: Dict[str, Dict[str, object]] = {}
+        for record in self.load():
+            key = str(record.get("fingerprint", record.get("task_id", "")))
+            latest[key] = record
+        return latest
+
+    def clear(self) -> None:
+        if self.path.is_file():
+            self.path.unlink()
+
+
+# ----------------------------------------------------------------------
+def _ok(records: Iterable[Mapping]) -> List[Mapping]:
+    return [r for r in records if r.get("status", "ok") == "ok"]
+
+
+def paper_table(
+    records: Iterable[Mapping],
+    class_order: Optional[Sequence[str]] = None,
+    *,
+    mn_header: str = "#MN",
+) -> str:
+    """Render Table IV/V-shaped per-benchmark results from task records.
+
+    Columns: GNN accuracy, then precision / recall / F1 per class in
+    ``class_order`` (default: the classes recorded with the first record),
+    the misclassified-node breakdown and the removal success rate.
+    """
+    rows = []
+    records = _ok(records)
+    if class_order is None and records:
+        class_order = [
+            cls for cls in records[0].get("class_names", []) if cls
+        ]
+    class_order = list(class_order or [])
+    for record in records:
+        per_class = record.get("gnn_report", {}).get("per_class", {})
+        row = [
+            record.get("target", "?"),
+            record.get("n_instances", 0),
+            format_percent(float(record.get("gnn_accuracy", 0.0))),
+        ]
+        for metric in ("precision", "recall", "f1"):
+            for cls in class_order:
+                metrics = per_class.get(cls, {})
+                row.append(format_percent(float(metrics.get(metric, 0.0))))
+        row.append(
+            record.get("gnn_report", {}).get("misclassification_summary", "-")
+        )
+        row.append(format_percent(float(record.get("removal_success_rate", 0.0))))
+        rows.append(row)
+
+    headers = ["Test", "#TestGraphs", "GNN Acc. (%)"]
+    for metric in ("Prec", "Rec", "F1"):
+        for cls in class_order:
+            headers.append(f"{metric} {cls} (%)")
+    headers += [mn_header, "Removal Success (%)"]
+    return format_table(headers, rows)
+
+
+def aggregate(
+    records: Iterable[Mapping],
+    group_by: Sequence[str] = ("scheme", "suite", "technology"),
+) -> List[Dict[str, object]]:
+    """Average the headline metrics over record groups (Table VI flavour)."""
+    groups: Dict[Tuple, List[Mapping]] = defaultdict(list)
+    for record in _ok(records):
+        key = tuple(record.get(field) for field in group_by)
+        groups[key].append(record)
+
+    def mean(items: List[Mapping], field: str) -> float:
+        values = [float(r.get(field, 0.0)) for r in items]
+        return sum(values) / len(values) if values else 0.0
+
+    summary: List[Dict[str, object]] = []
+    for key in sorted(groups, key=str):
+        items = groups[key]
+        entry: Dict[str, object] = dict(zip(group_by, key))
+        entry.update(
+            {
+                "n_tasks": len(items),
+                "n_instances": int(sum(int(r.get("n_instances", 0)) for r in items)),
+                "gnn_accuracy": mean(items, "gnn_accuracy"),
+                "post_accuracy": mean(items, "post_accuracy"),
+                "removal_success_rate": mean(items, "removal_success_rate"),
+                "train_time_s": mean(items, "train_time_s"),
+            }
+        )
+        summary.append(entry)
+    return summary
+
+
+def campaign_table(records: Iterable[Mapping]) -> str:
+    """Per-task campaign summary including failures and cache provenance."""
+    rows = []
+    for record in records:
+        cache = record.get("cache", {})
+        cache_note = (
+            ",".join(f"{kind}:{event}" for kind, event in sorted(cache.items()))
+            if cache
+            else "-"
+        )
+        status = record.get("status", "ok")
+        if status == "ok" and "gnn_accuracy" in record:
+            headline = (
+                f"acc {format_percent(float(record['gnn_accuracy']))} / "
+                f"removal {format_percent(float(record['removal_success_rate']))}"
+            )
+        elif status == "ok" and "baseline_success_rate" in record:
+            headline = (
+                f"success {format_percent(float(record['baseline_success_rate']))}"
+            )
+        else:
+            headline = str(record.get("error", "-"))[:60]
+        rows.append(
+            [
+                record.get("task_id", "?"),
+                status,
+                f"{float(record.get('wall_time_s', 0.0)):.2f}",
+                cache_note,
+                headline,
+            ]
+        )
+    return format_table(
+        ["Task", "Status", "Time (s)", "Cache", "Result"], rows
+    )

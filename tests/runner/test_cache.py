@@ -1,0 +1,82 @@
+"""Artifact-cache behaviour: hits, misses, atomicity and corruption handling."""
+
+import pickle
+
+import pytest
+
+from repro.runner import ArtifactCache, fingerprint
+from repro.runner.cache import canonical_json
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_differs_per_content(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_canonical_json_is_minimal_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_non_json_scalars_fall_back_to_str(self):
+        assert fingerprint({"p": 3.5}) != fingerprint({"p": "other"})
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("dataset", "ab" * 32) is None
+        cache.put("dataset", "ab" * 32, {"payload": [1, 2, 3]})
+        assert cache.get("dataset", "ab" * 32) == {"payload": [1, 2, 3]}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.per_kind["dataset"]["hits"] == 1
+
+    def test_has_does_not_touch_stats(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert not cache.has("model", "cd" * 32)
+        cache.put("model", "cd" * 32, 7)
+        assert cache.has("model", "cd" * 32)
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_disabled_cache_is_inert(self):
+        cache = ArtifactCache(None)
+        assert not cache.enabled
+        assert cache.put("dataset", "ef" * 32, 1) is None
+        assert cache.get("dataset", "ef" * 32) is None
+        assert cache.entries() == []
+
+    def test_corrupt_entry_counts_as_miss_and_is_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "12" * 32
+        path = cache.put("dataset", key, [1, 2])
+        path.write_bytes(b"not a pickle")
+        assert cache.get("dataset", key) is None
+        assert not path.exists()
+
+    def test_entries_and_size(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("dataset", "aa" * 32, list(range(100)))
+        cache.put("model", "bb" * 32, "weights")
+        entries = cache.entries()
+        assert [(kind, key) for kind, key, _ in entries] == [
+            ("dataset", "aa" * 32),
+            ("model", "bb" * 32),
+        ]
+        assert cache.size_bytes() == sum(size for _, _, size in entries)
+        assert len(cache.entries("model")) == 1
+
+    def test_layout_shards_by_key_prefix(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "fe" * 32
+        path = cache.put("dataset", key, 1)
+        assert path == tmp_path / "dataset" / "fe" / f"{key}.pkl"
+
+    def test_roundtrips_arbitrary_picklables(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        value = {"nested": (1, 2), "bytes": b"\x00\x01"}
+        cache.put("model", "ad" * 32, value)
+        restored = cache.get("model", "ad" * 32)
+        assert restored == value
+        assert pickle.dumps(restored)

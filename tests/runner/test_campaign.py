@@ -1,0 +1,164 @@
+"""CampaignSpec grid expansion, scheme parsing and deterministic seeding."""
+
+import pytest
+
+from repro.core import AttackConfig
+from repro.runner import (
+    CampaignSpec,
+    DatasetSpec,
+    parse_scheme_spec,
+    profile_campaign,
+    profile_config,
+    profile_suites,
+)
+
+
+class TestSchemeSpec:
+    def test_defaults_per_scheme(self):
+        assert parse_scheme_spec("antisat").technology == "BENCH8"
+        assert parse_scheme_spec("ttlock").technology == "GEN65"
+        assert parse_scheme_spec("xor").technology == "BENCH8"
+
+    def test_h_and_technology(self):
+        spec = parse_scheme_spec("sfll:4@GEN45")
+        assert (spec.scheme, spec.h, spec.technology) == ("sfll", 4, "GEN45")
+
+    def test_aliases_normalise(self):
+        assert parse_scheme_spec("SFLL-HD:2").scheme == "sfll"
+        assert parse_scheme_spec("random_xor").scheme == "xor"
+
+    def test_sfll_requires_h(self):
+        with pytest.raises(ValueError, match="h value"):
+            parse_scheme_spec("sfll")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown locking scheme"):
+            parse_scheme_spec("bogus")
+
+
+class TestGridExpansion:
+    def test_cartesian_product_size(self):
+        spec = CampaignSpec(
+            name="grid",
+            schemes=("antisat", "sfll:2"),
+            suites=("ISCAS-85",),
+            key_size_groups=((8,), (16,)),
+            overrides=({}, {"gnn.epochs": 5}),
+            config=profile_config("quick"),
+        )
+        tasks = spec.expand()
+        # 2 schemes x 2 key groups x 2 overrides x 4 ISCAS targets
+        assert len(tasks) == 32
+        assert len({t.task_id for t in tasks}) == 32
+        assert len({t.fingerprint() for t in tasks}) == 32
+
+    def test_pi_constrained_targets_are_skipped(self):
+        # c3540's stand-in has too few PIs for K = 64 with SFLL (paper note).
+        spec = CampaignSpec(
+            schemes=("sfll:2",),
+            key_size_groups=((64,),),
+            config=profile_config("quick"),
+        )
+        targets = {t.target_benchmark for t in spec.expand()}
+        assert "c3540" not in targets
+        assert "c2670" in targets
+
+    def test_tasks_sharing_a_dataset_share_its_fingerprint(self, tiny_campaign):
+        tasks = tiny_campaign.expand()
+        assert len(tasks) == 2
+        assert len({t.dataset.fingerprint() for t in tasks}) == 1
+        assert len({t.fingerprint() for t in tasks}) == 2
+
+    def test_expansion_is_deterministic(self, tiny_campaign):
+        first = tiny_campaign.expand()
+        second = tiny_campaign.expand()
+        assert [t.fingerprint() for t in first] == [t.fingerprint() for t in second]
+        assert [t.config.gnn.seed for t in first] == [t.config.gnn.seed for t in second]
+
+    def test_gnn_seeds_differ_per_target(self, tiny_campaign):
+        seeds = [t.config.gnn.seed for t in tiny_campaign.expand()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_unknown_target_rejected(self):
+        spec = CampaignSpec(targets=("never-a-benchmark",))
+        with pytest.raises(ValueError, match="not part of the dataset"):
+            spec.expand()
+
+    def test_override_reaches_task_config(self):
+        spec = CampaignSpec(
+            overrides=({"gnn.epochs": 3, "locks_per_setting": 2},),
+            targets=("c2670",),
+        )
+        task = spec.expand()[0]
+        assert task.config.gnn.epochs == 3
+        assert task.dataset.locks_per_setting == 2
+
+
+class TestDatasetSpec:
+    def test_generation_is_bit_identical(self):
+        spec = DatasetSpec(
+            scheme="antisat",
+            suite="ISCAS-85",
+            benchmarks=("c2670",),
+            key_sizes=(8,),
+            seed=9,
+        )
+        first = spec.generate()
+        second = spec.generate()
+        assert len(first) == len(second) == 1
+        assert first[0].result.key == second[0].result.key
+        assert first[0].result.labels == second[0].result.labels
+        assert (
+            first[0].result.locked.gate_names()
+            == second[0].result.locked.gate_names()
+        )
+
+    def test_fingerprint_tracks_identity_fields(self):
+        base = DatasetSpec(
+            scheme="antisat", suite="ISCAS-85", benchmarks=("c2670",), key_sizes=(8,)
+        )
+        import dataclasses
+
+        assert base.fingerprint() == dataclasses.replace(base).fingerprint()
+        assert base.fingerprint() != dataclasses.replace(base, seed=12).fingerprint()
+        assert (
+            base.fingerprint()
+            != dataclasses.replace(base, key_sizes=(16,)).fingerprint()
+        )
+
+
+class TestAttackConfigOverrides:
+    def test_dotted_and_bare_gnn_keys(self):
+        config = AttackConfig().with_overrides({"gnn.epochs": 9, "hidden_dim": 8})
+        assert config.gnn.epochs == 9
+        assert config.gnn.hidden_dim == 8
+
+    def test_sequences_become_tuples(self):
+        config = AttackConfig().with_overrides({"iscas_key_sizes": [8, 16]})
+        assert config.iscas_key_sizes == (8, 16)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown AttackConfig override"):
+            AttackConfig().with_overrides({"not_a_field": 1})
+
+    def test_derive_seed_is_stable_and_part_sensitive(self):
+        config = AttackConfig(seed=11)
+        assert config.derive_seed("a", 1) == config.derive_seed("a", 1)
+        assert config.derive_seed("a", 1) != config.derive_seed("a", 2)
+        assert config.derive_seed("a", 1) != AttackConfig(seed=12).derive_seed("a", 1)
+
+
+class TestProfiles:
+    def test_quick_profile_is_iscas_only(self):
+        assert profile_suites("quick") == ("ISCAS-85",)
+        assert profile_suites("full") == ("ISCAS-85", "ITC-99")
+
+    def test_profile_campaign_accepts_overrides(self):
+        spec = profile_campaign("quick", schemes=("ttlock",), targets=("c2670",))
+        tasks = spec.expand()
+        assert [t.target_benchmark for t in tasks] == ["c2670"]
+        assert tasks[0].dataset.scheme == "ttlock"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            profile_config("huge")

@@ -1,0 +1,148 @@
+"""Executor behaviour: parallel == serial, cache reuse, crash isolation."""
+
+import dataclasses
+
+import pytest
+
+from repro.runner import (
+    AttackTask,
+    CampaignSpec,
+    DatasetSpec,
+    ResultStore,
+    execute_task,
+    run_campaign,
+)
+
+#: Record keys that legitimately differ between runs (timings, provenance).
+_VOLATILE = ("wall_time_s", "attack_time_s", "train_time_s", "cache", "recorded_at")
+
+
+def _scrub(record):
+    record = dict(record)
+    for key in _VOLATILE:
+        record.pop(key, None)
+    return record
+
+
+class TestSerialParallelEquivalence:
+    def test_records_are_bit_identical(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        serial = run_campaign(tasks, serial=True, cache_dir=tmp_path / "serial")
+        parallel = run_campaign(tasks, workers=2, cache_dir=tmp_path / "parallel")
+        assert [r.status for r in serial] == ["ok", "ok"]
+        assert [r.status for r in parallel] == ["ok", "ok"]
+        for left, right in zip(serial, parallel):
+            assert _scrub(left.record) == _scrub(right.record)
+
+    def test_results_come_back_in_task_order(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        results = run_campaign(tasks, workers=2, cache_dir=tmp_path / "cache")
+        assert [r.task_id for r in results] == [t.task_id for t in tasks]
+
+
+class TestArtifactReuse:
+    def test_second_run_hits_dataset_and_model_cache(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        cold = run_campaign(tasks, serial=True, cache_dir=tmp_path / "cache")
+        warm = run_campaign(tasks, serial=True, cache_dir=tmp_path / "cache")
+        assert cold[0].cache_events == {"dataset": "miss", "model": "miss"}
+        # Task 2 shares task 1's dataset even within the first run.
+        assert cold[1].cache_events == {"dataset": "hit", "model": "miss"}
+        for result in warm:
+            assert result.cache_events == {"dataset": "hit", "model": "hit"}
+        for first, second in zip(cold, warm):
+            assert _scrub(first.record) == _scrub(second.record)
+
+    def test_cache_disabled_reports_off(self, tiny_campaign, tmp_path):
+        task = tiny_campaign.expand()[0]
+        result = execute_task(task, None)
+        assert result.ok
+        assert result.cache_events == {"dataset": "off", "model": "off"}
+
+    def test_store_receives_one_record_per_task(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        store = ResultStore(tmp_path / "results.jsonl")
+        run_campaign(tasks, serial=True, cache_dir=tmp_path / "cache", store=store)
+        records = store.load()
+        assert len(records) == 2
+        assert {r["task_id"] for r in records} == {t.task_id for t in tasks}
+        assert all(r["status"] == "ok" for r in records)
+        assert all("gnn_accuracy" in r for r in records)
+
+
+class TestCrashIsolation:
+    def _broken_task(self) -> AttackTask:
+        dataset = DatasetSpec(
+            scheme="antisat",
+            suite="ISCAS-85",
+            benchmarks=("no-such-benchmark",),
+            key_sizes=(8,),
+        )
+        return AttackTask(
+            task_id="broken", dataset=dataset, target_benchmark="no-such-benchmark"
+        )
+
+    def test_failure_is_captured_not_raised(self):
+        result = execute_task(self._broken_task(), None)
+        assert result.status == "failed"
+        assert "no-such-benchmark" in result.error
+        assert result.traceback and "Traceback" in result.traceback
+
+    def test_one_crash_does_not_sink_the_campaign(self, tiny_campaign, tmp_path):
+        good = tiny_campaign.expand()[0]
+        tasks = [self._broken_task(), good]
+        results = run_campaign(tasks, workers=2, cache_dir=tmp_path / "cache")
+        assert [r.status for r in results] == ["failed", "ok"]
+        assert results[1].record["gnn_accuracy"] > 0.5
+
+    def test_unknown_attack_name_fails_cleanly(self, tiny_campaign):
+        task = dataclasses.replace(tiny_campaign.expand()[0], attack="mystery")
+        result = execute_task(task, None)
+        assert result.status == "failed"
+        assert "unknown attack" in result.error
+
+
+class TestTimeouts:
+    def test_serial_budget_checked_between_tasks(self, tiny_campaign, tmp_path):
+        tasks = [
+            dataclasses.replace(t, timeout_s=0.0) for t in tiny_campaign.expand()
+        ]
+        results = run_campaign(tasks, serial=True, cache_dir=tmp_path / "cache")
+        assert [r.status for r in results] == ["timeout", "timeout"]
+        assert all("budget" in r.error for r in results)
+        assert all(r.record is None for r in results)
+
+    def test_parallel_expired_budget_returns_promptly(self, tiny_campaign, tmp_path):
+        tasks = [
+            dataclasses.replace(t, timeout_s=0.0) for t in tiny_campaign.expand()
+        ]
+        results = run_campaign(tasks, workers=2, cache_dir=tmp_path / "cache")
+        # Every task is reported as timed out (running ones are abandoned and
+        # their workers terminated) and run_campaign itself does not hang.
+        assert [r.status for r in results] == ["timeout", "timeout"]
+
+    def test_no_timeout_means_unlimited(self, tiny_campaign, tmp_path):
+        task = tiny_campaign.expand()[0]
+        assert task.timeout_s is None
+        results = run_campaign([task], serial=True, cache_dir=tmp_path / "cache")
+        assert results[0].ok
+
+
+class TestBaselineTasks:
+    def test_baseline_attack_runs_through_the_runner(self, tiny_config, tmp_path):
+        spec = CampaignSpec(
+            name="baseline",
+            schemes=("xor",),
+            benchmarks=("c2670",),
+            key_size_groups=((4,),),
+            attacks=("sat",),
+            attack_params={"sat": {"max_iterations": 12}},
+            config=tiny_config,
+        )
+        tasks = spec.expand()
+        assert len(tasks) == 1
+        result = execute_task(tasks[0], str(tmp_path / "cache"))
+        assert result.ok, result.error
+        assert result.record["attack"] == "sat"
+        assert result.record["n_instances"] == 1
+        assert result.record["baseline_success"] is True

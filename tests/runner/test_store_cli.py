@@ -1,0 +1,154 @@
+"""Result store aggregation and the ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.runner import ResultStore, aggregate, campaign_table, paper_table
+from repro.runner.cli import main
+
+
+def _record(target="c2670", *, status="ok", accuracy=0.98, removal=1.0, fp="f1"):
+    return {
+        "task_id": f"t/{target}",
+        "fingerprint": fp,
+        "status": status,
+        "attack": "gnnunlock",
+        "scheme": "antisat",
+        "suite": "ISCAS-85",
+        "technology": "BENCH8",
+        "target": target,
+        "n_instances": 2,
+        "class_names": ["DN", "AN"],
+        "gnn_accuracy": accuracy,
+        "post_accuracy": 1.0,
+        "removal_success_rate": removal,
+        "train_time_s": 0.5,
+        "wall_time_s": 0.9,
+        "cache": {"dataset": "miss", "model": "miss"},
+        "gnn_report": {
+            "per_class": {
+                "AN": {"precision": 1.0, "recall": 0.95, "f1": 0.97, "support": 10},
+                "DN": {"precision": 0.99, "recall": 1.0, "f1": 0.99, "support": 90},
+            },
+            "misclassification_summary": "1 AN as DN",
+        },
+    }
+
+
+class TestResultStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record("c2670"))
+        store.append(_record("c3540", fp="f2"))
+        records = store.load()
+        assert [r["target"] for r in records] == ["c2670", "c3540"]
+        assert all("recorded_at" in r for r in records)
+
+    def test_load_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(_record())
+        with path.open("a") as handle:
+            handle.write("{not json}\n")
+        store.append(_record("c3540", fp="f2"))
+        assert len(store.load()) == 2
+
+    def test_latest_deduplicates_by_fingerprint(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record(accuracy=0.90))
+        store.append(_record(accuracy=0.99))
+        latest = store.latest()
+        assert len(latest) == 1
+        assert latest["f1"]["gnn_accuracy"] == 0.99
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").load() == []
+
+
+class TestAggregation:
+    def test_aggregate_averages_per_group(self):
+        records = [_record("c2670", accuracy=0.9), _record("c3540", accuracy=1.0)]
+        summary = aggregate(records)
+        assert len(summary) == 1
+        assert summary[0]["n_tasks"] == 2
+        assert summary[0]["gnn_accuracy"] == pytest.approx(0.95)
+
+    def test_aggregate_ignores_failed_records(self):
+        records = [_record(), _record("c3540", status="failed")]
+        assert aggregate(records)[0]["n_tasks"] == 1
+
+    def test_paper_table_shape(self):
+        table = paper_table([_record()], class_order=("AN", "DN"))
+        assert "Prec AN (%)" in table and "F1 DN (%)" in table
+        assert "98.00" in table  # gnn accuracy
+        assert "1 AN as DN" in table
+
+    def test_campaign_table_reports_failures(self):
+        failed = dict(_record("c3540", status="failed"), error="KeyError: boom")
+        table = campaign_table([_record(), failed])
+        assert "failed" in table
+        assert "KeyError: boom" in table
+        assert "dataset:miss" in table
+
+
+class TestCli:
+    def test_run_dry_run(self, capsys):
+        assert main(["run", "--profile", "quick", "--dry-run", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "4 task(s)" in out
+        assert "dry run: nothing executed" in out
+
+    def test_run_dry_run_with_grid_options(self, capsys):
+        code = main(
+            [
+                "run", "--dry-run", "--no-cache",
+                "--scheme", "sfll:2@GEN65",
+                "--targets", "c2670", "c3540",
+                "--key-sizes", "8,16",
+                "--sweep", "gnn.hidden_dim=16,32",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 task(s)" in out  # 2 targets x 2 sweep values
+        assert "sfll:2@GEN65" in out
+
+    def test_list_tasks_shows_cache_status(self, tmp_path, capsys):
+        code = main(
+            ["list", "--profile", "quick", "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        assert "dataset missing" in capsys.readouterr().out
+
+    def test_list_cache_empty(self, tmp_path, capsys):
+        code = main(["list", "--cache", "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_report_reads_store(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record())
+        store.append(_record("c3540", fp="f2"))
+        code = main(["report", "--store", str(tmp_path / "r.jsonl"), "--paper"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GNN Acc. (%)" in out
+        assert "c3540" in out
+
+    def test_report_missing_store_errors(self, tmp_path, capsys):
+        code = main(["report", "--store", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+
+    def test_usage_mistakes_print_clean_errors(self, capsys):
+        assert main(["run", "--scheme", "bogus", "--dry-run", "--no-cache"]) == 2
+        assert "unknown locking scheme" in capsys.readouterr().err
+        assert main(["run", "--sweep", "gnn.epochs", "--dry-run", "--no-cache"]) == 2
+        assert "expected key=value" in capsys.readouterr().err
+        assert main(["run", "--scheme", "sfll", "--dry-run", "--no-cache"]) == 2
+        assert "h value" in capsys.readouterr().err
+
+    def test_run_zero_tasks_errors(self, capsys):
+        # K = 600 needs 300 PIs — beyond every stand-in — so the grid is empty.
+        code = main(["run", "--no-cache", "--key-sizes", "600"])
+        assert code == 1
