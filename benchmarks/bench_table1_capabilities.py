@@ -2,69 +2,124 @@
 
 The paper's Table I is a qualitative matrix: which attacks cope with
 different circuit formats, different locking schemes and different parameter
-settings.  The harness measures it: each attack is run on bench-format and
-synthesised netlists, on Anti-SAT / TTLock / SFLL-HD2, and on the K/h = 2
-corner-case parameters; a capability is "yes" when the attack succeeds on
-every instance it claims to support.
+settings.  The harness measures it through the campaign runner: one probe
+campaign runs every baseline attack against every scheme variant (bench vs.
+synthesised, the K/h = 2 corner case), one campaign runs GNNUnlock on the
+same axes, and the yes/no matrix is derived from the stored task records —
+a capability is "yes" when the attack succeeds on every instance the paper
+claims it supports.
 """
 
-import numpy as np
+from typing import Dict, List, Mapping, Sequence, Tuple
+
 import pytest
 
-from benchmarks.common import attack_config, emit
-from repro.baselines import fall_attack, sfll_hd_unlocked_attack, sps_attack
-from repro.benchgen import get_benchmark
-from repro.core import (
-    AttackConfig,
-    GnnUnlockAttack,
-    build_dataset,
-    format_table,
-    generate_instances,
-)
-from repro.locking import AntiSatLocking, SfllHdLocking, TTLockLocking
-from repro.synth import SynthesisOptions, synthesize_locked
+from benchmarks.common import attack_config, emit, run_bench_campaign
+from repro.core import AttackConfig, format_table
+from repro.runner import CampaignSpec
+
+#: Benchmark pool of the capability measurement; the last entry is attacked.
+CAP_BENCHMARKS: Tuple[str, ...] = ("c2670", "c3540", "c5315", "c7552")
 
 
-def _gnnunlock_capabilities(config: AttackConfig) -> dict:
-    """GNNUnlock handles all three axes; measure it on a compact sweep."""
-    outcomes = []
-    for scheme, tech, h in (
-        ("antisat", "BENCH8", None),
-        ("ttlock", "GEN65", None),
-        ("sfll", "GEN65", 2),
-    ):
-        instances = generate_instances(
-            scheme,
-            ["c2670", "c3540", "c5315", "c7552"],
-            key_sizes=(8, 16),
-            h=h,
-            config=config,
-            technology=tech,
-        )
-        dataset = build_dataset(instances)
-        outcome = GnnUnlockAttack(dataset, config=config).attack("c7552")
-        outcomes.append(outcome.removal_success_rate == 1.0)
-    corner = generate_instances(
-        "sfll", ["c2670", "c3540", "c5315", "c7552"], key_sizes=(16,), h=8,
+def table1_specs(
+    config: AttackConfig,
+    *,
+    benchmarks: Sequence[str] = CAP_BENCHMARKS,
+    probe_key: int = 16,
+    main_keys: Sequence[int] = (8, 16),
+) -> List[CampaignSpec]:
+    """Campaigns covering Table I's three capability axes.
+
+    ``probe_key`` is the key size of the single-design baseline probes; the
+    K/h = 2 corner case uses ``h = probe_key // 2``.  ``main_keys`` is the
+    key sweep of the GNNUnlock multi-scheme datasets.
+    """
+    benchmarks = tuple(benchmarks)
+    target = benchmarks[-1]
+    corner_h = probe_key // 2
+    # One probe campaign per baseline attack, each restricted to the scheme
+    # variants its Table I row actually reads (no wasted cartesian product).
+    probe_fields = dict(
+        benchmarks=(target,),
+        targets=(target,),
+        key_size_groups=((probe_key,),),
         config=config,
     )
-    corner_outcome = GnnUnlockAttack(build_dataset(corner), config=config).attack("c7552")
-    return {
-        "formats": outcomes[1] and outcomes[2],
-        "schemes": all(outcomes),
-        "parameters": corner_outcome.removal_success_rate == 1.0,
+    probes = [
+        CampaignSpec(
+            name="table1-probes",
+            schemes=("antisat",),
+            attacks=("sps",),
+            **probe_fields,
+        ),
+        CampaignSpec(
+            name="table1-probes",
+            # bench + synthesised SFLL-HD2, and the K/h = 2 corner parameters
+            # on which FALL reports zero keys.
+            schemes=("sfll:2@BENCH8", "sfll:2@GEN65", f"sfll:{corner_h}@BENCH8"),
+            attacks=("fall",),
+            **probe_fields,
+        ),
+        CampaignSpec(
+            name="table1-probes",
+            schemes=("sfll:2@BENCH8", f"sfll:{corner_h}@BENCH8"),
+            attacks=("sfll-hd-unlocked",),
+            **probe_fields,
+        ),
+    ]
+    gnn_main = CampaignSpec(
+        name="table1-gnn",
+        schemes=("antisat", "ttlock", "sfll:2@GEN65"),
+        benchmarks=benchmarks,
+        targets=(target,),
+        key_size_groups=(tuple(main_keys),),
+        config=config,
+    )
+    gnn_corner = CampaignSpec(
+        name="table1-corner",
+        schemes=(f"sfll:{corner_h}@BENCH8",),
+        benchmarks=benchmarks,
+        targets=(target,),
+        key_size_groups=((probe_key,),),
+        config=config,
+    )
+    return probes + [gnn_main, gnn_corner]
+
+
+def render_table1(records: Sequence[Mapping]) -> str:
+    """Derive the Table I yes/no matrix from stored task records."""
+    by: Dict[tuple, Mapping] = {}
+    for record in records:
+        by[
+            (record["attack"], record["scheme"], record.get("h"),
+             record["technology"])
+        ] = record
+
+    # The corner campaign is the only bench-format SFLL GNNUnlock dataset, so
+    # its h value identifies the corner probes too — no separate parameter
+    # that could drift out of sync with table1_specs.
+    corner_hs = {
+        record.get("h")
+        for record in records
+        if record["attack"] == "gnnunlock"
+        and record["scheme"] == "sfll"
+        and record["technology"] == "BENCH8"
     }
+    if len(corner_hs) != 1:
+        raise ValueError(
+            f"expected exactly one corner-case dataset, found h values "
+            f"{sorted(corner_hs, key=str)}"
+        )
+    (corner_h,) = corner_hs
 
+    def probe(attack: str, scheme: str, h, tech: str) -> bool:
+        record = by.get((attack, scheme, h, tech), {})
+        return bool(record.get("baseline_success"))
 
-def _run_table1() -> str:
-    config = attack_config()
-    rng = np.random.default_rng(1)
-    circuit = get_benchmark("c7552")
-    antisat = AntiSatLocking(16).lock(circuit.copy(), rng=rng)
-    ttlock = TTLockLocking(16).lock(circuit.copy(), rng=rng)
-    sfll2 = SfllHdLocking(16, 2).lock(circuit.copy(), rng=rng)
-    corner = SfllHdLocking(16, 8).lock(circuit.copy(), rng=rng)
-    sfll2_mapped = synthesize_locked(sfll2, SynthesisOptions(technology="GEN65"))
+    def removed(scheme: str, h, tech: str) -> bool:
+        record = by.get(("gnnunlock", scheme, h, tech), {})
+        return float(record.get("removal_success_rate", 0.0)) == 1.0
 
     def yesno(flag: bool) -> str:
         return "yes" if flag else "-"
@@ -72,34 +127,41 @@ def _run_table1() -> str:
     rows = []
     # SPS: Anti-SAT only, bench format only by construction of the tool.
     rows.append(
-        ["SPS", yesno(False), yesno(False), yesno(sps_attack(antisat).success)]
+        ["SPS", yesno(False), yesno(False),
+         yesno(probe("sps", "antisat", None, "BENCH8"))]
     )
-    # FALL: bench only, SFLL family only, restricted h.
-    fall_formats = fall_attack(sfll2_mapped).success
-    fall_schemes = fall_attack(ttlock).success and not fall_attack(antisat).success
-    fall_params = fall_attack(sfll2).success and fall_attack(corner).success
+    # FALL: handles synthesised netlists, SFLL family only, restricted h.
+    fall_formats = probe("fall", "sfll", 2, "GEN65")
+    fall_params = (
+        probe("fall", "sfll", 2, "BENCH8")
+        and probe("fall", "sfll", corner_h, "BENCH8")
+    )
     rows.append(["FALL", yesno(fall_formats), yesno(False), yesno(fall_params)])
-    # SFLL-HD-Unlocked: bench only, SFLL family only, fails h<=4 and K/h=2.
+    # SFLL-HD-Unlocked: bench only, SFLL family only.
     unlocked_params = (
-        sfll_hd_unlocked_attack(sfll2).success
-        and sfll_hd_unlocked_attack(corner).success
+        probe("sfll-hd-unlocked", "sfll", 2, "BENCH8")
+        and probe("sfll-hd-unlocked", "sfll", corner_h, "BENCH8")
     )
-    rows.append(["SFLL-HD-Unlocked", yesno(False), yesno(False), yesno(unlocked_params)])
-    # GNNUnlock.
-    caps = _gnnunlock_capabilities(config)
     rows.append(
-        [
-            "GNNUnlock",
-            yesno(caps["formats"]),
-            yesno(caps["schemes"]),
-            yesno(caps["parameters"]),
-        ]
+        ["SFLL-HD-Unlocked", yesno(False), yesno(False), yesno(unlocked_params)]
+    )
+    # GNNUnlock covers all three axes.
+    formats = removed("ttlock", None, "GEN65") and removed("sfll", 2, "GEN65")
+    schemes = formats and removed("antisat", None, "BENCH8")
+    parameters = removed("sfll", corner_h, "BENCH8")
+    rows.append(
+        ["GNNUnlock", yesno(formats), yesno(schemes), yesno(parameters)]
     )
     return format_table(
         ["Attack", "Different Circuit Formats", "Different Locking Schemes",
          "Different Parameter Settings"],
         rows,
     )
+
+
+def _run_table1() -> str:
+    records = run_bench_campaign(table1_specs(attack_config()), name="table1")
+    return render_table1(records)
 
 
 @pytest.mark.benchmark(group="table1")

@@ -1,42 +1,69 @@
 """Table II — GNN configuration and sampling details.
 
 The harness echoes the model configuration (architecture shapes, aggregation,
-optimiser, sampler) and runs one sanity training job to confirm the
-configuration trains, reporting the measured epoch throughput.
+optimiser, sampler) and runs one sanity training job — scheduled as a
+one-task campaign through :mod:`repro.runner` — to confirm the configuration
+trains, reporting the measured epoch count and throughput from the stored
+task record.
 """
 
-import numpy as np
+from typing import Mapping, Sequence
+
 import pytest
 
-from benchmarks.common import attack_config, emit
-from repro.core import AttackConfig, GnnUnlockAttack, build_dataset, format_table, generate_instances
+from benchmarks.common import attack_config, emit, run_bench_campaign
+from repro.core import AttackConfig, format_table
 from repro.gnn import GnnConfig
+from repro.runner import CampaignSpec
+
+#: GnnConfig fields echoed in the Paper / This-run comparison.
+_ECHOED_FIELDS = (
+    "hidden_dim", "dropout", "learning_rate", "epochs",
+    "root_nodes", "walk_length", "sampler",
+)
+
+
+def table2_spec(
+    config: AttackConfig,
+    *,
+    benchmarks: Sequence[str] = ("c2670", "c3540", "c5315"),
+    target: str = "c3540",
+    key_size: int = 8,
+) -> CampaignSpec:
+    """The sanity-training campaign: one Anti-SAT task on a tiny dataset."""
+    return CampaignSpec(
+        name="table2",
+        schemes=("antisat",),
+        benchmarks=tuple(benchmarks),
+        targets=(target,),
+        key_size_groups=((key_size,),),
+        config=config,
+    )
+
+
+def render_table2(records: Sequence[Mapping], config: AttackConfig) -> str:
+    """Configuration echo plus the sanity-run numbers from the task record."""
+    paper = GnnConfig(n_features=34, n_classes=3, hidden_dim=512, epochs=2000)
+    used = GnnConfig(
+        n_features=34,
+        n_classes=3,
+        **{name: getattr(config.gnn, name) for name in _ECHOED_FIELDS},
+    ).describe()
+    rows = [
+        [key, str(value), str(used[key])] for key, value in paper.describe().items()
+    ]
+    record = records[0]
+    rows.append(["Sanity-run epochs", "-", str(record["epochs_run"])])
+    rows.append(
+        ["Sanity-run train time (s)", "-", f"{float(record['train_time_s']):.2f}"]
+    )
+    return format_table(["Parameter", "Paper", "This run"], rows)
 
 
 def _run_table2() -> str:
     config = attack_config()
-    paper = GnnConfig(n_features=34, n_classes=3, hidden_dim=512, epochs=2000)
-    used = config.gnn
-
-    rows = []
-    for key, value in paper.describe().items():
-        rows.append([key, str(value), str(GnnConfig(
-            n_features=34, n_classes=3, **{
-                k: getattr(used, k) for k in (
-                    "hidden_dim", "dropout", "learning_rate", "epochs",
-                    "root_nodes", "walk_length", "sampler",
-                )
-            }).describe()[key])])
-
-    # Sanity training run on a tiny Anti-SAT dataset.
-    instances = generate_instances(
-        "antisat", ["c2670", "c3540", "c5315"], key_sizes=(8,), config=config
-    )
-    dataset = build_dataset(instances)
-    outcome = GnnUnlockAttack(dataset, config=config).attack("c3540")
-    rows.append(["Sanity-run epochs", "-", str(outcome.history.epochs_run)])
-    rows.append(["Sanity-run train time (s)", "-", f"{outcome.history.train_time_s:.2f}"])
-    return format_table(["Parameter", "Paper", "This run"], rows)
+    records = run_bench_campaign(table2_spec(config))
+    return render_table2(records, config)
 
 
 @pytest.mark.benchmark(group="table2")

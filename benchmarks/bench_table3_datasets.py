@@ -1,15 +1,22 @@
 """Table III — summary of the generated datasets.
 
 For every dataset row of the paper's Table III (scheme x suite x technology)
-the harness generates the locked benchmarks and reports the number of
-circuits, nodes, classes and the feature-vector length.
+the harness schedules one ``dataset-summary`` task through the campaign
+runner: the locked benchmarks are generated (or loaded from the shared
+artifact cache — Table IV/V/VI reuse the same datasets) and the stored
+record reports the number of circuits, nodes, classes and the
+feature-vector length.
 """
+
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import pytest
 
-from benchmarks.common import PROFILE, attack_config, emit, itc_benchmarks
-from repro.core import build_dataset, format_table, generate_instances
+from benchmarks.common import attack_config, emit, itc_benchmarks, run_bench_campaign
+from repro.core import AttackConfig, format_table
+from repro.runner import CampaignSpec
 
+_ISCAS = ("c2670", "c3540", "c5315", "c7552")
 
 _ROWS = [
     # (label, scheme, benchmarks-kind, h, technology)
@@ -25,33 +32,67 @@ _ROWS = [
 ]
 
 
-def _run_table3() -> str:
-    config = attack_config()
-    iscas = ["c2670", "c3540", "c5315", "c7552"]
-    itc = itc_benchmarks()
-    rows = []
+def table3_specs(
+    config: AttackConfig,
+    *,
+    iscas: Sequence[str] = _ISCAS,
+    itc: Optional[Sequence[str]] = None,
+) -> Tuple[List[CampaignSpec], List[str]]:
+    """One single-task ``dataset-summary`` campaign per Table III row.
+
+    Returns ``(specs, row_labels)`` in row order.  With an empty ``itc``
+    pool (the quick profile) the ITC rows fall back to the ISCAS stand-ins,
+    mirroring the profile note in the rendered label.
+    """
+    iscas = list(iscas)
+    itc = list(itc if itc is not None else itc_benchmarks())
+    specs: List[CampaignSpec] = []
+    labels: List[str] = []
     for label, scheme, kind, h, tech in _ROWS:
+        suite = "ISCAS-85"
         if kind == "iscas":
-            benchmarks, key_sizes = iscas, config.iscas_key_sizes
+            pool, key_sizes = iscas, config.iscas_key_sizes
         elif kind == "itc":
             if not itc:
-                benchmarks, key_sizes = iscas, config.iscas_key_sizes
+                pool, key_sizes = iscas, config.iscas_key_sizes
                 label += " [ISCAS stand-in: quick profile]"
             else:
-                benchmarks, key_sizes = itc, config.itc_key_sizes
+                # Real ITC pool: the suite must be carried on the spec so the
+                # dataset fingerprint matches Table VI's ITC campaigns (cache
+                # sharing) and stored records aggregate under the right suite.
+                pool, key_sizes, suite = itc, config.itc_key_sizes, "ITC-99"
         else:  # the ISCAS corner case uses K = 32, h = 16
-            benchmarks, key_sizes = iscas, (32,)
-        instances = generate_instances(
-            scheme, benchmarks, key_sizes=key_sizes, h=h, config=config,
-            technology=tech,
+            pool, key_sizes = iscas, (32,)
+        scheme_text = scheme + (f":{h}" if h is not None else "") + f"@{tech}"
+        specs.append(
+            CampaignSpec(
+                name="table3",
+                schemes=(scheme_text,),
+                suites=(suite,),
+                benchmarks=tuple(pool),
+                targets=(pool[0],),
+                key_size_groups=(tuple(key_sizes),),
+                attacks=("dataset-summary",),
+                config=config,
+            )
         )
-        dataset = build_dataset(instances)
-        summary = dataset.summary()
-        rows.append(
-            [label, summary["#Classes"], summary["|f|"], summary["#Nodes"],
-             summary["#Circuits"]]
-        )
+        labels.append(label)
+    return specs, labels
+
+
+def render_table3(records: Sequence[Mapping], labels: Sequence[str]) -> str:
+    rows = [
+        [label, record["n_classes"], record["n_features"], record["n_nodes"],
+         record["n_circuits"]]
+        for label, record in zip(labels, records)
+    ]
     return format_table(["Dataset", "#Classes", "|f|", "#Nodes", "#Circuits"], rows)
+
+
+def _run_table3() -> str:
+    specs, labels = table3_specs(attack_config())
+    records = run_bench_campaign(specs, name="table3")
+    return render_table3(records, labels)
 
 
 @pytest.mark.benchmark(group="table3")

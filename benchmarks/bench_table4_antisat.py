@@ -26,8 +26,8 @@ def _run_table4() -> str:
         suites=tuple(bench_suites()),
         config=attack_config(),
     )
-    results = run_bench_campaign(spec)
-    return paper_table([r.record for r in results], class_order=("AN", "DN"))
+    records = run_bench_campaign(spec)
+    return paper_table(records, class_order=("AN", "DN"))
 
 
 @pytest.mark.benchmark(group="table4")

@@ -21,9 +21,9 @@ def _run_table5() -> str:
         suites=tuple(bench_suites()),
         config=attack_config(),
     )
-    results = run_bench_campaign(spec)
+    records = run_bench_campaign(spec)
     return paper_table(
-        [r.record for r in results],
+        records,
         class_order=_CLASS_ORDER,
         mn_header="#Misclassified",
     )

@@ -4,113 +4,135 @@ cases where the state-of-the-art attacks fail (Section V-D).
 Rows mirror the paper: TTLock and SFLL-HD2 on two technologies, larger h
 values, and the K/h = 2 corner-case datasets on which FALL and
 SFLL-HD-Unlocked report zero keys while GNNUnlock recovers the design.
+Every attack runs as a campaign task; the per-dataset averages come from
+:func:`repro.runner.h_tech_table`, the ``aggregate()``-backed renderer that
+groups stored records by (scheme, h, technology, suite).
 """
 
-import numpy as np
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
 import pytest
 
-from benchmarks.common import PROFILE, attack_config, emit, iscas_benchmarks, itc_benchmarks
-from repro.baselines import fall_attack, sfll_hd_unlocked_attack
-from repro.core import (
-    GnnUnlockAttack,
-    build_dataset,
-    format_percent,
-    format_table,
-    generate_instances,
+from benchmarks.common import (
+    attack_config,
+    emit,
+    iscas_benchmarks,
+    itc_benchmarks,
+    run_bench_campaign,
 )
+from repro.core import AttackConfig, format_percent, format_table
+from repro.runner import CampaignSpec, h_tech_table
 
 
-def _dataset_rows(config):
-    """(label, scheme, benchmarks, key sizes, h, technology) per Table VI row."""
-    iscas = iscas_benchmarks()
-    itc = itc_benchmarks()
-    rows = [
-        ("TTLock / ISCAS-85 / 45nm", "ttlock", iscas, config.iscas_key_sizes, None, "GEN45"),
-        ("SFLL-HD2 / ISCAS-85 / 45nm", "sfll", iscas, config.iscas_key_sizes, 2, "GEN45"),
-        ("SFLL-HD2 / ISCAS-85 / 65nm", "sfll", iscas, config.iscas_key_sizes, 2, "GEN65"),
-        ("SFLL-HD4 / ISCAS-85 / 65nm", "sfll", iscas, config.iscas_key_sizes, 4, "GEN65"),
-        ("SFLL-HD16 (K=32) / ISCAS-85 / 65nm", "sfll", iscas, (32,), 16, "GEN65"),
+def table6_specs(
+    config: AttackConfig,
+    *,
+    iscas: Optional[Sequence[str]] = None,
+    itc: Optional[Sequence[str]] = None,
+    corner_key: int = 32,
+    corner_h: int = 16,
+) -> List[CampaignSpec]:
+    """Campaigns producing Table VI's dataset rows (one task per target)."""
+    iscas = tuple(iscas if iscas is not None else iscas_benchmarks())
+    itc = tuple(itc if itc is not None else itc_benchmarks())
+    specs = [
+        CampaignSpec(
+            name="table6",
+            schemes=("ttlock@GEN45", "sfll:2@GEN45", "sfll:2@GEN65", "sfll:4@GEN65"),
+            benchmarks=iscas,
+            config=config,
+        ),
+        CampaignSpec(
+            name="table6",
+            schemes=(f"sfll:{corner_h}@GEN65",),
+            benchmarks=iscas,
+            key_size_groups=((corner_key,),),
+            config=config,
+        ),
     ]
     if itc:
-        rows += [
-            ("TTLock / ITC-99 / 65nm", "ttlock", itc, config.itc_key_sizes, None, "GEN65"),
-            ("SFLL-HD4 / ITC-99 / 65nm", "sfll", itc, config.itc_key_sizes, 4, "GEN65"),
-            ("SFLL-HD32 (K=64) / ITC-99 / 65nm", "sfll", itc, (64,), 32, "GEN65"),
+        specs += [
+            CampaignSpec(
+                name="table6",
+                suites=("ITC-99",),
+                schemes=("ttlock@GEN65", "sfll:4@GEN65"),
+                benchmarks=itc,
+                config=config,
+            ),
+            CampaignSpec(
+                name="table6",
+                suites=("ITC-99",),
+                schemes=("sfll:32@GEN65",),
+                benchmarks=itc,
+                key_size_groups=((64,),),
+                config=config,
+            ),
         ]
-    return rows
+    return specs
 
 
-def _attack_average(label, scheme, benchmarks, key_sizes, h, technology, config):
-    instances = generate_instances(
-        scheme, benchmarks, key_sizes=key_sizes, h=h, config=config,
-        technology=technology,
-    )
-    dataset = build_dataset(instances)
-    attack = GnnUnlockAttack(dataset, config=config)
-    accs, precs, recs, f1s, removals, times = [], [], [], [], [], []
-    for target in benchmarks:
-        outcome = attack.attack(target)
-        macro = outcome.gnn_report.macro_average()
-        accs.append(outcome.gnn_accuracy)
-        precs.append(macro["precision"])
-        recs.append(macro["recall"])
-        f1s.append(macro["f1"])
-        removals.append(outcome.removal_success_rate)
-        times.append(outcome.history.train_time_s)
+def corner_case_specs(
+    config: AttackConfig,
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    key_size: int = 32,
+    h: int = 16,
+) -> List[CampaignSpec]:
+    """Section V-D: K/h = 2 bench-format designs, three attacks per target."""
+    benchmarks = tuple(benchmarks if benchmarks is not None else iscas_benchmarks())
     return [
-        label,
-        format_percent(float(np.mean(accs))),
-        format_percent(float(np.mean(precs))),
-        format_percent(float(np.mean(recs))),
-        format_percent(float(np.mean(f1s))),
-        format_percent(float(np.mean(removals))),
-        f"{np.mean(times):.1f}",
+        CampaignSpec(
+            name="table6-corner",
+            schemes=(f"sfll:{h}@BENCH8",),
+            benchmarks=benchmarks,
+            key_size_groups=((key_size,),),
+            attacks=("fall", "sfll-hd-unlocked", "gnnunlock"),
+            config=config,
+        )
     ]
 
 
-def _run_table6() -> str:
-    config = attack_config()
-    rows = [
-        _attack_average(label, scheme, benchmarks, key_sizes, h, tech, config)
-        for label, scheme, benchmarks, key_sizes, h, tech in _dataset_rows(config)
-    ]
-    return format_table(
-        ["Dataset", "GNN Acc. (%)", "Avg. Prec. (%)", "Avg. Rec. (%)",
-         "Avg. F1 (%)", "Removal Success (%)", "Avg. TR Time (s)"],
-        rows,
-    )
+def render_corner_cases(records: Sequence[Mapping]) -> str:
+    """Per-design comparison of FALL / SFLL-HD-Unlocked / GNNUnlock."""
+    by: Dict[Tuple[str, str], Mapping] = {
+        (str(r["attack"]), str(r["target"])): r for r in records
+    }
+    targets: List[str] = []
+    for record in records:
+        if record["attack"] == "gnnunlock" and record["target"] not in targets:
+            targets.append(str(record["target"]))
 
-
-def _run_corner_cases() -> str:
-    """Section V-D: K/h = 2 designs; prior attacks report 0 keys."""
-    config = attack_config()
-    benchmarks = iscas_benchmarks()
-    key_size, h = 32, 16
-    instances = generate_instances(
-        "sfll", benchmarks, key_sizes=(key_size,), h=h, config=config
-    )
-    dataset = build_dataset(instances)
-    attack = GnnUnlockAttack(dataset, config=config)
+    def keys_found(attack: str, target: str) -> str:
+        success = bool(by.get((attack, target), {}).get("baseline_success"))
+        return "key recovered" if success else "0 keys"
 
     rows = []
-    for target in benchmarks:
-        locked = next(
-            inst.result for inst in instances if inst.benchmark == target
-        )
-        fall = fall_attack(locked)
-        unlocked = sfll_hd_unlocked_attack(locked)
-        outcome = attack.attack(target)
+    for target in targets:
+        gnn = by[("gnnunlock", target)]
+        key_size = gnn["key_sizes"][0]
         rows.append(
             [
-                f"{target} (K={key_size}, h={h})",
-                "0 keys" if not fall.success else "key recovered",
-                "0 keys" if not unlocked.success else "key recovered",
-                format_percent(outcome.removal_success_rate),
+                f"{target} (K={key_size}, h={gnn['h']})",
+                keys_found("fall", target),
+                keys_found("sfll-hd-unlocked", target),
+                format_percent(float(gnn["removal_success_rate"])),
             ]
         )
     return format_table(
         ["Design", "FALL", "SFLL-HD-Unlocked", "GNNUnlock removal (%)"], rows
     )
+
+
+def _run_table6() -> str:
+    records = run_bench_campaign(table6_specs(attack_config()), name="table6")
+    return h_tech_table(records)
+
+
+def _run_corner_cases() -> str:
+    records = run_bench_campaign(
+        corner_case_specs(attack_config()), name="table6-corner"
+    )
+    return render_corner_cases(records)
 
 
 @pytest.mark.benchmark(group="table6")

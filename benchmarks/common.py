@@ -1,9 +1,9 @@
 """Shared configuration for the benchmark harnesses.
 
-The harnesses are thin wrappers over :mod:`repro.runner`: each one declares a
-:class:`~repro.runner.CampaignSpec`, runs it through the shared campaign
-executor (parallel workers + artifact cache), and renders the records into
-one table of the paper.
+The harnesses are thin wrappers over :mod:`repro.runner`: each one declares
+one or more :class:`~repro.runner.CampaignSpec` grids, runs them through the
+shared campaign executor (parallel workers + artifact cache + JSONL result
+store), and renders the stored records into one table of the paper.
 
 ``REPRO_BENCH_PROFILE`` selects the workload size (see
 :func:`repro.runner.profile_config`):
@@ -17,21 +17,25 @@ one table of the paper.
 ``REPRO_BENCH_WORKERS=1`` forces serial execution.  Generated datasets and
 trained models are cached under ``benchmarks/results/cache`` so re-running a
 table (or a table that shares datasets with another) skips the heavy work.
+``REPRO_BENCH_RESUME=1`` additionally skips whole tasks whose fingerprint
+already has an ``ok`` record in the table's result store (crash recovery;
+see ``python -m repro run --resume``).
 
-Tables are printed to stdout and appended to ``benchmarks/results/``.
+Tables are printed to stdout and appended to ``benchmarks/results/``; task
+records append to ``benchmarks/results/runs/<campaign>.jsonl``.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.benchgen import available_benchmarks
 from repro.core import AttackConfig
 from repro.runner import (
     CampaignSpec,
-    TaskResult,
+    ResultStore,
     profile_config,
     profile_suites,
     run_campaign,
@@ -39,6 +43,7 @@ from repro.runner import (
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 CACHE_DIR = RESULTS_DIR / "cache"
+RUNS_DIR = RESULTS_DIR / "runs"
 
 PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
 
@@ -56,19 +61,42 @@ def bench_workers() -> int:
     return min(4, os.cpu_count() or 1)
 
 
-def run_bench_campaign(spec: CampaignSpec) -> List[TaskResult]:
-    """Run a harness campaign with the shared worker pool and cache."""
+def bench_resume() -> bool:
+    """Whether harness campaigns skip tasks already ok in their store."""
+    return os.environ.get("REPRO_BENCH_RESUME", "").lower() in ("1", "true", "yes")
+
+
+def run_bench_campaign(
+    specs: Union[CampaignSpec, Sequence[CampaignSpec]],
+    *,
+    name: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Run harness campaign(s) through the shared pool, cache and store.
+
+    Accepts one spec or a sequence (their tasks run as a single campaign).
+    Returns the latest :class:`ResultStore` record per task, in task order —
+    the harnesses render their tables from these records, never from live
+    attack objects.
+    """
+    if isinstance(specs, CampaignSpec):
+        specs = [specs]
+    tasks = [task for spec in specs for task in spec.expand()]
+    name = name or specs[0].name
+    store = ResultStore(RUNS_DIR / f"{name}.jsonl")
     results = run_campaign(
-        spec.expand(),
+        tasks,
         workers=bench_workers(),
         serial=bench_workers() == 1,
         cache_dir=CACHE_DIR,
+        store=store,
+        resume=bench_resume(),
     )
     failures = [r for r in results if not r.ok]
     if failures:
         details = "; ".join(f"{r.task_id}: {r.error}" for r in failures)
         raise RuntimeError(f"{len(failures)} campaign task(s) failed: {details}")
-    return results
+    latest = store.latest()
+    return [latest[task.fingerprint()] for task in tasks]
 
 
 def bench_suites() -> List[str]:

@@ -121,6 +121,16 @@ class CellLibrary:
         """
         return len(self) + 5
 
+    def __reduce__(self):
+        # Code all over the tree compares libraries by identity
+        # (``circuit.library is BENCH8``), so a registered library must
+        # unpickle to the singleton itself — not an equal copy.  This keeps
+        # circuits loaded from the artifact cache indistinguishable from
+        # freshly generated ones.
+        if LIBRARIES.get(self.name) is self:
+            return (get_library, (self.name,))
+        return (CellLibrary, (self.name, tuple(self._cells.values())))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CellLibrary({self.name!r}, {len(self)} cells)"
 

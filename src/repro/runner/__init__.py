@@ -14,7 +14,14 @@ parallel, cached system:
 * :mod:`~repro.runner.cli` — the ``python -m repro`` command line.
 """
 
-from .cache import ArtifactCache, CacheStats, default_cache_dir, fingerprint
+from .cache import (
+    ArtifactCache,
+    CACHE_VERSION,
+    CacheEntry,
+    CacheStats,
+    default_cache_dir,
+    fingerprint,
+)
 from .campaign import (
     AttackTask,
     BASELINE_ATTACKS,
@@ -27,13 +34,21 @@ from .campaign import (
     profile_config,
     profile_suites,
 )
-from .executor import TaskResult, execute_task, outcome_record, run_campaign
-from .store import ResultStore, aggregate, campaign_table, paper_table
+from .executor import (
+    TaskResult,
+    campaign_cache_stats,
+    execute_task,
+    outcome_record,
+    run_campaign,
+)
+from .store import ResultStore, aggregate, campaign_table, h_tech_table, paper_table
 
 __all__ = [
     "ArtifactCache",
     "AttackTask",
     "BASELINE_ATTACKS",
+    "CACHE_VERSION",
+    "CacheEntry",
     "CacheStats",
     "CampaignSpec",
     "DatasetSpec",
@@ -42,10 +57,12 @@ __all__ = [
     "SchemeSpec",
     "TaskResult",
     "aggregate",
+    "campaign_cache_stats",
     "campaign_table",
     "default_cache_dir",
     "execute_task",
     "fingerprint",
+    "h_tech_table",
     "outcome_record",
     "paper_table",
     "parse_scheme_spec",

@@ -11,6 +11,12 @@ Layout: ``<root>/<kind>/<key[:2]>/<key>.pkl``.  Writes are atomic
 (temp file + rename) so concurrent workers generating the same artifact
 cannot corrupt each other; the operation is idempotent, the last writer
 wins with identical bytes.
+
+Lifecycle: every fingerprint embeds :data:`CACHE_VERSION`, so bumping the
+version after an incompatible code change retires the whole cache cleanly
+(old entries simply stop being addressed).  Stale bytes are reclaimed by
+:meth:`ArtifactCache.gc`, which evicts least-recently-used entries first —
+a cache hit refreshes the artifact's mtime, so mtime order is use order.
 """
 
 from __future__ import annotations
@@ -20,13 +26,16 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = [
     "ArtifactCache",
+    "CacheEntry",
     "CacheStats",
+    "CACHE_VERSION",
     "canonical_json",
     "default_cache_dir",
     "fingerprint",
@@ -34,6 +43,11 @@ __all__ = [
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Artifact format version, hashed into every fingerprint.  Bump it whenever
+#: dataset generation, training, or the pickled artifact layout changes in a
+#: way that makes previously cached artifacts wrong to reuse.
+CACHE_VERSION = 2
 
 _MISSING = object()
 
@@ -48,8 +62,14 @@ def canonical_json(payload: Mapping) -> str:
 
 
 def fingerprint(payload: Mapping) -> str:
-    """SHA-256 hex digest of a canonicalized spec."""
-    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+    """SHA-256 hex digest of a canonicalized spec, stamped with CACHE_VERSION.
+
+    The version stamp means a code change that bumps :data:`CACHE_VERSION`
+    invalidates every previously cached artifact (and stored result record)
+    without touching the files themselves.
+    """
+    stamped = {"cache_version": CACHE_VERSION, "spec": payload}
+    return hashlib.sha256(canonical_json(stamped).encode()).hexdigest()
 
 
 def default_cache_dir() -> Path:
@@ -58,6 +78,17 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env).expanduser()
     return Path.home() / ".cache" / "repro-gnnunlock"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored artifact: identity, size, and last-use time."""
+
+    kind: str
+    key: str
+    size_bytes: int
+    mtime: float
+    path: Path
 
 
 @dataclass
@@ -137,17 +168,23 @@ class ArtifactCache:
             return _MISSING
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
         except Exception:  # noqa: BLE001 - any unreadable entry is a miss
             try:
                 path.unlink()
             except OSError:
                 pass
             return _MISSING
+        try:
+            # A hit marks the artifact as recently used; gc() evicts by mtime.
+            os.utime(path, None)
+        except OSError:
+            pass
+        return value
 
     # ------------------------------------------------------------------
-    def entries(self, kind: Optional[str] = None) -> List[Tuple[str, str, int]]:
-        """``(kind, key, size_bytes)`` for every stored artifact."""
+    def scan(self, kind: Optional[str] = None) -> List[CacheEntry]:
+        """Every stored artifact with its size and last-use (mtime) stamp."""
         if not self.enabled or self.root is None or not self.root.is_dir():
             return []
         kinds: Iterator[Path]
@@ -155,13 +192,89 @@ class ArtifactCache:
             kinds = iter([self.root / kind])
         else:
             kinds = (p for p in sorted(self.root.iterdir()) if p.is_dir())
-        found: List[Tuple[str, str, int]] = []
+        found: List[CacheEntry] = []
         for kind_dir in kinds:
             if not kind_dir.is_dir():
                 continue
             for path in sorted(kind_dir.glob("*/*.pkl")):
-                found.append((kind_dir.name, path.stem, path.stat().st_size))
+                try:
+                    stat = path.stat()
+                except OSError:  # raced with a concurrent gc/unlink
+                    continue
+                found.append(
+                    CacheEntry(
+                        kind=kind_dir.name,
+                        key=path.stem,
+                        size_bytes=stat.st_size,
+                        mtime=stat.st_mtime,
+                        path=path,
+                    )
+                )
         return found
+
+    def entries(self, kind: Optional[str] = None) -> List[Tuple[str, str, int]]:
+        """``(kind, key, size_bytes)`` for every stored artifact."""
+        return [(e.kind, e.key, e.size_bytes) for e in self.scan(kind)]
 
     def size_bytes(self) -> int:
         return sum(size for _, _, size in self.entries())
+
+    def kind_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-kind ``{count, bytes, oldest_mtime, newest_mtime}`` summary."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for entry in self.scan():
+            bucket = stats.setdefault(
+                entry.kind,
+                {
+                    "count": 0,
+                    "bytes": 0,
+                    "oldest_mtime": entry.mtime,
+                    "newest_mtime": entry.mtime,
+                },
+            )
+            bucket["count"] += 1
+            bucket["bytes"] += entry.size_bytes
+            bucket["oldest_mtime"] = min(bucket["oldest_mtime"], entry.mtime)
+            bucket["newest_mtime"] = max(bucket["newest_mtime"], entry.mtime)
+        return stats
+
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> List[CacheEntry]:
+        """Evict artifacts least-recently-used first; returns what was evicted.
+
+        ``max_age_s`` removes every entry unused for longer than that;
+        ``max_bytes`` then removes the oldest remaining entries until the
+        cache fits the budget.  A hit refreshes an artifact's mtime, so
+        "oldest" means least recently *used*, not least recently written.
+        ``dry_run`` reports the eviction set without deleting anything.
+        """
+        if not self.enabled:
+            return []
+        now = time.time() if now is None else now
+        entries = sorted(self.scan(), key=lambda e: (e.mtime, e.kind, e.key))
+        remaining = sum(e.size_bytes for e in entries)
+        evicted: List[CacheEntry] = []
+        for entry in entries:
+            expired = max_age_s is not None and now - entry.mtime > max_age_s
+            over_budget = max_bytes is not None and remaining > max_bytes
+            if not (expired or over_budget):
+                continue
+            if not dry_run:
+                try:
+                    entry.path.unlink()
+                except OSError:
+                    continue  # still present: its bytes still count
+                try:
+                    entry.path.parent.rmdir()  # prune the shard dir if now empty
+                except OSError:
+                    pass
+            evicted.append(entry)
+            remaining -= entry.size_bytes
+        return evicted

@@ -243,6 +243,10 @@ class CampaignSpec:
     overrides: Sequence[Mapping[str, object]] = field(default_factory=lambda: ({},))
     attacks: Sequence[str] = ("gnnunlock",)
     attack_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    #: Post-processing grid axis for GNNUnlock tasks; ``(True, False)`` runs
+    #: every attack with and without rectification (the Section V ablation).
+    #: Both variants share one trained model, so the ablation trains once.
+    postprocessing: Sequence[bool] = (True,)
     config: AttackConfig = field(default_factory=AttackConfig)
     timeout_s: Optional[float] = None
     #: Derive a distinct GNN training seed per task from the task identity.
@@ -287,13 +291,20 @@ class CampaignSpec:
                                     spec.scheme, target, group, config.size_scale
                                 ):
                                     continue
-                                tasks.append(
-                                    self._make_task(
-                                        spec, suite, dataset, group,
-                                        override_idx, len(overrides),
-                                        attack, target, config,
-                                    )
+                                pp_axis = (
+                                    tuple(self.postprocessing) or (True,)
+                                    if attack == "gnnunlock"
+                                    else (True,)
                                 )
+                                for apply_pp in pp_axis:
+                                    tasks.append(
+                                        self._make_task(
+                                            spec, suite, dataset, group,
+                                            override_idx, len(overrides),
+                                            attack, target, config,
+                                            apply_postprocessing=apply_pp,
+                                        )
+                                    )
         return tasks
 
     def _make_task(
@@ -307,14 +318,20 @@ class CampaignSpec:
         attack: str,
         target: str,
         config: AttackConfig,
+        *,
+        apply_postprocessing: bool = True,
     ) -> AttackTask:
         key_part = "k" + ".".join(str(k) for k in group)
         id_parts = [self.name, str(spec), suite, key_part]
         if n_overrides > 1:
             id_parts.append(f"ov{override_idx}")
         id_parts += [attack, target]
+        if not apply_postprocessing:
+            id_parts.append("raw")
         task_config = config
         if self.derive_gnn_seeds and attack == "gnnunlock":
+            # The seed ignores the post-processing axis on purpose: both
+            # ablation variants must share one trained (and cached) model.
             task_config = config.with_gnn(
                 seed=config.derive_seed(
                     "gnn", str(spec), suite, key_part, override_idx, target
@@ -328,6 +345,7 @@ class CampaignSpec:
             target_benchmark=target,
             attack=attack,
             config=task_config,
+            apply_postprocessing=apply_postprocessing,
             attack_params=params,
             timeout_s=self.timeout_s,
         )

@@ -5,14 +5,18 @@ Subcommands::
     repro run      expand a campaign grid and execute it (parallel by default)
     repro list     show the expanded tasks and their cache status
     repro report   aggregate a JSONL result store into paper-style tables
+    repro cache    artifact-cache maintenance (stats, gc)
 
 Examples::
 
     python -m repro run --profile quick --targets c2670 c3540
     python -m repro run --scheme sfll:2@GEN65 --key-sizes 8,16 --workers 4
     python -m repro run --profile quick --dry-run
+    python -m repro run --profile quick --resume   # skip tasks already done
     python -m repro list --profile quick
     python -m repro report --store runs/quick-campaign.jsonl
+    python -m repro cache stats
+    python -m repro cache gc --max-bytes 2G --max-age 30d
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import argparse
 import itertools
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -35,6 +40,42 @@ from .executor import run_campaign
 from .store import ResultStore, aggregate, campaign_table, paper_table
 
 __all__ = ["build_parser", "main"]
+
+
+_SIZE_UNITS = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+_AGE_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def _parse_size(text: str) -> int:
+    """``"500M"``, ``"2G"``, ``"1048576"`` -> bytes."""
+    t = text.strip().lower()
+    if t.endswith("b"):
+        t = t[:-1]
+    multiplier = 1
+    if t and t[-1] in _SIZE_UNITS:
+        multiplier = _SIZE_UNITS[t[-1]]
+        t = t[:-1]
+    return int(float(t) * multiplier)
+
+
+def _parse_age(text: str) -> float:
+    """``"12h"``, ``"7d"``, ``"3600"`` -> seconds."""
+    t = text.strip().lower()
+    multiplier = 1
+    if t and t[-1] in _AGE_UNITS:
+        multiplier = _AGE_UNITS[t[-1]]
+        t = t[:-1]
+    return float(t) * multiplier
+
+
+def _format_size(n_bytes: float) -> str:
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            text = f"{value:.1f}" if unit != "B" else f"{int(value)}"
+            return f"{text} {unit}"
+        value /= 1024
+    return f"{n_bytes} B"
 
 
 def _parse_value(text: str) -> object:
@@ -152,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="print the expanded tasks without executing anything",
     )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="skip tasks whose fingerprint already has an ok record in the "
+        "store (pick an interrupted campaign back up)",
+    )
 
     list_cmd = sub.add_parser("list", help="show expanded tasks and cache status")
     _add_grid_arguments(list_cmd)
@@ -159,6 +205,33 @@ def build_parser() -> argparse.ArgumentParser:
     list_cmd.add_argument(
         "--cache", action="store_true", dest="show_cache",
         help="list cached artifacts instead of campaign tasks",
+    )
+
+    cache_cmd = sub.add_parser("cache", help="artifact-cache maintenance")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    stats_cmd = cache_sub.add_parser(
+        "stats", help="per-kind artifact counts and sizes"
+    )
+    gc_cmd = cache_sub.add_parser(
+        "gc", help="evict artifacts least-recently-used first"
+    )
+    for sub_cmd in (stats_cmd, gc_cmd):
+        sub_cmd.add_argument(
+            "--cache-dir", type=Path, default=None,
+            help=f"artifact cache directory (default: {default_cache_dir()})",
+        )
+    gc_cmd.add_argument(
+        "--max-bytes", type=_parse_size, default=None, metavar="SIZE",
+        help="shrink the cache to at most this size (suffixes K/M/G/T)",
+    )
+    gc_cmd.add_argument(
+        "--max-age", type=_parse_age, default=None, metavar="AGE",
+        help="evict artifacts unused for longer than this "
+        "(seconds, or suffixed 30m/12h/7d/2w)",
+    )
+    gc_cmd.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting anything",
     )
 
     report = sub.add_parser("report", help="aggregate a JSONL result store")
@@ -248,6 +321,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         serial=args.serial,
         store=store,
+        resume=args.resume,
         echo=print,
     )
     display = []
@@ -283,6 +357,49 @@ def _cmd_list(args: argparse.Namespace) -> int:
             print(f"  {kind:8s} {key[:16]}  {size} bytes")
         return 0
     _print_tasks(_campaign_from_args(args), cache)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    cache = ArtifactCache(cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.kind_stats()
+        if not stats:
+            print(f"cache at {cache.root} is empty")
+            return 0
+        now = time.time()
+        total_count = int(sum(bucket["count"] for bucket in stats.values()))
+        total_bytes = sum(bucket["bytes"] for bucket in stats.values())
+        print(
+            f"cache at {cache.root}: {total_count} artifact(s), "
+            f"{_format_size(total_bytes)}"
+        )
+        for kind in sorted(stats):
+            bucket = stats[kind]
+            idle_s = max(0.0, now - bucket["newest_mtime"])
+            print(
+                f"  {kind:10s} {int(bucket['count']):5d} artifact(s)  "
+                f"{_format_size(bucket['bytes']):>10s}  "
+                f"last used {idle_s / 3600:.1f}h ago"
+            )
+        return 0
+    # gc
+    if args.max_bytes is None and args.max_age is None:
+        print("error: cache gc needs --max-bytes and/or --max-age", file=sys.stderr)
+        return 2
+    before = cache.size_bytes()
+    evicted = cache.gc(
+        max_bytes=args.max_bytes, max_age_s=args.max_age, dry_run=args.dry_run
+    )
+    freed = sum(entry.size_bytes for entry in evicted)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(
+        f"{verb} {len(evicted)} artifact(s), {_format_size(freed)} "
+        f"(cache was {_format_size(before)})"
+    )
+    for entry in evicted:
+        print(f"  {entry.kind:10s} {entry.key[:16]}  {_format_size(entry.size_bytes)}")
     return 0
 
 
@@ -325,7 +442,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": _cmd_run, "list": _cmd_list, "report": _cmd_report}
+    handlers = {
+        "run": _cmd_run,
+        "list": _cmd_list,
+        "report": _cmd_report,
+        "cache": _cmd_cache,
+    }
     try:
         return handlers[args.command](args)
     except ValueError as exc:

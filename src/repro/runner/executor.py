@@ -24,10 +24,16 @@ from importlib import import_module
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.attack import AttackOutcome, attack_design, train_attack_model
-from .cache import ArtifactCache, default_cache_dir
+from .cache import ArtifactCache, CacheStats, default_cache_dir
 from .campaign import BASELINE_ATTACKS, AttackTask
 
-__all__ = ["TaskResult", "execute_task", "outcome_record", "run_campaign"]
+__all__ = [
+    "TaskResult",
+    "campaign_cache_stats",
+    "execute_task",
+    "outcome_record",
+    "run_campaign",
+]
 
 
 @dataclass
@@ -47,7 +53,8 @@ class TaskResult:
 
     @property
     def ok(self) -> bool:
-        return self.status == "ok"
+        # "skipped" is a resumed task whose ok record already exists.
+        return self.status in ("ok", "skipped")
 
 
 def outcome_record(outcome: AttackOutcome) -> Dict[str, object]:
@@ -69,6 +76,7 @@ def outcome_record(outcome: AttackOutcome) -> Dict[str, object]:
             "misclassification_summary": report.misclassification_summary(),
         }
 
+    macro = outcome.gnn_report.macro_average()
     return {
         "target": outcome.target_benchmark,
         "validation": outcome.validation_benchmark,
@@ -77,6 +85,9 @@ def outcome_record(outcome: AttackOutcome) -> Dict[str, object]:
         "n_instances": len(outcome.instances),
         "gnn_accuracy": float(outcome.gnn_accuracy),
         "post_accuracy": float(outcome.post_accuracy),
+        "gnn_macro_precision": float(macro["precision"]),
+        "gnn_macro_recall": float(macro["recall"]),
+        "gnn_macro_f1": float(macro["f1"]),
         "removal_success_rate": float(outcome.removal_success_rate),
         "gnn_report": report_dict(outcome.gnn_report),
         "post_report": report_dict(outcome.post_report),
@@ -103,12 +114,15 @@ def _task_metadata(task: AttackTask) -> Dict[str, object]:
         "task_id": task.task_id,
         "fingerprint": task.fingerprint(),
         "attack": task.attack,
+        "target": task.target_benchmark,
         "scheme": ds.scheme,
         "h": ds.h,
         "technology": ds.technology,
         "suite": ds.suite,
         "key_sizes": list(ds.key_sizes),
         "seed": ds.seed,
+        "apply_postprocessing": task.apply_postprocessing,
+        "verify_removal": task.verify_removal,
         "dataset_fingerprint": ds.fingerprint(),
     }
 
@@ -133,13 +147,15 @@ def execute_task(task: AttackTask, cache_dir: Optional[str] = None) -> TaskResul
         instances = _load_or_generate_dataset(task, cache, events)
         if task.attack == "gnnunlock":
             record = _run_gnnunlock(task, instances, cache, events)
+        elif task.attack == "dataset-summary":
+            record = _run_dataset_summary(task, instances)
         elif task.attack in BASELINE_ATTACKS:
             record = _run_baseline(task, instances)
             events["model"] = "off"
         else:
             raise ValueError(
-                f"unknown attack {task.attack!r}; choose 'gnnunlock' or one of "
-                f"{sorted(BASELINE_ATTACKS)}"
+                f"unknown attack {task.attack!r}; choose 'gnnunlock', "
+                f"'dataset-summary' or one of {sorted(BASELINE_ATTACKS)}"
             )
         record.update(_task_metadata(task))
         record["cache"] = dict(events)
@@ -219,6 +235,20 @@ def _run_gnnunlock(
     return outcome_record(outcome)
 
 
+def _run_dataset_summary(task: AttackTask, instances: list) -> Dict[str, object]:
+    """Table III-style row: build the dataset and record its shape only."""
+    dataset = task.dataset.build(instances)
+    summary = dataset.summary()
+    return {
+        "target": task.target_benchmark,
+        "n_instances": len(instances),
+        "n_circuits": int(summary["#Circuits"]),
+        "n_nodes": int(summary["#Nodes"]),
+        "n_classes": int(summary["#Classes"]),
+        "n_features": int(summary["|f|"]),
+    }
+
+
 def _run_baseline(task: AttackTask, instances: list) -> Dict[str, object]:
     attack_fn = _resolve_baseline(task.attack)
     kwargs = dict(task.attack_params)
@@ -249,6 +279,30 @@ def _run_baseline(task: AttackTask, instances: list) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+def campaign_cache_stats(results: Sequence) -> CacheStats:
+    """Aggregate per-task cache events into one :class:`CacheStats`.
+
+    Workers count hits/misses in their own processes, so the per-handle
+    counters never reach the campaign driver; the structured
+    ``TaskResult.cache_events`` do.  Accepts :class:`TaskResult` objects or
+    stored record dicts (their ``"cache"`` field).  Skipped (resumed) tasks
+    contribute nothing — no artifact was touched on their behalf.
+    """
+    stats = CacheStats()
+    for result in results:
+        events = (
+            result.cache_events
+            if hasattr(result, "cache_events")
+            else (result.get("cache") or {})
+        )
+        for kind, event in sorted(events.items()):
+            if event == "hit":
+                stats.count(kind, "hits")
+            elif event == "miss":
+                stats.count(kind, "misses")
+    return stats
+
+
 def run_campaign(
     tasks: Sequence[AttackTask],
     *,
@@ -257,6 +311,7 @@ def run_campaign(
     use_cache: bool = True,
     serial: bool = False,
     store=None,
+    resume: bool = False,
     echo: Optional[Callable[[str], None]] = None,
 ) -> List[TaskResult]:
     """Run a campaign and return one :class:`TaskResult` per task, in order.
@@ -266,6 +321,12 @@ def run_campaign(
     (default: one per CPU, capped by the task count).  ``store`` is an
     optional :class:`~repro.runner.store.ResultStore` that every finished
     task's record is appended to.
+
+    ``resume=True`` (requires ``store``) skips every task whose fingerprint
+    already has an ``ok`` record in the store: the stored record is returned
+    as a ``skipped`` result and nothing is re-executed or re-appended, so an
+    interrupted campaign picks up exactly where it stopped and the final
+    store contents match an uninterrupted run.
 
     ``timeout_s`` is a campaign wall-clock budget per task, measured from
     campaign submission (per-task *runtime* cannot be observed from outside
@@ -280,6 +341,59 @@ def run_campaign(
     if not use_cache:
         cache_path = None
     tasks = list(tasks)
+
+    completed: Dict[str, Dict[str, object]] = {}
+    if resume:
+        if store is None:
+            raise ValueError("resume=True needs the campaign's result store")
+        completed = {
+            fp: record
+            for fp, record in store.latest().items()
+            if record.get("status") == "ok"
+        }
+    prior_records = [completed.get(task.fingerprint()) for task in tasks]
+    pending = [task for task, prior in zip(tasks, prior_records) if prior is None]
+    if resume:
+        echo(
+            f"resume: {len(tasks) - len(pending)} task(s) already complete, "
+            f"{len(pending)} to run"
+        )
+    executed = iter(
+        _run_pending(
+            pending,
+            workers=workers,
+            cache_path=cache_path,
+            serial=serial,
+            store=store,
+            echo=echo,
+        )
+    )
+    results: List[TaskResult] = []
+    for task, prior in zip(tasks, prior_records):
+        if prior is not None:
+            results.append(
+                TaskResult(
+                    task_id=task.task_id,
+                    fingerprint=task.fingerprint(),
+                    status="skipped",
+                    record=prior,
+                )
+            )
+        else:
+            results.append(next(executed))
+    return results
+
+
+def _run_pending(
+    tasks: List[AttackTask],
+    *,
+    workers: Optional[int],
+    cache_path: Optional[str],
+    serial: bool,
+    store,
+    echo: Callable[[str], None],
+) -> List[TaskResult]:
+    """Execute tasks (serially or over a process pool), in task order."""
     results: List[TaskResult] = []
     submitted = time.perf_counter()
 

@@ -21,6 +21,7 @@ __all__ = [
     "ResultStore",
     "aggregate",
     "campaign_table",
+    "h_tech_table",
     "paper_table",
 ]
 
@@ -55,11 +56,16 @@ class ResultStore:
         return records
 
     def latest(self) -> Dict[str, Dict[str, object]]:
-        """Most recent record per task fingerprint."""
+        """Most recent record per task fingerprint.
+
+        Records carrying neither a ``fingerprint`` nor a ``task_id`` (foreign
+        or hand-written lines) stay distinct under a synthetic per-line key
+        instead of all collapsing onto one entry.
+        """
         latest: Dict[str, Dict[str, object]] = {}
-        for record in self.load():
-            key = str(record.get("fingerprint", record.get("task_id", "")))
-            latest[key] = record
+        for index, record in enumerate(self.load()):
+            key = record.get("fingerprint") or record.get("task_id")
+            latest[str(key) if key else f"#record{index}"] = record
         return latest
 
     def clear(self) -> None:
@@ -140,12 +146,67 @@ def aggregate(
                 "n_instances": int(sum(int(r.get("n_instances", 0)) for r in items)),
                 "gnn_accuracy": mean(items, "gnn_accuracy"),
                 "post_accuracy": mean(items, "post_accuracy"),
+                "gnn_macro_precision": mean(items, "gnn_macro_precision"),
+                "gnn_macro_recall": mean(items, "gnn_macro_recall"),
+                "gnn_macro_f1": mean(items, "gnn_macro_f1"),
                 "removal_success_rate": mean(items, "removal_success_rate"),
                 "train_time_s": mean(items, "train_time_s"),
             }
         )
         summary.append(entry)
     return summary
+
+
+# ----------------------------------------------------------------------
+_SCHEME_LABELS = {"antisat": "Anti-SAT", "ttlock": "TTLock", "xor": "XOR"}
+_TECH_LABELS = {"BENCH8": "bench", "GEN65": "65nm", "GEN45": "45nm"}
+
+
+def _dataset_label(entry: Mapping) -> str:
+    """Paper-style row label, e.g. ``SFLL-HD2 / ISCAS-85 / 65nm``."""
+    scheme = str(entry.get("scheme", "?"))
+    h = entry.get("h")
+    name = _SCHEME_LABELS.get(scheme, scheme)
+    if scheme == "sfll":
+        name = f"SFLL-HD{h}" if h is not None else "SFLL-HD"
+    parts = [name]
+    if entry.get("suite"):
+        parts.append(str(entry["suite"]))
+    tech = entry.get("technology")
+    if tech:
+        parts.append(_TECH_LABELS.get(str(tech), str(tech)))
+    return " / ".join(parts)
+
+
+def h_tech_table(
+    records: Iterable[Mapping],
+    group_by: Sequence[str] = ("scheme", "h", "technology", "suite"),
+) -> str:
+    """Render Table VI: per-dataset averages over h values and technologies.
+
+    Each row is one ``aggregate()`` group — by default one (scheme, h,
+    technology, suite) dataset — averaging GNN accuracy, the macro-averaged
+    precision / recall / F1, the removal success rate and the training time
+    over every attacked benchmark of the group.
+    """
+    rows = []
+    for entry in aggregate(records, group_by=group_by):
+        rows.append(
+            [
+                _dataset_label(entry),
+                format_percent(float(entry["gnn_accuracy"])),
+                format_percent(float(entry["gnn_macro_precision"])),
+                format_percent(float(entry["gnn_macro_recall"])),
+                format_percent(float(entry["gnn_macro_f1"])),
+                format_percent(float(entry["removal_success_rate"])),
+                f"{float(entry['train_time_s']):.1f}",
+            ]
+        )
+    return format_table(
+        ["Dataset", "GNN Acc. (%)", "Avg. Prec. (%)", "Avg. Rec. (%)",
+         "Avg. F1 (%)", "Removal Success (%)", "Avg. TR Time (s)"],
+        rows,
+    )
 
 
 def campaign_table(records: Iterable[Mapping]) -> str:
@@ -159,14 +220,19 @@ def campaign_table(records: Iterable[Mapping]) -> str:
             else "-"
         )
         status = record.get("status", "ok")
-        if status == "ok" and "gnn_accuracy" in record:
+        done = status in ("ok", "skipped")
+        if done and "gnn_accuracy" in record:
             headline = (
                 f"acc {format_percent(float(record['gnn_accuracy']))} / "
                 f"removal {format_percent(float(record['removal_success_rate']))}"
             )
-        elif status == "ok" and "baseline_success_rate" in record:
+        elif done and "baseline_success_rate" in record:
             headline = (
                 f"success {format_percent(float(record['baseline_success_rate']))}"
+            )
+        elif done and "n_nodes" in record:
+            headline = (
+                f"{record['n_nodes']} nodes / {record['n_circuits']} circuits"
             )
         else:
             headline = str(record.get("error", "-"))[:60]

@@ -1,0 +1,68 @@
+"""Harness-level campaign behaviour: warm-cache reruns do zero heavy work
+and ``REPRO_BENCH_RESUME`` skips completed tasks entirely.
+
+These tests drive :func:`benchmarks.common.run_bench_campaign` — the exact
+code path every ``bench_table*`` harness uses — against a temporary cache
+and result store.
+"""
+
+import pytest
+
+import benchmarks.common as common
+from benchmarks.bench_table2_gnn_config import table2_spec
+from repro.runner import ResultStore, campaign_cache_stats
+
+from tests.benchmarks.conftest import TINY, TINY_BENCHMARKS
+
+
+@pytest.fixture
+def sandboxed_common(monkeypatch, tmp_path):
+    """Point the shared harness cache/store at a temp dir, serial workers."""
+    monkeypatch.setattr(common, "CACHE_DIR", tmp_path / "cache")
+    monkeypatch.setattr(common, "RUNS_DIR", tmp_path / "runs")
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "1")
+    monkeypatch.delenv("REPRO_BENCH_RESUME", raising=False)
+    return tmp_path
+
+
+def test_harness_rerun_with_warm_cache_is_zero_work(sandboxed_common):
+    """Acceptance: a second harness run performs zero dataset generations
+    and zero GNN training runs — every artifact comes from the cache."""
+    spec = table2_spec(TINY, benchmarks=TINY_BENCHMARKS)
+    cold = common.run_bench_campaign(spec)
+    cold_stats = campaign_cache_stats(cold)
+    assert cold_stats.misses > 0  # first run had to generate and train
+
+    warm = common.run_bench_campaign(spec)
+    warm_stats = campaign_cache_stats(warm)
+    assert warm_stats.misses == 0
+    assert warm_stats.per_kind["dataset"]["hits"] == 1
+    assert warm_stats.per_kind["model"]["hits"] == 1
+
+
+def test_harness_resume_skips_completed_tasks(sandboxed_common, monkeypatch):
+    spec = table2_spec(TINY, benchmarks=TINY_BENCHMARKS)
+    cold = common.run_bench_campaign(spec)
+    store_path = sandboxed_common / "runs" / "table2.jsonl"
+    n_records = len(ResultStore(store_path).load())
+
+    monkeypatch.setenv("REPRO_BENCH_RESUME", "1")
+    resumed = common.run_bench_campaign(spec)
+    # Nothing re-executed: the store did not grow and the records returned
+    # are the first run's, byte for byte.
+    assert len(ResultStore(store_path).load()) == n_records
+    assert resumed == cold
+
+
+def test_harness_raises_on_failed_tasks(sandboxed_common):
+    from repro.runner import CampaignSpec
+
+    spec = CampaignSpec(
+        name="broken",
+        schemes=("antisat",),
+        # Two designs cannot form a train/val/test split, so tasks fail.
+        benchmarks=("c2670", "c3540"),
+        config=TINY,
+    )
+    with pytest.raises(RuntimeError, match="campaign task"):
+        common.run_bench_campaign(spec)

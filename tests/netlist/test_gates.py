@@ -109,3 +109,23 @@ class TestLibraries:
 
         with pytest.raises(ValueError):
             CellLibrary("dup", [CellType("INV", 1, _not), CellType("INV", 1, _not)])
+
+    def test_registered_libraries_keep_identity_through_pickle(self):
+        """Scheme/format dispatch compares libraries by identity
+        (``circuit.library is BENCH8``), so artifacts loaded from the
+        pickle-based cache must restore the singleton, not a copy."""
+        import pickle
+
+        for library in (BENCH8, GEN65, GEN45):
+            assert pickle.loads(pickle.dumps(library)) is library
+
+    def test_unregistered_library_pickles_by_value(self):
+        import pickle
+
+        from repro.netlist.gates import CellLibrary
+
+        custom = CellLibrary("CUSTOM", list(GEN65)[:3])
+        thawed = pickle.loads(pickle.dumps(custom))
+        assert thawed is not custom
+        assert thawed.name == "CUSTOM"
+        assert thawed.cell_names == custom.cell_names

@@ -1,10 +1,14 @@
-"""Artifact-cache behaviour: hits, misses, atomicity and corruption handling."""
+"""Artifact-cache behaviour: hits, misses, atomicity, corruption handling,
+version stamping and LRU garbage collection."""
 
+import os
 import pickle
+import time
 
 import pytest
 
 from repro.runner import ArtifactCache, fingerprint
+from repro.runner import cache as cache_module
 from repro.runner.cache import canonical_json
 
 
@@ -80,3 +84,89 @@ class TestArtifactCache:
         restored = cache.get("model", "ad" * 32)
         assert restored == value
         assert pickle.dumps(restored)
+
+
+class TestCacheVersion:
+    def test_version_stamp_changes_every_fingerprint(self, monkeypatch):
+        payload = {"kind": "dataset", "seed": 11}
+        before = fingerprint(payload)
+        monkeypatch.setattr(cache_module, "CACHE_VERSION", cache_module.CACHE_VERSION + 1)
+        assert fingerprint(payload) != before
+
+    def test_canonical_json_is_version_free(self, monkeypatch):
+        """Only the hash is stamped; the canonical rendering stays stable."""
+        payload = {"a": 1}
+        before = canonical_json(payload)
+        monkeypatch.setattr(cache_module, "CACHE_VERSION", 999)
+        assert canonical_json(payload) == before
+
+
+def _age(path, seconds):
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+class TestCacheGc:
+    def _filled(self, tmp_path, sizes=(100, 200, 300)):
+        cache = ArtifactCache(tmp_path)
+        paths = []
+        for index, size in enumerate(sizes):
+            key = f"{index:02d}" * 32
+            paths.append(cache.put("dataset", key, b"x" * size))
+        return cache, paths
+
+    def test_max_age_evicts_only_stale_entries(self, tmp_path):
+        cache, paths = self._filled(tmp_path)
+        _age(paths[0], 3600)
+        evicted = cache.gc(max_age_s=60)
+        assert [e.path for e in evicted] == [paths[0]]
+        assert not paths[0].exists() and paths[1].exists()
+
+    def test_max_bytes_evicts_oldest_first(self, tmp_path):
+        cache, paths = self._filled(tmp_path)
+        _age(paths[0], 300)
+        _age(paths[1], 200)
+        total = cache.size_bytes()
+        evicted = cache.gc(max_bytes=total - 1)
+        # Only the single oldest entry needs to go to fit the budget.
+        assert [e.path for e in evicted] == [paths[0]]
+        assert cache.size_bytes() <= total - 1
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        cache, paths = self._filled(tmp_path)
+        for path in paths:
+            _age(path, 500)
+        _age(paths[2], 600)  # oldest by write...
+        cache.get("dataset", paths[2].stem)  # ...but freshly used
+        evicted = cache.gc(max_age_s=60)
+        assert paths[2].exists()
+        assert {e.path for e in evicted} == {paths[0], paths[1]}
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        cache, paths = self._filled(tmp_path)
+        evicted = cache.gc(max_bytes=0, dry_run=True)
+        assert len(evicted) == len(paths)
+        assert all(path.exists() for path in paths)
+
+    def test_empty_shard_dirs_are_pruned(self, tmp_path):
+        cache, paths = self._filled(tmp_path)
+        cache.gc(max_bytes=0)
+        assert all(not path.parent.exists() for path in paths)
+
+    def test_disabled_cache_gc_is_inert(self):
+        assert ArtifactCache(None).gc(max_bytes=0) == []
+
+    def test_no_criteria_evicts_nothing(self, tmp_path):
+        cache, paths = self._filled(tmp_path)
+        assert cache.gc() == []
+        assert all(path.exists() for path in paths)
+
+    def test_kind_stats_summarises_per_kind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("dataset", "aa" * 32, b"x" * 10)
+        cache.put("dataset", "ab" * 32, b"x" * 20)
+        cache.put("model", "ba" * 32, b"x" * 5)
+        stats = cache.kind_stats()
+        assert set(stats) == {"dataset", "model"}
+        assert stats["dataset"]["count"] == 2
+        assert stats["dataset"]["bytes"] > stats["model"]["bytes"]

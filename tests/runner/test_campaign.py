@@ -94,6 +94,44 @@ class TestGridExpansion:
         assert task.dataset.locks_per_setting == 2
 
 
+class TestPostprocessingAxis:
+    def test_axis_doubles_gnnunlock_tasks(self, tiny_campaign):
+        import dataclasses
+
+        spec = dataclasses.replace(tiny_campaign, postprocessing=(True, False))
+        tasks = spec.expand()
+        assert len(tasks) == 2 * len(tiny_campaign.expand())
+        raw = [t for t in tasks if not t.apply_postprocessing]
+        assert len(raw) == len(tasks) // 2
+        assert all(t.task_id.endswith("/raw") for t in raw)
+        assert len({t.fingerprint() for t in tasks}) == len(tasks)
+
+    def test_variants_share_the_trained_model(self, tiny_campaign):
+        """Both ablation arms must hit the same cached model."""
+        import dataclasses
+
+        spec = dataclasses.replace(tiny_campaign, postprocessing=(True, False))
+        by_target = {}
+        for task in spec.expand():
+            by_target.setdefault(task.target_benchmark, []).append(task)
+        for variants in by_target.values():
+            assert len({t.model_fingerprint() for t in variants}) == 1
+            assert len({t.config.gnn.seed for t in variants}) == 1
+
+    def test_baseline_attacks_ignore_the_axis(self, tiny_config):
+        spec = CampaignSpec(
+            name="pp-baseline",
+            schemes=("xor",),
+            benchmarks=("c2670", "c3540", "c5315"),
+            targets=("c2670",),
+            key_size_groups=((4,),),
+            attacks=("sat",),
+            postprocessing=(True, False),
+            config=tiny_config,
+        )
+        assert len(spec.expand()) == 1
+
+
 class TestDatasetSpec:
     def test_generation_is_bit_identical(self):
         spec = DatasetSpec(

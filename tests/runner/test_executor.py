@@ -1,4 +1,5 @@
-"""Executor behaviour: parallel == serial, cache reuse, crash isolation."""
+"""Executor behaviour: parallel == serial, cache reuse, crash isolation,
+campaign resume and aggregated cache statistics."""
 
 import dataclasses
 
@@ -9,7 +10,9 @@ from repro.runner import (
     CampaignSpec,
     DatasetSpec,
     ResultStore,
+    campaign_cache_stats,
     execute_task,
+    paper_table,
     run_campaign,
 )
 
@@ -128,6 +131,112 @@ class TestTimeouts:
         assert results[0].ok
 
 
+class TestResume:
+    def test_resume_needs_a_store(self, tiny_campaign):
+        with pytest.raises(ValueError, match="store"):
+            run_campaign(tiny_campaign.expand(), resume=True)
+
+    def test_interrupted_campaign_resumes_and_matches_uninterrupted(
+        self, tiny_campaign, tmp_path
+    ):
+        """Interrupt after task 1, resume, compare against a straight run."""
+        tasks = tiny_campaign.expand()
+        cache = tmp_path / "cache"
+
+        straight_store = ResultStore(tmp_path / "straight.jsonl")
+        run_campaign(tasks, serial=True, cache_dir=cache, store=straight_store)
+
+        resumed_store = ResultStore(tmp_path / "resumed.jsonl")
+        # "Interruption": only the first task ever ran.
+        run_campaign(tasks[:1], serial=True, cache_dir=cache, store=resumed_store)
+        results = run_campaign(
+            tasks, serial=True, cache_dir=cache, store=resumed_store, resume=True
+        )
+        assert [r.status for r in results] == ["skipped", "ok"]
+
+        straight = straight_store.latest()
+        resumed = resumed_store.latest()
+        assert list(straight) == list(resumed)
+        # The rendered report is byte-identical to the uninterrupted run's.
+        assert paper_table(list(resumed.values())) == paper_table(
+            list(straight.values())
+        )
+
+    def test_second_resume_executes_zero_tasks(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_campaign(tasks, serial=True, cache_dir=tmp_path / "cache", store=store)
+        results = run_campaign(
+            tasks, serial=True, cache_dir=tmp_path / "cache", store=store,
+            resume=True,
+        )
+        assert [r.status for r in results] == ["skipped", "skipped"]
+        assert all(r.ok for r in results)
+        # Nothing re-executed => nothing re-appended and no cache traffic.
+        assert len(store.load()) == len(tasks)
+        stats = campaign_cache_stats(results)
+        assert stats.hits == stats.misses == 0
+
+    def test_resume_reports_skip_counts(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_campaign(tasks[:1], serial=True, cache_dir=tmp_path / "c", store=store)
+        lines = []
+        run_campaign(
+            tasks, serial=True, cache_dir=tmp_path / "c", store=store,
+            resume=True, echo=lines.append,
+        )
+        assert any("1 task(s) already complete, 1 to run" in line for line in lines)
+
+    def test_failed_records_are_not_skipped(self, tiny_campaign, tmp_path):
+        """Only ok records satisfy resume; failures re-execute."""
+        task = tiny_campaign.expand()[0]
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(
+            {"fingerprint": task.fingerprint(), "status": "failed", "error": "x"}
+        )
+        results = run_campaign(
+            [task], serial=True, cache_dir=tmp_path / "cache", store=store,
+            resume=True,
+        )
+        assert results[0].status == "ok"
+
+
+class TestCampaignCacheStats:
+    def test_warm_rerun_counts_only_hits(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        cold = run_campaign(tasks, serial=True, cache_dir=tmp_path / "cache")
+        warm = run_campaign(tasks, serial=True, cache_dir=tmp_path / "cache")
+        cold_stats = campaign_cache_stats(cold)
+        assert cold_stats.misses > 0
+        warm_stats = campaign_cache_stats(warm)
+        assert warm_stats.misses == 0
+        assert warm_stats.hits == 2 * len(tasks)  # dataset + model per task
+        assert warm_stats.per_kind["dataset"]["hits"] == len(tasks)
+        assert warm_stats.per_kind["model"]["misses"] == 0
+
+
+class TestDatasetSummaryTasks:
+    def test_dataset_summary_records_shape_only(self, tiny_campaign, tmp_path):
+        spec = dataclasses.replace(tiny_campaign, attacks=("dataset-summary",))
+        tasks = spec.expand()
+        result = execute_task(tasks[0], str(tmp_path / "cache"))
+        assert result.ok, result.error
+        record = result.record
+        assert record["attack"] == "dataset-summary"
+        assert record["n_circuits"] == 3
+        assert record["n_classes"] == 2  # Anti-SAT: AN vs DN
+        assert record["n_nodes"] > 0 and record["n_features"] > 0
+        assert "gnn_accuracy" not in record
+
+    def test_dataset_summary_uses_the_dataset_cache(self, tiny_campaign, tmp_path):
+        spec = dataclasses.replace(tiny_campaign, attacks=("dataset-summary",))
+        task = spec.expand()[0]
+        execute_task(task, str(tmp_path / "cache"))
+        warm = execute_task(task, str(tmp_path / "cache"))
+        assert warm.cache_events == {"dataset": "hit"}
+
+
 class TestBaselineTasks:
     def test_baseline_attack_runs_through_the_runner(self, tiny_config, tmp_path):
         spec = CampaignSpec(
@@ -146,3 +255,25 @@ class TestBaselineTasks:
         assert result.record["attack"] == "sat"
         assert result.record["n_instances"] == 1
         assert result.record["baseline_success"] is True
+
+    def test_baseline_results_do_not_depend_on_cache_temperature(
+        self, tiny_config, tmp_path
+    ):
+        """A cached (pickled) dataset must behave exactly like a fresh one —
+        library identity survives the round-trip, so format/scheme dispatch
+        in the baseline attacks sees the same circuits either way."""
+        spec = CampaignSpec(
+            name="probe",
+            schemes=("sfll:2@BENCH8",),
+            benchmarks=("c7552",),
+            key_size_groups=((16,),),
+            attacks=("fall", "sfll-hd-unlocked"),
+            config=tiny_config,
+        )
+        tasks = spec.expand()
+        cold = [execute_task(t, str(tmp_path / "cache")) for t in tasks]
+        warm = [execute_task(t, str(tmp_path / "cache")) for t in tasks]
+        assert [r.cache_events["dataset"] for r in warm] == ["hit", "hit"]
+        for before, after in zip(cold, warm):
+            assert after.ok, after.error
+            assert _scrub(after.record) == _scrub(before.record)

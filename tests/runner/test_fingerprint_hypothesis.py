@@ -1,0 +1,44 @@
+"""Randomized cache-key sweeps; the whole module skips cleanly when
+hypothesis is not installed (the deterministic counterparts live in
+``test_fingerprint_props.py``)."""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.runner import fingerprint  # noqa: E402
+
+from tests.runner.test_fingerprint_props import _reordered, _shuffled  # noqa: E402
+
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**6), max_value=10**6)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=8)
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=6), children, max_size=4),
+    max_leaves=12,
+)
+_payloads = st.dictionaries(st.text(max_size=6), _values, max_size=6)
+
+
+@given(payload=_payloads)
+@settings(max_examples=60, deadline=None)
+def test_fingerprint_is_order_invariant(payload):
+    assert fingerprint(_reordered(payload)) == fingerprint(payload)
+    assert fingerprint(_shuffled(payload, 3)) == fingerprint(payload)
+
+
+@given(payload=_payloads, key=st.text(min_size=1, max_size=6), value=st.integers())
+@settings(max_examples=60, deadline=None)
+def test_extra_field_changes_the_fingerprint(payload, key, value):
+    grown = dict(payload)
+    grown[key] = {"marker": value}
+    assert fingerprint(grown) != fingerprint(
+        {k: v for k, v in grown.items() if k != key}
+    )

@@ -1,0 +1,138 @@
+"""Property tests for the cache-key pipeline.
+
+The content-addressed cache is only sound if ``canonical_json`` /
+``fingerprint`` are (a) invariant under dict insertion order, (b) sensitive
+to every field of the spec that determines an artifact, and (c) stamped with
+:data:`~repro.runner.cache.CACHE_VERSION`.  These tests pin all three — the
+parametrized cases deterministically, plus randomized hypothesis sweeps when
+the library is installed.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core import AttackConfig
+from repro.gnn import GnnConfig
+from repro.runner import CampaignSpec, fingerprint
+from repro.runner.cache import canonical_json
+
+
+def _reordered(value):
+    """Deep copy with every dict's insertion order reversed."""
+    if isinstance(value, dict):
+        return {k: _reordered(v) for k, v in reversed(list(value.items()))}
+    if isinstance(value, list):
+        return [_reordered(v) for v in value]
+    return value
+
+
+def _shuffled(value, seed):
+    if isinstance(value, dict):
+        items = [(k, _shuffled(v, seed)) for k, v in value.items()]
+        random.Random(seed).shuffle(items)
+        return dict(items)
+    if isinstance(value, list):
+        return [_shuffled(v, seed) for v in value]
+    return value
+
+
+_NESTED = {
+    "kind": "task",
+    "dataset": {"scheme": "antisat", "key_sizes": [8, 16], "seed": 11},
+    "gnn": {"epochs": 60, "hidden_dim": 32, "sampler": "random_walk"},
+    "attack_params": [["max_iterations", 12]],
+    "validation": None,
+}
+
+
+class TestKeyOrderInvariance:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fingerprint_survives_arbitrary_insertion_order(self, seed):
+        assert fingerprint(_shuffled(_NESTED, seed)) == fingerprint(_NESTED)
+
+    def test_nested_dicts_are_reordered_too(self):
+        assert canonical_json(_reordered(_NESTED)) == canonical_json(_NESTED)
+
+    def test_list_order_still_matters(self):
+        assert fingerprint({"a": [1, 2]}) != fingerprint({"a": [2, 1]})
+
+
+def _first_task_fingerprint(config: AttackConfig, **kwargs) -> str:
+    fields = {
+        "name": "probe",
+        "schemes": ("antisat",),
+        "benchmarks": ("c2670", "c3540", "c5315"),
+        "targets": ("c2670",),
+        "config": config,
+    }
+    fields.update(kwargs)
+    return CampaignSpec(**fields).expand()[0].fingerprint()
+
+
+_BASE = AttackConfig(locks_per_setting=1, iscas_key_sizes=(8,), seed=5)
+
+
+class TestAttackConfigSensitivity:
+    """Every AttackConfig field either reaches the task fingerprint or is
+    overridden by an explicit grid axis — nothing silently falls through."""
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"locks_per_setting": 2},
+            {"iscas_key_sizes": (16,)},
+            {"size_scale": 0.5},
+            {"synthesis_effort": "high"},
+            {"seed": 6},
+            {"gnn.epochs": 11},
+            {"gnn.hidden_dim": 24},
+            {"gnn.learning_rate": 0.005},
+            {"gnn.dropout": 0.2},
+            {"gnn.root_nodes": 123},
+            {"gnn.walk_length": 3},
+            {"gnn.patience": 3},
+        ],
+    )
+    def test_field_reaches_the_fingerprint(self, override):
+        base = _first_task_fingerprint(_BASE)
+        changed = _first_task_fingerprint(_BASE.with_overrides(override))
+        assert changed != base, f"override {override} did not change the key"
+
+    def test_itc_key_sizes_reach_itc_campaigns(self):
+        kwargs = dict(
+            suites=("ITC-99",), benchmarks=("b14_C", "b15_C", "b17_C"),
+            targets=("b14_C",),
+        )
+        base = _first_task_fingerprint(
+            _BASE.with_overrides({"itc_key_sizes": (32,)}), **kwargs
+        )
+        changed = _first_task_fingerprint(
+            _BASE.with_overrides({"itc_key_sizes": (64,)}), **kwargs
+        )
+        assert changed != base
+
+    def test_technology_comes_from_the_scheme_axis(self):
+        """config.technology is a direct-API default; campaign grids carry
+        the technology on the scheme spec, which must drive the key."""
+        base = _first_task_fingerprint(_BASE)
+        via_config = _first_task_fingerprint(
+            dataclasses.replace(_BASE, technology="GEN65")
+        )
+        assert via_config == base  # the scheme's BENCH8 default wins
+        via_scheme = _first_task_fingerprint(_BASE, schemes=("antisat@GEN65",))
+        assert via_scheme != base
+
+    def test_every_gnn_field_is_hashed(self):
+        """The task canonical embeds the full GnnConfig dict, so any new
+        hyper-parameter is automatically part of the key."""
+        task = CampaignSpec(
+            name="probe", benchmarks=("c2670", "c3540", "c5315"),
+            targets=("c2670",), config=_BASE,
+        ).expand()[0]
+        hashed = set(task.canonical()["gnn"])
+        declared = {f.name for f in dataclasses.fields(GnnConfig)}
+        assert declared <= hashed
+
+

@@ -65,6 +65,49 @@ class TestResultStore:
     def test_missing_file_loads_empty(self, tmp_path):
         assert ResultStore(tmp_path / "absent.jsonl").load() == []
 
+    def test_latest_keeps_keyless_records_distinct(self, tmp_path):
+        """Records without fingerprint/task_id must not collide on one key."""
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append({"note": "first", "status": "ok"})
+        store.append({"note": "second", "status": "ok"})
+        store.append(_record())  # a normal keyed record on top
+        latest = store.latest()
+        assert len(latest) == 3
+        notes = {r.get("note") for r in latest.values()}
+        assert {"first", "second"} <= notes
+
+    def test_latest_treats_empty_keys_as_missing(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append({"fingerprint": "", "task_id": "", "note": "a"})
+        store.append({"fingerprint": "", "task_id": "", "note": "b"})
+        assert len(store.latest()) == 2
+
+    def test_latest_survives_corrupt_lines_between_records(self, tmp_path):
+        """Truncated JSONL lines interleaved with valid ones are ignored and
+        do not shift keyless records onto each other."""
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append({"note": "keyless-1", "status": "ok"})
+        with path.open("a") as handle:
+            handle.write('{"fingerprint": "f9", "status"\n')  # truncated write
+            handle.write("\n")
+        store.append({"note": "keyless-2", "status": "ok"})
+        store.append(_record(fp="f1"))
+        with path.open("a") as handle:
+            handle.write("{half a reco")
+        latest = store.latest()
+        assert len(latest) == 3
+        assert "f1" in latest
+        assert {r.get("note") for r in latest.values()} >= {"keyless-1", "keyless-2"}
+
+    def test_latest_falls_back_to_task_id(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append({"task_id": "t/one", "round": 1})
+        store.append({"task_id": "t/one", "round": 2})
+        latest = store.latest()
+        assert len(latest) == 1
+        assert latest["t/one"]["round"] == 2
+
 
 class TestAggregation:
     def test_aggregate_averages_per_group(self):
@@ -152,3 +195,80 @@ class TestCli:
         # K = 600 needs 300 PIs — beyond every stand-in — so the grid is empty.
         code = main(["run", "--no-cache", "--key-sizes", "600"])
         assert code == 1
+
+    def test_run_resume_skips_completed_tasks(self, tmp_path, capsys):
+        args = [
+            "run", "--serial",
+            "--benchmarks", "c2670", "c3540", "c5315",
+            "--targets", "c2670",
+            "--key-sizes", "8",
+            "--set", "gnn.epochs=2", "--set", "gnn.root_nodes=100",
+            "--store", str(tmp_path / "s.jsonl"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1 task(s) already complete, 0 to run" in out
+        assert "skipped" in out
+
+
+class TestCacheCli:
+    def _fill(self, cache_dir):
+        from repro.runner import ArtifactCache
+
+        cache = ArtifactCache(cache_dir)
+        cache.put("dataset", "aa" * 32, b"x" * 2000)
+        cache.put("model", "bb" * 32, b"y" * 100)
+        return cache
+
+    def test_stats_lists_kinds(self, tmp_path, capsys):
+        self._fill(tmp_path / "cache")
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 artifact(s)" in out
+        assert "dataset" in out and "model" in out
+
+    def test_stats_empty_cache(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path / "none")])
+        assert code == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_gc_requires_a_criterion(self, tmp_path, capsys):
+        code = main(["cache", "gc", "--cache-dir", str(tmp_path / "cache")])
+        assert code == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_gc_evicts_and_reports(self, tmp_path, capsys):
+        cache = self._fill(tmp_path / "cache")
+        code = main(
+            ["cache", "gc", "--cache-dir", str(tmp_path / "cache"),
+             "--max-bytes", "0"]
+        )
+        assert code == 0
+        assert "evicted 2 artifact(s)" in capsys.readouterr().out
+        assert cache.entries() == []
+
+    def test_gc_dry_run_keeps_entries(self, tmp_path, capsys):
+        cache = self._fill(tmp_path / "cache")
+        code = main(
+            ["cache", "gc", "--cache-dir", str(tmp_path / "cache"),
+             "--max-age", "0s", "--dry-run"]
+        )
+        assert code == 0
+        assert "would evict" in capsys.readouterr().out
+        assert len(cache.entries()) == 2
+
+    def test_size_suffixes_parse(self):
+        from repro.runner.cli import _parse_age, _parse_size
+
+        assert _parse_size("2K") == 2048
+        assert _parse_size("1.5M") == int(1.5 * 1024**2)
+        assert _parse_size("3g") == 3 * 1024**3
+        assert _parse_size("512") == 512
+        assert _parse_age("30m") == 1800
+        assert _parse_age("2h") == 7200
+        assert _parse_age("7d") == 7 * 86400
+        assert _parse_age("90") == 90.0
