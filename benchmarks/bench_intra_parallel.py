@@ -1,0 +1,282 @@
+"""Microbenchmark for the intra-task parallelism layer (``repro.parallel``).
+
+Three hot paths, each measured at intra-worker budgets of 1 / 2 / 4 against
+the *pre-refactor serial implementation* (the per-node Python walk loop, and
+the monolithic single-query miter):
+
+* **sampling + normalisation** — GraphSAINT sampler construction (the
+  normalisation pre-sampling phase) plus mini-batch throughput,
+* **epoch time** — GNN training epochs with and without the prefetching
+  sampler pipeline (``TrainingHistory.sample_wait_s`` shows how long the
+  training step actually blocked on batch construction),
+* **equivalence-check latency** — multi-output combinational equivalence,
+  monolithic miter vs per-output cone shards on the pool.
+
+Emits ``BENCH_intra_parallel.json`` next to the repository root so successive
+PRs can track the perf trajectory, and prints a human-readable summary.
+Worker counts above the machine's core count still measure correctly — the
+shard/vectorisation wins are algorithmic, the pool wins scale with cores.
+
+The speedup floors (2x sampling, 1.5x equivalence, at 4 workers vs the
+pre-refactor serial implementations) are recorded in the JSON either way;
+the exit code only enforces them under ``REPRO_BENCH_STRICT=1`` — CI runs
+report-only because sub-100ms wall-clock ratios on shared runners are too
+noisy to gate a push on (the determinism suites are the correctness gate).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_intra_parallel.py                  # report
+    REPRO_BENCH_STRICT=1 PYTHONPATH=src python benchmarks/bench_intra_parallel.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen import RandomLogicSpec, generate_random_circuit  # noqa: E402
+from repro.gnn import GnnConfig, GraphData, RandomWalkSampler, train_node_classifier  # noqa: E402
+from repro.netlist.circuit import Circuit  # noqa: E402
+from repro.parallel import WorkerPool  # noqa: E402
+from repro.sat import check_equivalence  # noqa: E402
+from repro.synth.decompose import decompose_to_primitives  # noqa: E402
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_intra_parallel.json"
+WORKER_COUNTS = (1, 2, 4)
+
+
+# ----------------------------------------------------------------------
+# Workload construction
+# ----------------------------------------------------------------------
+def _sampler_graph(n_nodes: int = 30_000, degree: int = 6, seed: int = 0) -> GraphData:
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n_nodes), degree)
+    cols = rng.integers(0, n_nodes, n_nodes * degree)
+    data = np.ones(rows.size)
+    adj = sp.csr_matrix((data, (rows, cols)), shape=(n_nodes, n_nodes))
+    adj = adj + adj.T
+    adj.data[:] = 1
+    return GraphData(
+        adjacency=adj,
+        features=rng.normal(size=(n_nodes, 8)),
+        labels=rng.integers(0, 2, n_nodes),
+        train_mask=np.ones(n_nodes, bool),
+        val_mask=np.zeros(n_nodes, bool),
+        test_mask=np.zeros(n_nodes, bool),
+    )
+
+
+def _legacy_normalisation_walks(
+    graph: GraphData, n_roots: int, walk_length: int, n_samples: int, seed: int
+) -> float:
+    """The pre-refactor per-node Python loop, timed over the whole phase."""
+    adjacency = sp.csr_matrix(graph.adjacency)
+    train_nodes = np.flatnonzero(graph.train_mask)
+    rng = np.random.default_rng(seed)
+    counts = np.zeros(graph.n_nodes)
+    indptr, indices = adjacency.indptr, adjacency.indices
+    started = time.perf_counter()
+    for _ in range(n_samples):
+        roots = rng.choice(train_nodes, size=min(n_roots, train_nodes.size), replace=True)
+        visited = set(int(r) for r in roots)
+        current = roots.copy()
+        for _ in range(walk_length):
+            next_nodes = []
+            for node in current:
+                start, end = indptr[node], indptr[node + 1]
+                if end > start:
+                    nxt = int(indices[rng.integers(start, end)])
+                else:
+                    nxt = int(node)
+                next_nodes.append(nxt)
+                visited.add(nxt)
+            current = np.array(next_nodes)
+        counts[np.array(sorted(visited))] += 1
+    return time.perf_counter() - started
+
+
+def _multi_block_circuit(n_blocks: int = 8, seed: int = 0) -> Circuit:
+    """One circuit made of independent random blocks (one output each).
+
+    Disjoint per-output cones are the sharding-friendly shape: every shard
+    is a small self-contained proof instead of a slice of one big miter.
+    """
+    merged = Circuit("bench_blocks")
+    for block in range(n_blocks):
+        spec = RandomLogicSpec(
+            name=f"blk{block}", n_inputs=14, n_outputs=1, n_gates=160,
+            seed=seed * 101 + block,
+        )
+        sub = generate_random_circuit(spec)
+        rename = {net: f"b{block}_{net}" for net in
+                  list(sub.inputs) + list(sub.gates)}
+        for net in sub.inputs:
+            merged.add_input(rename[net])
+        for name in sub.topological_order():
+            gate = sub.gate(name)
+            merged.add_gate(
+                rename[name], gate.cell, [rename[i] for i in gate.inputs]
+            )
+        for po in sub.outputs:
+            merged.add_output(rename[po])
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Phases
+# ----------------------------------------------------------------------
+def bench_sampling() -> dict:
+    graph = _sampler_graph()
+    n_roots, walk_length, n_samples = 2000, 3, 64
+
+    serial_loop_s = _legacy_normalisation_walks(
+        graph, n_roots, walk_length, n_samples, seed=7
+    )
+
+    phase_s = {}
+    for workers in WORKER_COUNTS:
+        pool = None if workers == 1 else WorkerPool("process", max_workers=workers)
+        started = time.perf_counter()
+        sampler = RandomWalkSampler(
+            graph,
+            n_roots=n_roots,
+            walk_length=walk_length,
+            n_norm_samples=n_samples,
+            rng=np.random.default_rng(7),
+            pool=pool,
+        )
+        phase_s[workers] = time.perf_counter() - started
+        if pool is not None:
+            pool.shutdown()
+
+    # Mini-batch throughput of the vectorised sampler (sequential by design).
+    sampler = RandomWalkSampler(
+        graph, n_roots=n_roots, walk_length=walk_length, n_norm_samples=4,
+        rng=np.random.default_rng(7),
+    )
+    started = time.perf_counter()
+    n_batches = 20
+    for _ in range(n_batches):
+        sampler.sample()
+    sample_s = (time.perf_counter() - started) / n_batches
+
+    return {
+        "graph_nodes": graph.n_nodes,
+        "n_roots": n_roots,
+        "walk_length": walk_length,
+        "n_norm_samples": n_samples,
+        "serial_loop_phase_s": serial_loop_s,
+        "phase_s_by_workers": phase_s,
+        "batch_sample_s": sample_s,
+        "batches_per_s": 1.0 / sample_s,
+        "speedup_w4_vs_serial": serial_loop_s / phase_s[4],
+    }
+
+
+def bench_training() -> dict:
+    graph = _sampler_graph(n_nodes=4000, degree=5, seed=3)
+    config = GnnConfig(
+        n_features=8, n_classes=2, hidden_dim=32, epochs=30,
+        root_nodes=600, eval_every=10, seed=0,
+    )
+    out = {}
+    for workers in WORKER_COUNTS:
+        pool = None if workers == 1 else WorkerPool("thread", max_workers=workers)
+        _, history = train_node_classifier(
+            graph, config, rng=np.random.default_rng(1), pool=pool
+        )
+        out[workers] = {
+            "epoch_s": history.train_time_s / max(history.epochs_run, 1),
+            "sample_wait_s": history.sample_wait_s,
+            "epochs_run": history.epochs_run,
+        }
+        if pool is not None:
+            pool.shutdown()
+    return out
+
+
+def bench_equivalence() -> dict:
+    original = _multi_block_circuit()
+    restructured, _ = decompose_to_primitives(original)
+
+    started = time.perf_counter()
+    mono = check_equivalence(original, restructured, method="sat")
+    serial_s = time.perf_counter() - started
+    assert mono.equivalent and mono.shards == 0
+
+    latency_s = {}
+    for workers in WORKER_COUNTS:
+        backend = "serial" if workers == 1 else "process"
+        pool = WorkerPool(backend, max_workers=workers)
+        started = time.perf_counter()
+        sharded = check_equivalence(
+            original, restructured, method="sat", pool=pool
+        )
+        latency_s[workers] = time.perf_counter() - started
+        assert sharded.equivalent and sharded.shards == len(original.outputs)
+        pool.shutdown()
+
+    return {
+        "outputs": len(original.outputs),
+        "gates": len(original.gates),
+        "serial_monolithic_s": serial_s,
+        "sharded_s_by_workers": latency_s,
+        "speedup_w4_vs_serial": serial_s / latency_s[4],
+    }
+
+
+def main() -> int:
+    report = {
+        "bench": "intra_parallel",
+        "sampling": bench_sampling(),
+        "training_epoch": bench_training(),
+        "equivalence": bench_equivalence(),
+    }
+    sampling = report["sampling"]
+    equivalence = report["equivalence"]
+    report["acceptance"] = {
+        "sampling_speedup_w4": sampling["speedup_w4_vs_serial"],
+        "sampling_target": 2.0,
+        "equivalence_speedup_w4": equivalence["speedup_w4_vs_serial"],
+        "equivalence_target": 1.5,
+        "pass": bool(
+            sampling["speedup_w4_vs_serial"] >= 2.0
+            and equivalence["speedup_w4_vs_serial"] >= 1.5
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"== sampling+normalisation ({sampling['graph_nodes']} nodes) ==")
+    print(f"  pre-refactor loop : {sampling['serial_loop_phase_s']:.3f} s")
+    for workers, seconds in sampling["phase_s_by_workers"].items():
+        print(f"  {workers} intra-worker(s) : {seconds:.3f} s")
+    print(f"  speedup @4 workers: {sampling['speedup_w4_vs_serial']:.1f}x (target 2x)")
+    print("== training epoch ==")
+    for workers, row in report["training_epoch"].items():
+        print(
+            f"  {workers} intra-worker(s) : {row['epoch_s']*1e3:.1f} ms/epoch, "
+            f"sample wait {row['sample_wait_s']:.3f} s"
+        )
+    print(f"== equivalence ({equivalence['outputs']} outputs) ==")
+    print(f"  monolithic serial : {equivalence['serial_monolithic_s']:.3f} s")
+    for workers, seconds in equivalence["sharded_s_by_workers"].items():
+        print(f"  {workers} intra-worker(s) : {seconds:.3f} s")
+    print(
+        f"  speedup @4 workers: {equivalence['speedup_w4_vs_serial']:.1f}x (target 1.5x)"
+    )
+    print(f"\nwrote {RESULT_PATH}")
+    if os.environ.get("REPRO_BENCH_STRICT", "").strip() in ("1", "true", "yes"):
+        return 0 if report["acceptance"]["pass"] else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,14 +5,17 @@ TTLock, SFLL-HD), plus every substrate it depends on: a gate-level netlist
 library, locking transforms, a synthesis flow, a from-scratch GraphSAGE /
 GraphSAINT implementation, a SAT-based equivalence checker, and the baseline
 attacks the paper compares against.  ``repro.runner`` orchestrates whole
-attack campaigns (parallel execution, artifact caching, ``python -m repro``).
+attack campaigns (parallel execution, artifact caching, ``python -m repro``)
+and ``repro.parallel`` provides the intra-task worker pools (GraphSAINT
+normalisation walks, sharded SAT equivalence) budgeted by
+``REPRO_INTRA_WORKERS``.
 """
 
 __version__ = "1.1.0"
 
 from . import netlist  # noqa: F401
 
-__all__ = ["netlist", "runner", "__version__"]
+__all__ = ["netlist", "parallel", "runner", "__version__"]
 
 
 def __getattr__(name):
@@ -22,4 +25,8 @@ def __getattr__(name):
         from . import runner
 
         return runner
+    if name == "parallel":
+        from . import parallel
+
+        return parallel
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..locking.base import LockingResult
 from ..netlist.circuit import CircuitError
+from ..parallel import WorkerPool
 from ..sat.equivalence import check_equivalence
 from .analysis import enumerate_activating_patterns, trace_sfll_structure
 from .base import BaselineResult
@@ -36,6 +37,7 @@ def sfll_hd_unlocked_attack(
     h: Optional[int] = None,
     max_patterns: int = 96,
     verify: bool = True,
+    pool: Optional[WorkerPool] = None,
 ) -> BaselineResult:
     """Run the SFLL-HD-Unlocked attack on a locked netlist."""
     scheme = result.scheme
@@ -118,7 +120,8 @@ def sfll_hd_unlocked_attack(
     if verify:
         try:
             success = check_equivalence(
-                result.locked, result.original, key_assignment=recovered_key
+                result.locked, result.original, key_assignment=recovered_key,
+                pool=pool,
             ).equivalent
             reason = "" if success else "recovered key does not unlock the design"
         except Exception as exc:  # noqa: BLE001

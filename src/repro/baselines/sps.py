@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..locking.base import LockingResult
+from ..parallel import WorkerPool
 from ..netlist.circuit import Circuit
 from ..netlist.signal_probability import (
     estimate_probabilities_independent,
@@ -55,6 +56,7 @@ def sps_attack(
     *,
     ads_threshold: float = 0.9,
     verify: bool = True,
+    pool: Optional[WorkerPool] = None,
 ) -> BaselineResult:
     """Run the SPS attack on a locked circuit.
 
@@ -109,7 +111,7 @@ def sps_attack(
     if verify:
         try:
             success = check_equivalence(
-                recovered, result.original, method="auto"
+                recovered, result.original, method="auto", pool=pool
             ).equivalent
             reason = "" if success else "recovered design not equivalent"
         except Exception as exc:  # noqa: BLE001

@@ -4,7 +4,7 @@ from .data import GraphData, normalize_adjacency
 from .layers import DenseLayer, Dropout, GraphSageLayer, glorot
 from .model import GnnConfig, GraphSageClassifier, cross_entropy_loss, softmax
 from .optim import Adam
-from .sampler import RandomWalkSampler, SampledSubgraph
+from .sampler import RandomWalkSampler, SampledSubgraph, batched_random_walk
 from .trainer import Trainer, TrainingHistory, train_node_classifier
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "Adam",
     "RandomWalkSampler",
     "SampledSubgraph",
+    "batched_random_walk",
     "Trainer",
     "TrainingHistory",
     "train_node_classifier",

@@ -10,6 +10,20 @@ node ``v``'s loss weight is ``1 / (#subgraphs containing v / #subgraphs)``
 estimated from a pre-sampling phase, so frequently sampled nodes do not
 dominate the loss (Section 3.2 of the GraphSAINT paper, simplified to node
 normalisation).
+
+Walks step through the CSR adjacency in batch: one vectorised
+``rng.integers`` call per level replaces the historical per-node Python loop
+while consuming the *identical* PCG64 stream (numpy draws array-bounded
+integers element by element from the same bit generator), so results are
+bit-for-bit what the loop produced.
+
+Parallelism: the pre-sampling normalisation walks are independent, so when a
+:class:`~repro.parallel.WorkerPool` is supplied they run as identity-seeded
+jobs on the pool.  Per-job seeds derive from the walk index
+(:func:`repro.parallel.derive_job_seed`), never from execution order, so the
+estimate is bit-identical for every backend and worker count — but it is a
+*different* (deliberately parallelisable) stream than the legacy sequential
+one, which remains the default whenever no pool is given.
 """
 
 from __future__ import annotations
@@ -20,9 +34,58 @@ from typing import List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..parallel import WorkerPool, derive_job_seed
 from .data import GraphData
 
-__all__ = ["RandomWalkSampler", "SampledSubgraph"]
+__all__ = ["RandomWalkSampler", "SampledSubgraph", "batched_random_walk"]
+
+
+def batched_random_walk(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    roots: np.ndarray,
+    walk_length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Visited node set of simultaneous random walks over a CSR adjacency.
+
+    All walks advance one level per ``rng.integers`` call; walkers on nodes
+    with no outgoing edges stay put (and consume no randomness, matching the
+    historical per-node loop's stream exactly).  Returns the sorted unique
+    union of every visited node, as ``int64``.
+    """
+    current = np.asarray(roots, dtype=np.int64)
+    visited = [current]
+    for _ in range(walk_length):
+        starts = indptr[current]
+        ends = indptr[current + 1]
+        next_nodes = current.copy()
+        movable = ends > starts
+        if movable.any():
+            draws = rng.integers(starts[movable], ends[movable])
+            next_nodes[movable] = indices[draws]
+        current = next_nodes
+        visited.append(current)
+    return np.unique(np.concatenate(visited))
+
+
+def _normalisation_chunk(args: Tuple) -> Tuple[np.ndarray, np.ndarray]:
+    """Pool job: inclusion counts of normalisation walks ``start .. stop``.
+
+    Each walk seeds its own generator from its index, so the counts are
+    independent of how walks are chunked and of which worker runs them.
+    Returns ``(nodes, counts)`` sparsely to keep inter-process traffic small.
+    """
+    indptr, indices, train_nodes, n_roots, walk_length, base_seed, start, stop = args
+    visited: List[np.ndarray] = []
+    for walk_idx in range(start, stop):
+        rng = np.random.default_rng(derive_job_seed(base_seed, "norm-walk", walk_idx))
+        roots = rng.choice(train_nodes, size=n_roots, replace=True)
+        visited.append(batched_random_walk(indptr, indices, roots, walk_length, rng))
+    if not visited:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.unique(np.concatenate(visited), return_counts=True)
 
 
 @dataclass
@@ -35,7 +98,13 @@ class SampledSubgraph:
 
 
 class RandomWalkSampler:
-    """Random-walk subgraph sampler over the training portion of a graph."""
+    """Random-walk subgraph sampler over the training portion of a graph.
+
+    ``pool=None`` (the default) keeps the legacy fully sequential RNG stream;
+    passing a :class:`~repro.parallel.WorkerPool` switches the normalisation
+    pre-sampling phase to identity-seeded pool jobs (see the module
+    docstring for the determinism trade-off).
+    """
 
     def __init__(
         self,
@@ -45,6 +114,7 @@ class RandomWalkSampler:
         walk_length: int = 2,
         n_norm_samples: int = 20,
         rng: Optional[np.random.Generator] = None,
+        pool: Optional[WorkerPool] = None,
     ):
         if n_roots < 1:
             raise ValueError("n_roots must be positive")
@@ -54,34 +124,30 @@ class RandomWalkSampler:
         self.n_roots = n_roots
         self.walk_length = walk_length
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.pool = pool
         self.adjacency = sp.csr_matrix(graph.adjacency)
         self.train_nodes = np.flatnonzero(graph.train_mask)
         if self.train_nodes.size == 0:
             raise ValueError("graph has no training nodes to sample from")
         self._inclusion_counts = np.zeros(graph.n_nodes)
         self._norm_samples = 0
-        self._estimate_normalisation(n_norm_samples)
+        if pool is None:
+            self._estimate_normalisation(n_norm_samples)
+        else:
+            self._estimate_normalisation_pooled(n_norm_samples, pool)
 
     # ------------------------------------------------------------------
     def _walk_nodes(self) -> np.ndarray:
         """Run random walks from sampled roots; return the visited node set."""
         n_roots = min(self.n_roots, self.train_nodes.size)
         roots = self.rng.choice(self.train_nodes, size=n_roots, replace=True)
-        visited = set(int(r) for r in roots)
-        indptr, indices = self.adjacency.indptr, self.adjacency.indices
-        current = roots.copy()
-        for _ in range(self.walk_length):
-            next_nodes = []
-            for node in current:
-                start, end = indptr[node], indptr[node + 1]
-                if end > start:
-                    nxt = int(indices[self.rng.integers(start, end)])
-                else:
-                    nxt = int(node)
-                next_nodes.append(nxt)
-                visited.add(nxt)
-            current = np.array(next_nodes)
-        return np.array(sorted(visited))
+        return batched_random_walk(
+            self.adjacency.indptr,
+            self.adjacency.indices,
+            roots,
+            self.walk_length,
+            self.rng,
+        )
 
     def _estimate_normalisation(self, n_samples: int) -> None:
         for _ in range(n_samples):
@@ -89,9 +155,46 @@ class RandomWalkSampler:
             self._inclusion_counts[nodes] += 1
             self._norm_samples += 1
 
+    def _estimate_normalisation_pooled(self, n_samples: int, pool: WorkerPool) -> None:
+        """Estimate inclusion probabilities with independent pool jobs.
+
+        One draw from ``self.rng`` anchors the whole phase; each walk then
+        derives its own seed from the walk index, so the resulting counts do
+        not depend on the chunking, the backend, or the worker count.
+        """
+        if n_samples <= 0:
+            return
+        base_seed = int(self.rng.integers(0, 2**63))
+        n_roots = min(self.n_roots, self.train_nodes.size)
+        n_chunks = min(n_samples, max(1, pool.max_workers))
+        bounds = np.linspace(0, n_samples, n_chunks + 1).astype(int)
+        jobs = [
+            (
+                self.adjacency.indptr,
+                self.adjacency.indices,
+                self.train_nodes,
+                n_roots,
+                self.walk_length,
+                base_seed,
+                int(start),
+                int(stop),
+            )
+            for start, stop in zip(bounds[:-1], bounds[1:])
+            if stop > start
+        ]
+        for nodes, counts in pool.map(_normalisation_chunk, jobs):
+            self._inclusion_counts[nodes] += counts
+        self._norm_samples += n_samples
+
     # ------------------------------------------------------------------
     def sample(self) -> SampledSubgraph:
-        """Draw one mini-batch subgraph."""
+        """Draw one mini-batch subgraph.
+
+        Mini-batches always come from the sampler's own sequential generator
+        (never the pool), so the training stream is identical whether or not
+        normalisation was pooled — and identical under batch prefetching,
+        which preserves generation order.
+        """
         nodes = self._walk_nodes()
         self._inclusion_counts[nodes] += 1
         self._norm_samples += 1

@@ -1,0 +1,36 @@
+"""Intra-task parallelism: worker pools, budgets and per-job seeding.
+
+See :mod:`repro.parallel.pool` for the :class:`WorkerPool` abstraction and
+:mod:`repro.parallel.budget` for the global ``REPRO_INTRA_WORKERS`` budget
+that keeps nested pools from oversubscribing the machine.
+"""
+
+from .budget import (
+    DEFAULT_INTRA_BACKEND,
+    INTRA_BACKEND_ENV,
+    INTRA_WORKERS_ENV,
+    derive_job_seed,
+    intra_backend,
+    intra_budget,
+    intra_worker_budget,
+    pool_from_budget,
+    resolve_pool,
+    shared_pool,
+)
+from .pool import BACKENDS, SerialFuture, WorkerPool
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_INTRA_BACKEND",
+    "INTRA_BACKEND_ENV",
+    "INTRA_WORKERS_ENV",
+    "SerialFuture",
+    "WorkerPool",
+    "derive_job_seed",
+    "intra_backend",
+    "intra_budget",
+    "intra_worker_budget",
+    "pool_from_budget",
+    "resolve_pool",
+    "shared_pool",
+]

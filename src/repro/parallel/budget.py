@@ -1,0 +1,156 @@
+"""The global intra-task worker budget and per-job seed derivation.
+
+Two levels of parallelism coexist in a campaign: the runner fans *tasks* out
+over a ``ProcessPoolExecutor`` (``repro run --workers``), and each task may
+fan *jobs* out over a :class:`~repro.parallel.pool.WorkerPool`
+(``--intra-workers`` / ``REPRO_INTRA_WORKERS``).  To keep the machine from
+oversubscribing, the budget is *global*: the campaign executor divides the
+requested intra-worker count by the number of concurrently running tasks and
+hands each task its share (see :func:`repro.runner.executor.run_campaign`).
+
+Budget semantics
+----------------
+* ``REPRO_INTRA_WORKERS`` unset, ``1``, or invalid — the **legacy serial
+  path**: hot loops run inline with sequential RNG streams, bit-identical to
+  releases that predate :mod:`repro.parallel`.  This is the default, so
+  golden results never change unless parallelism is explicitly requested.
+* ``REPRO_INTRA_WORKERS=N`` (N > 1) — the **pooled path**: parallel stages
+  split into identity-seeded jobs.  Results are bit-identical for every
+  backend and every N > 1 (the job decomposition, not the schedule, defines
+  the randomness), but differ from the legacy sequential stream.
+* ``REPRO_INTRA_BACKEND`` picks the backend for pooled stages (``thread``
+  by default; ``process`` pays fork+pickle overhead but parallelises the
+  pure-Python SAT solver, which threads cannot).
+
+:func:`derive_job_seed` is the per-job analogue of
+:meth:`repro.core.config.AttackConfig.derive_seed` (same digest, same
+semantics): a job's randomness comes from *what it is*, never from *when it
+ran*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from .pool import BACKENDS, WorkerPool
+
+__all__ = [
+    "DEFAULT_INTRA_BACKEND",
+    "INTRA_BACKEND_ENV",
+    "INTRA_WORKERS_ENV",
+    "derive_job_seed",
+    "intra_backend",
+    "intra_budget",
+    "intra_worker_budget",
+    "pool_from_budget",
+    "resolve_pool",
+    "shared_pool",
+]
+
+#: Environment variable holding the global intra-task worker budget.
+INTRA_WORKERS_ENV = "REPRO_INTRA_WORKERS"
+
+#: Environment variable selecting the pooled backend (serial/thread/process).
+INTRA_BACKEND_ENV = "REPRO_INTRA_BACKEND"
+
+DEFAULT_INTRA_BACKEND = "thread"
+
+
+def derive_job_seed(base_seed: int, *parts: object) -> int:
+    """Stable per-job seed from a base seed and the job's identity tuple.
+
+    Mirrors :meth:`repro.core.config.AttackConfig.derive_seed` bit for bit,
+    so a stage seeded from a config seed and a stage seeded from a derived
+    base seed follow the same convention.
+    """
+    digest = hashlib.sha256(
+        ("|".join(map(str, parts)) + f"|{base_seed}").encode()
+    )
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def intra_worker_budget(default: int = 1) -> int:
+    """The global intra-task worker budget (``REPRO_INTRA_WORKERS``)."""
+    raw = os.environ.get(INTRA_WORKERS_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+def intra_backend() -> str:
+    """The pooled backend name (``REPRO_INTRA_BACKEND``, default thread)."""
+    raw = os.environ.get(INTRA_BACKEND_ENV, "").strip().lower()
+    return raw if raw in BACKENDS else DEFAULT_INTRA_BACKEND
+
+
+@contextmanager
+def intra_budget(workers: Optional[int]) -> Iterator[None]:
+    """Temporarily pin the intra-worker budget for the current process.
+
+    The campaign executor wraps each task in this so nested stages consult
+    the task's *share* of the global budget rather than the campaign-wide
+    value inherited through the environment.  ``None`` leaves the ambient
+    budget untouched.
+    """
+    if workers is None:
+        yield
+        return
+    previous = os.environ.get(INTRA_WORKERS_ENV)
+    os.environ[INTRA_WORKERS_ENV] = str(max(1, int(workers)))
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(INTRA_WORKERS_ENV, None)
+        else:
+            os.environ[INTRA_WORKERS_ENV] = previous
+
+
+# ----------------------------------------------------------------------
+_POOLS: Dict[Tuple[str, int], WorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def shared_pool(backend: Optional[str] = None, max_workers: Optional[int] = None) -> WorkerPool:
+    """A process-wide cached pool for ``(backend, max_workers)``.
+
+    Executors are expensive to start (especially process pools); sharing one
+    per configuration means a campaign's thousands of equivalence checks pay
+    the start-up cost once.
+    """
+    backend = backend or intra_backend()
+    max_workers = max_workers if max_workers is not None else intra_worker_budget()
+    key = (backend, max(1, int(max_workers)))
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            pool = WorkerPool(backend=key[0], max_workers=key[1])
+            _POOLS[key] = pool
+        return pool
+
+
+def pool_from_budget(
+    workers: Optional[int] = None, backend: Optional[str] = None
+) -> Optional[WorkerPool]:
+    """The pool the current budget allows, or ``None`` for the legacy path.
+
+    A budget of one means "no intra-task parallelism": callers receive
+    ``None`` and keep their serial hot path, which stays bit-identical to
+    historical results.
+    """
+    workers = intra_worker_budget() if workers is None else max(1, int(workers))
+    if workers <= 1:
+        return None
+    return shared_pool(backend or intra_backend(), workers)
+
+
+def resolve_pool(pool: Optional[WorkerPool] = None) -> Optional[WorkerPool]:
+    """An explicit pool if given, else whatever the ambient budget allows."""
+    return pool if pool is not None else pool_from_budget()

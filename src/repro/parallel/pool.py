@@ -1,0 +1,179 @@
+"""Intra-task worker pools with serial, thread and process backends.
+
+The campaign runner parallelises *across* tasks; this module parallelises
+*inside* one task — GraphSAINT normalisation walks, sharded SAT equivalence
+queries, and any future embarrassingly parallel stage.  One abstraction,
+:class:`WorkerPool`, hides the backend choice:
+
+* ``serial``  — jobs run inline in the calling thread, lazily (a job that is
+  cancelled before its result is requested never executes).  This backend
+  exists so parallel decompositions can be tested and reproduced without any
+  concurrency at all.
+* ``thread``  — a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Right for jobs that release the GIL (large numpy operations) or that need
+  to work inside daemonic campaign worker processes.
+* ``process`` — a shared :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Right for pure-Python CPU-bound jobs (the SAT solver).  Falls back to the
+  thread backend inside daemonic processes, which may not spawn children.
+
+Determinism contract
+--------------------
+Jobs must derive any randomness from their *identity* (e.g.
+:func:`repro.parallel.budget.derive_job_seed` over the job index), never from
+execution order or shared generator state.  Under that contract every backend
+and every worker count produces bit-identical results: the serial backend is
+the reference, and the determinism suite (``tests/parallel``) asserts the
+thread and process backends reproduce it exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed as _futures_as_completed,
+)
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = ["BACKENDS", "SerialFuture", "WorkerPool"]
+
+#: Recognised backend names, in "least to most isolation" order.
+BACKENDS = ("serial", "thread", "process")
+
+
+class SerialFuture:
+    """Lazy future used by the serial backend.
+
+    The job runs the first time :meth:`result` (or :meth:`exception`) is
+    called; cancelling before that point means the job never executes — which
+    is exactly how short-circuiting consumers (first-SAT-shard-wins) avoid
+    doing work a parallel backend would have skipped.
+    """
+
+    __slots__ = ("_fn", "_args", "_kwargs", "_ran", "_cancelled", "_result", "_error")
+
+    def __init__(self, fn: Callable, args: tuple, kwargs: dict):
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self._ran = False
+        self._cancelled = False
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        if self._ran or self._cancelled:
+            return
+        self._ran = True
+        try:
+            self._result = self._fn(*self._args, **self._kwargs)
+        except BaseException as exc:  # noqa: BLE001 - futures carry exceptions
+            self._error = exc
+
+    def cancel(self) -> bool:
+        if self._ran:
+            return False
+        self._cancelled = True
+        return True
+
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def done(self) -> bool:
+        return self._ran or self._cancelled
+
+    def result(self):
+        if self._cancelled:
+            raise CancelledError()
+        self._run()
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        if self._cancelled:
+            raise CancelledError()
+        self._run()
+        return self._error
+
+
+class WorkerPool:
+    """A backend-agnostic pool of intra-task workers.
+
+    The underlying executor is created lazily on first use and reused for the
+    pool's lifetime (process workers are expensive to start).  Pools are
+    usable as context managers; :meth:`shutdown` is idempotent.
+    """
+
+    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown pool backend {backend!r}; choose from {BACKENDS}")
+        if backend == "process" and multiprocessing.current_process().daemon:
+            # Daemonic processes (e.g. some campaign worker pools) may not
+            # have children; threads keep the decomposition — and, under the
+            # determinism contract, the results — exactly the same.
+            backend = "thread"
+        self.backend = backend
+        self.max_workers = 1 if backend == "serial" else max(1, int(max_workers or 1))
+        self._executor = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self):
+        with self._lock:
+            if self._executor is None:
+                if self.backend == "thread":
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-intra",
+                    )
+                else:
+                    self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            return self._executor
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, *args, **kwargs):
+        """Schedule one job; returns a future (lazy for the serial backend)."""
+        if self.backend == "serial":
+            return SerialFuture(fn, args, kwargs)
+        return self._ensure_executor().submit(fn, *args, **kwargs)
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        """Run ``fn`` over ``items``; results come back in item order."""
+        items = list(items)
+        if self.backend == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_executor().map(fn, items))
+
+    def as_completed(self, futures: Sequence) -> Iterator:
+        """Yield futures as they finish.
+
+        The serial backend executes (and yields) in submission order, which
+        is also a valid completion order; futures cancelled while iterating
+        are skipped by callers exactly as with real executors.
+        """
+        if self.backend == "serial":
+            for future in futures:
+                future._run()
+                yield future
+            return
+        yield from _futures_as_completed(futures)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(backend={self.backend!r}, max_workers={self.max_workers})"

@@ -35,14 +35,73 @@ __all__ = [
     "ArtifactCache",
     "CacheEntry",
     "CacheStats",
+    "CACHE_MAX_AGE_ENV",
+    "CACHE_MAX_BYTES_ENV",
     "CACHE_VERSION",
+    "cache_budget_from_env",
     "canonical_json",
     "default_cache_dir",
     "fingerprint",
+    "parse_age",
+    "parse_size",
 ]
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Automatic cache budget: when either is set, ``run_campaign`` garbage
+#: collects the artifact cache after the campaign instead of waiting for an
+#: operator to run ``repro cache gc``.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+CACHE_MAX_AGE_ENV = "REPRO_CACHE_MAX_AGE"
+
+_SIZE_UNITS = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+_AGE_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def parse_size(text: str) -> int:
+    """``"500M"``, ``"2G"``, ``"1048576"`` -> bytes."""
+    t = text.strip().lower()
+    if t.endswith("b"):
+        t = t[:-1]
+    multiplier = 1
+    if t and t[-1] in _SIZE_UNITS:
+        multiplier = _SIZE_UNITS[t[-1]]
+        t = t[:-1]
+    return int(float(t) * multiplier)
+
+
+def parse_age(text: str) -> float:
+    """``"12h"``, ``"7d"``, ``"3600"`` -> seconds."""
+    t = text.strip().lower()
+    multiplier = 1
+    if t and t[-1] in _AGE_UNITS:
+        multiplier = _AGE_UNITS[t[-1]]
+        t = t[:-1]
+    return float(t) * multiplier
+
+
+def cache_budget_from_env() -> Tuple[Optional[int], Optional[float]]:
+    """The automatic ``(max_bytes, max_age_s)`` cache budget, if any is set.
+
+    Malformed values are treated as unset rather than sinking a campaign
+    over a housekeeping knob.
+    """
+    max_bytes: Optional[int] = None
+    max_age: Optional[float] = None
+    raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+    if raw:
+        try:
+            max_bytes = parse_size(raw)
+        except (ValueError, OverflowError):  # e.g. "lots", "inf"
+            max_bytes = None
+    raw = os.environ.get(CACHE_MAX_AGE_ENV, "").strip()
+    if raw:
+        try:
+            max_age = parse_age(raw)
+        except (ValueError, OverflowError):
+            max_age = None
+    return max_bytes, max_age
 
 #: Artifact format version, hashed into every fingerprint.  Bump it whenever
 #: dataset generation, training, or the pickled artifact layout changes in a

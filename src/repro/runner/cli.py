@@ -17,6 +17,15 @@ Examples::
     python -m repro report --store runs/quick-campaign.jsonl
     python -m repro cache stats
     python -m repro cache gc --max-bytes 2G --max-age 30d
+
+Worker budgeting: ``--workers`` fans *tasks* over processes while
+``--intra-workers`` (or ``REPRO_INTRA_WORKERS``) budgets the worker pools
+*inside* each task (GraphSAINT normalisation walks, sharded SAT equivalence
+shards; backend via ``REPRO_INTRA_BACKEND``).  The executor divides the
+intra budget by the task-level worker count so the two never oversubscribe
+the machine.  Setting ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_AGE``
+makes every ``repro run`` finish with an automatic ``cache gc`` under that
+budget.
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from .cache import ArtifactCache, default_cache_dir
+from .cache import ArtifactCache, default_cache_dir, parse_age, parse_size
 from .campaign import (
     BASELINE_ATTACKS,
     CampaignSpec,
@@ -40,32 +49,6 @@ from .executor import run_campaign
 from .store import ResultStore, aggregate, campaign_table, paper_table
 
 __all__ = ["build_parser", "main"]
-
-
-_SIZE_UNITS = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
-_AGE_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
-
-
-def _parse_size(text: str) -> int:
-    """``"500M"``, ``"2G"``, ``"1048576"`` -> bytes."""
-    t = text.strip().lower()
-    if t.endswith("b"):
-        t = t[:-1]
-    multiplier = 1
-    if t and t[-1] in _SIZE_UNITS:
-        multiplier = _SIZE_UNITS[t[-1]]
-        t = t[:-1]
-    return int(float(t) * multiplier)
-
-
-def _parse_age(text: str) -> float:
-    """``"12h"``, ``"7d"``, ``"3600"`` -> seconds."""
-    t = text.strip().lower()
-    multiplier = 1
-    if t and t[-1] in _AGE_UNITS:
-        multiplier = _AGE_UNITS[t[-1]]
-        t = t[:-1]
-    return float(t) * multiplier
 
 
 def _format_size(n_bytes: float) -> str:
@@ -183,6 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(run)
     run.add_argument("--workers", type=int, help="process count (default: CPUs)")
     run.add_argument(
+        "--intra-workers", type=int, default=None,
+        help="global intra-task worker budget, divided across task workers "
+        "(default: REPRO_INTRA_WORKERS, i.e. serial tasks)",
+    )
+    run.add_argument(
         "--serial", action="store_true", help="run in-process, one task at a time"
     )
     run.add_argument(
@@ -221,11 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"artifact cache directory (default: {default_cache_dir()})",
         )
     gc_cmd.add_argument(
-        "--max-bytes", type=_parse_size, default=None, metavar="SIZE",
+        "--max-bytes", type=parse_size, default=None, metavar="SIZE",
         help="shrink the cache to at most this size (suffixes K/M/G/T)",
     )
     gc_cmd.add_argument(
-        "--max-age", type=_parse_age, default=None, metavar="AGE",
+        "--max-age", type=parse_age, default=None, metavar="AGE",
         help="evict artifacts unused for longer than this "
         "(seconds, or suffixed 30m/12h/7d/2w)",
     )
@@ -322,6 +310,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         serial=args.serial,
         store=store,
         resume=args.resume,
+        intra_workers=args.intra_workers,
         echo=print,
     )
     display = []

@@ -11,6 +11,18 @@ Determinism: dataset generation seeds from the dataset spec
 (:meth:`AttackConfig.derive_seed` per instance) and GNN training seeds from
 the task identity, never from execution order — a parallel run and a serial
 run of the same campaign produce bit-identical records.
+
+Intra-task parallelism: ``run_campaign(..., intra_workers=N)`` (or
+``REPRO_INTRA_WORKERS``) is a *global* budget for the per-task worker pools
+(:mod:`repro.parallel`).  The executor divides it by the number of campaign
+worker processes before handing each task its share, so nested pools never
+oversubscribe the machine; a share of one keeps the task on the legacy
+serial hot path.
+
+Housekeeping: when ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_AGE`` are
+set, ``run_campaign`` garbage-collects the artifact cache after the campaign
+(least-recently-used first) instead of relying on operators to run
+``repro cache gc``.
 """
 
 from __future__ import annotations
@@ -24,7 +36,13 @@ from importlib import import_module
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.attack import AttackOutcome, attack_design, train_attack_model
-from .cache import ArtifactCache, CacheStats, default_cache_dir
+from ..parallel import intra_budget, intra_worker_budget, pool_from_budget
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    cache_budget_from_env,
+    default_cache_dir,
+)
 from .campaign import BASELINE_ATTACKS, AttackTask
 
 __all__ = [
@@ -108,11 +126,11 @@ def outcome_record(outcome: AttackOutcome) -> Dict[str, object]:
     }
 
 
-def _task_metadata(task: AttackTask) -> Dict[str, object]:
+def _task_metadata(task: AttackTask, *, pooled: bool = False) -> Dict[str, object]:
     ds = task.dataset
     return {
         "task_id": task.task_id,
-        "fingerprint": task.fingerprint(),
+        "fingerprint": task.fingerprint(pooled=pooled),
         "attack": task.attack,
         "target": task.target_benchmark,
         "scheme": ds.scheme,
@@ -133,8 +151,18 @@ def _resolve_baseline(name: str) -> Callable:
     return getattr(import_module(module_name), attr)
 
 
-def execute_task(task: AttackTask, cache_dir: Optional[str] = None) -> TaskResult:
+def execute_task(
+    task: AttackTask,
+    cache_dir: Optional[str] = None,
+    intra_workers: Optional[int] = None,
+) -> TaskResult:
     """Run one task, consulting/filling the artifact cache.
+
+    ``intra_workers`` is this task's share of the global intra-task worker
+    budget (``None`` = consult ``REPRO_INTRA_WORKERS``); a share above one
+    builds a :mod:`repro.parallel` pool for the GNN sampler and the sharded
+    equivalence checks, and is pinned into the environment for the task's
+    duration so nested stages see the share, not the campaign-wide value.
 
     Never raises: any failure is captured as a ``failed`` result.  This is
     the function the process pool ships to workers, so it must stay
@@ -144,24 +172,32 @@ def execute_task(task: AttackTask, cache_dir: Optional[str] = None) -> TaskResul
     cache = ArtifactCache(cache_dir)
     events: Dict[str, str] = {}
     try:
-        instances = _load_or_generate_dataset(task, cache, events)
-        if task.attack == "gnnunlock":
-            record = _run_gnnunlock(task, instances, cache, events)
-        elif task.attack == "dataset-summary":
-            record = _run_dataset_summary(task, instances)
-        elif task.attack in BASELINE_ATTACKS:
-            record = _run_baseline(task, instances)
-            events["model"] = "off"
-        else:
-            raise ValueError(
-                f"unknown attack {task.attack!r}; choose 'gnnunlock', "
-                f"'dataset-summary' or one of {sorted(BASELINE_ATTACKS)}"
-            )
-        record.update(_task_metadata(task))
+        with intra_budget(intra_workers):
+            budget = intra_worker_budget() if intra_workers is None else intra_workers
+            pooled = budget > 1
+            pool = pool_from_budget(budget)
+            instances = _load_or_generate_dataset(task, cache, events)
+            if task.attack == "gnnunlock":
+                record = _run_gnnunlock(task, instances, cache, events, pool=pool)
+            elif task.attack == "dataset-summary":
+                record = _run_dataset_summary(task, instances)
+            elif task.attack in BASELINE_ATTACKS:
+                record = _run_baseline(task, instances, pool=pool)
+                events["model"] = "off"
+            else:
+                raise ValueError(
+                    f"unknown attack {task.attack!r}; choose 'gnnunlock', "
+                    f"'dataset-summary' or one of {sorted(BASELINE_ATTACKS)}"
+                )
+        record.update(_task_metadata(task, pooled=pooled))
+        if pooled:
+            # Pooled runs use identity-seeded parallel streams; keep that
+            # visible in the record (legacy serial records stay byte-stable).
+            record["intra_workers"] = int(budget)
         record["cache"] = dict(events)
         return TaskResult(
             task_id=task.task_id,
-            fingerprint=task.fingerprint(),
+            fingerprint=task.fingerprint(pooled=pooled),
             status="ok",
             wall_time_s=time.perf_counter() - started,
             record=record,
@@ -171,7 +207,9 @@ def execute_task(task: AttackTask, cache_dir: Optional[str] = None) -> TaskResul
     except Exception as exc:  # noqa: BLE001 - crash isolation is the contract
         return TaskResult(
             task_id=task.task_id,
-            fingerprint=task.fingerprint(),
+            fingerprint=task.fingerprint(
+                pooled=(intra_workers or intra_worker_budget()) > 1
+            ),
             status="failed",
             wall_time_s=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}",
@@ -199,13 +237,19 @@ def _load_or_generate_dataset(
 
 
 def _run_gnnunlock(
-    task: AttackTask, instances: list, cache: ArtifactCache, events: Dict[str, str]
+    task: AttackTask,
+    instances: list,
+    cache: ArtifactCache,
+    events: Dict[str, str],
+    pool=None,
 ) -> Dict[str, object]:
     dataset = task.dataset.build(instances)
     model = history = None
+    # Pooled and legacy training produce different (each deterministic)
+    # weights; key the cache by the stream so they never cross-contaminate.
+    model_key = task.model_fingerprint(pooled=pool is not None)
     if cache.enabled:
-        key = task.model_fingerprint()
-        cached = cache.get("model", key)
+        cached = cache.get("model", model_key)
         if cached is not None:
             model, history = cached
             events["model"] = "hit"
@@ -219,9 +263,10 @@ def _run_gnnunlock(
             task.target_benchmark,
             config=task.config,
             validation_benchmark=task.validation_benchmark,
+            pool=pool,
         )
         if cache.enabled:
-            cache.put("model", task.model_fingerprint(), (model, history))
+            cache.put("model", model_key, (model, history))
     outcome = attack_design(
         dataset,
         task.target_benchmark,
@@ -231,6 +276,7 @@ def _run_gnnunlock(
         apply_postprocessing=task.apply_postprocessing,
         model=model,
         history=history,
+        pool=pool,
     )
     return outcome_record(outcome)
 
@@ -249,14 +295,14 @@ def _run_dataset_summary(task: AttackTask, instances: list) -> Dict[str, object]
     }
 
 
-def _run_baseline(task: AttackTask, instances: list) -> Dict[str, object]:
+def _run_baseline(task: AttackTask, instances: list, pool=None) -> Dict[str, object]:
     attack_fn = _resolve_baseline(task.attack)
     kwargs = dict(task.attack_params)
     results = []
     for inst in instances:
         if inst.benchmark != task.target_benchmark:
             continue
-        baseline = attack_fn(inst.result, **kwargs)
+        baseline = attack_fn(inst.result, pool=pool, **kwargs)
         results.append(
             {
                 "instance": inst.name,
@@ -312,6 +358,7 @@ def run_campaign(
     serial: bool = False,
     store=None,
     resume: bool = False,
+    intra_workers: Optional[int] = None,
     echo: Optional[Callable[[str], None]] = None,
 ) -> List[TaskResult]:
     """Run a campaign and return one :class:`TaskResult` per task, in order.
@@ -326,7 +373,17 @@ def run_campaign(
     already has an ``ok`` record in the store: the stored record is returned
     as a ``skipped`` result and nothing is re-executed or re-appended, so an
     interrupted campaign picks up exactly where it stopped and the final
-    store contents match an uninterrupted run.
+    store contents match an uninterrupted run.  Fingerprints are
+    stream-aware: records produced under an intra-task pool carry a
+    ``pooled`` stamp, so resuming with a different intra-worker share never
+    splices legacy-serial and pooled results into one report — the tasks
+    simply re-execute on the requested stream.
+
+    ``intra_workers`` is the campaign-wide budget for *intra*-task worker
+    pools (default: ``REPRO_INTRA_WORKERS``).  Tasks fanned out over ``W``
+    processes each receive ``max(1, intra_workers // W)`` so the two levels
+    of parallelism together never oversubscribe the machine; a serial
+    campaign hands the whole budget to each task in turn.
 
     ``timeout_s`` is a campaign wall-clock budget per task, measured from
     campaign submission (per-task *runtime* cannot be observed from outside
@@ -342,6 +399,24 @@ def run_campaign(
         cache_path = None
     tasks = list(tasks)
 
+    # One share for the whole campaign (divided over the task-level workers,
+    # computed from the full grid so resume skips cannot change it): this is
+    # what execute_task receives, so it is also the stream the resume lookup
+    # must match.
+    total_intra = (
+        intra_worker_budget() if intra_workers is None else max(1, intra_workers)
+    )
+    if serial or workers == 1 or len(tasks) <= 1:
+        intra_share = total_intra
+    else:
+        # Divide by the tasks that can actually run concurrently: an
+        # oversized explicit --workers must not dilute the share to nothing.
+        task_workers = min(workers, len(tasks)) if workers else min(
+            len(tasks), os.cpu_count() or 2
+        )
+        intra_share = max(1, total_intra // max(1, task_workers))
+    pooled = intra_share > 1
+
     completed: Dict[str, Dict[str, object]] = {}
     if resume:
         if store is None:
@@ -351,7 +426,7 @@ def run_campaign(
             for fp, record in store.latest().items()
             if record.get("status") == "ok"
         }
-    prior_records = [completed.get(task.fingerprint()) for task in tasks]
+    prior_records = [completed.get(task.fingerprint(pooled=pooled)) for task in tasks]
     pending = [task for task, prior in zip(tasks, prior_records) if prior is None]
     if resume:
         echo(
@@ -365,6 +440,7 @@ def run_campaign(
             cache_path=cache_path,
             serial=serial,
             store=store,
+            intra_workers=intra_share,
             echo=echo,
         )
     )
@@ -374,14 +450,36 @@ def run_campaign(
             results.append(
                 TaskResult(
                     task_id=task.task_id,
-                    fingerprint=task.fingerprint(),
+                    fingerprint=task.fingerprint(pooled=pooled),
                     status="skipped",
                     record=prior,
                 )
             )
         else:
             results.append(next(executed))
+    _auto_cache_gc(cache_path, echo)
     return results
+
+
+def _auto_cache_gc(cache_path: Optional[str], echo: Callable[[str], None]) -> None:
+    """Opportunistic ``cache gc`` under the env-configured budget.
+
+    Runs after every campaign when ``REPRO_CACHE_MAX_BYTES`` and/or
+    ``REPRO_CACHE_MAX_AGE`` are set, so long-running installations keep the
+    artifact cache bounded without a separate maintenance job.
+    """
+    if cache_path is None:
+        return
+    max_bytes, max_age_s = cache_budget_from_env()
+    if max_bytes is None and max_age_s is None:
+        return
+    cache = ArtifactCache(cache_path)
+    evicted = cache.gc(max_bytes=max_bytes, max_age_s=max_age_s)
+    freed = sum(entry.size_bytes for entry in evicted)
+    echo(
+        f"cache gc: evicted {len(evicted)} artifact(s), {freed} bytes "
+        f"(budget: max_bytes={max_bytes}, max_age_s={max_age_s})"
+    )
 
 
 def _run_pending(
@@ -391,16 +489,22 @@ def _run_pending(
     cache_path: Optional[str],
     serial: bool,
     store,
+    intra_workers: int = 1,
     echo: Callable[[str], None],
 ) -> List[TaskResult]:
-    """Execute tasks (serially or over a process pool), in task order."""
+    """Execute tasks (serially or over a process pool), in task order.
+
+    ``intra_workers`` is each task's final share of the global budget (the
+    campaign-level division already happened in :func:`run_campaign`).
+    """
     results: List[TaskResult] = []
     submitted = time.perf_counter()
+    pooled = intra_workers > 1
 
     def timeout_result(task: AttackTask, error: str) -> TaskResult:
         return TaskResult(
             task_id=task.task_id,
-            fingerprint=task.fingerprint(),
+            fingerprint=task.fingerprint(pooled=pooled),
             status="timeout",
             wall_time_s=time.perf_counter() - submitted,
             error=error,
@@ -416,17 +520,20 @@ def _run_pending(
                     "the task started",
                 )
             else:
-                result = execute_task(task, cache_path)
+                result = execute_task(task, cache_path, intra_workers)
             results.append(result)
             _report(echo, index, len(tasks), result)
-            _append(store, task, result)
+            _append(store, task, result, pooled=pooled)
         return results
 
     workers = workers or min(len(tasks), os.cpu_count() or 2)
     pool = ProcessPoolExecutor(max_workers=workers)
     abandoned_worker = False
     try:
-        futures = [pool.submit(execute_task, task, cache_path) for task in tasks]
+        futures = [
+            pool.submit(execute_task, task, cache_path, intra_workers)
+            for task in tasks
+        ]
         for index, (task, future) in enumerate(zip(tasks, futures)):
             remaining: Optional[float] = None
             if task.timeout_s is not None:
@@ -449,14 +556,14 @@ def _run_pending(
             except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
                 result = TaskResult(
                     task_id=task.task_id,
-                    fingerprint=task.fingerprint(),
+                    fingerprint=task.fingerprint(pooled=pooled),
                     status="failed",
                     wall_time_s=time.perf_counter() - submitted,
                     error=f"{type(exc).__name__}: {exc}",
                 )
             results.append(result)
             _report(echo, index, len(tasks), result)
-            _append(store, task, result)
+            _append(store, task, result, pooled=pooled)
     finally:
         if abandoned_worker:
             # A hung task would make shutdown(wait=True) block forever; drop
@@ -485,10 +592,10 @@ def _report(echo: Callable[[str], None], index: int, total: int, result: TaskRes
     )
 
 
-def _append(store, task: AttackTask, result: TaskResult) -> None:
+def _append(store, task: AttackTask, result: TaskResult, *, pooled: bool = False) -> None:
     if store is None:
         return
-    record = dict(result.record or _task_metadata(task))
+    record = dict(result.record or _task_metadata(task, pooled=pooled))
     record["status"] = result.status
     record["wall_time_s"] = result.wall_time_s
     record["cache"] = dict(result.cache_events)

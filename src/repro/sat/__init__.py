@@ -8,6 +8,7 @@ from .equivalence import (
     structurally_equivalent,
     EquivalenceResult,
     check_equivalence,
+    cone_circuit,
     equivalent,
     miter_cnf,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "encode_circuit",
     "EquivalenceResult",
     "check_equivalence",
+    "cone_circuit",
     "equivalent",
     "miter_cnf",
     "structurally_identical",

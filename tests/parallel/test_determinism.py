@@ -1,0 +1,291 @@
+"""Determinism wall for intra-task parallelism.
+
+Two guarantees are pinned here:
+
+1. **Legacy stream stability** — with no pool in play, the vectorised random
+   walk consumes the RNG stream of the historical per-node Python loop bit
+   for bit, so default (serial-budget) results — and the golden tables —
+   never move.
+2. **Backend equivalence** — under a pool, training histories, attack
+   reports and equivalence verdicts are bit-identical across the serial,
+   thread and process backends (identity-seeded jobs, order-independent
+   reductions, deterministic shard short-circuiting).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.benchgen import RandomLogicSpec, generate_random_circuit
+from repro.gnn import GnnConfig, GraphData, RandomWalkSampler, train_node_classifier
+from repro.netlist.simulate import simulate
+from repro.parallel import WorkerPool
+from repro.sat import check_equivalence
+
+
+def _pools():
+    return (
+        WorkerPool("serial"),
+        WorkerPool("thread", max_workers=4),
+        WorkerPool("process", max_workers=2),
+    )
+
+
+def _two_cluster_graph(n=240, seed=0, feature_dim=6, isolate_first=0):
+    rng = np.random.default_rng(seed)
+    labels = np.array([0] * (n // 2) + [1] * (n - n // 2))
+    features = rng.normal(size=(n, feature_dim)) + labels[:, None] * 2.0
+    rows, cols = [], []
+    for i in range(isolate_first, n):
+        for _ in range(3):
+            j = int(rng.integers(isolate_first, n))
+            rows += [i, j]
+            cols += [j, i]
+    adj = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+    adj.data[:] = 1
+    split = rng.random(n)
+    return GraphData(
+        adjacency=adj,
+        features=features,
+        labels=labels,
+        train_mask=split < 0.6,
+        val_mask=(split >= 0.6) & (split < 0.8),
+        test_mask=split >= 0.8,
+    )
+
+
+def _legacy_walk(adjacency, train_nodes, n_roots, walk_length, rng):
+    """The pre-vectorisation reference implementation of ``_walk_nodes``."""
+    n_roots = min(n_roots, train_nodes.size)
+    roots = rng.choice(train_nodes, size=n_roots, replace=True)
+    visited = set(int(r) for r in roots)
+    indptr, indices = adjacency.indptr, adjacency.indices
+    current = roots.copy()
+    for _ in range(walk_length):
+        next_nodes = []
+        for node in current:
+            start, end = indptr[node], indptr[node + 1]
+            if end > start:
+                nxt = int(indices[rng.integers(start, end)])
+            else:
+                nxt = int(node)
+            next_nodes.append(nxt)
+            visited.add(nxt)
+        current = np.array(next_nodes)
+    return np.array(sorted(visited))
+
+
+class TestLegacyStreamStability:
+    def test_vectorised_walk_matches_reference_loop(self):
+        data = _two_cluster_graph(300, seed=2, isolate_first=25)
+        sampler = RandomWalkSampler(
+            data, n_roots=80, walk_length=3, rng=np.random.default_rng(0)
+        )
+        rng_new = np.random.default_rng(1234)
+        rng_ref = np.random.default_rng(1234)
+        for _ in range(25):
+            sampler.rng = rng_new
+            got = sampler._walk_nodes()
+            want = _legacy_walk(
+                sampler.adjacency, sampler.train_nodes, 80, 3, rng_ref
+            )
+            assert np.array_equal(got, want)
+            # identical draws => identical generator state going forward
+            assert rng_new.bit_generator.state == rng_ref.bit_generator.state
+
+    def test_walk_keeps_integer_dtype_with_empty_neighbourhoods(self):
+        # Isolated training nodes exercise the dead-end branch that used to
+        # be able to produce float/object arrays via np.array(list-of-ints).
+        data = _two_cluster_graph(60, seed=4, isolate_first=60)  # no edges at all
+        sampler = RandomWalkSampler(
+            data, n_roots=10, walk_length=2, rng=np.random.default_rng(1)
+        )
+        nodes = sampler._walk_nodes()
+        assert nodes.dtype == np.int64
+        assert nodes.size > 0
+        batch = sampler.sample()
+        assert batch.node_indices.dtype == np.int64
+        assert batch.data.n_nodes == batch.node_indices.size
+
+    def test_pooled_normalisation_counts_are_integral(self):
+        data = _two_cluster_graph(120, seed=5)
+        with WorkerPool("thread", max_workers=3) as pool:
+            sampler = RandomWalkSampler(
+                data, n_roots=30, walk_length=2,
+                rng=np.random.default_rng(3), pool=pool,
+            )
+        assert sampler._norm_samples == 20
+        counts = sampler._inclusion_counts
+        assert np.array_equal(counts, counts.astype(int))
+        assert counts.sum() > 0
+
+
+class TestBackendEquivalence:
+    def test_pooled_normalisation_identical_across_backends(self):
+        data = _two_cluster_graph(200, seed=6)
+        counts = []
+        for pool in _pools():
+            with pool:
+                sampler = RandomWalkSampler(
+                    data, n_roots=50, walk_length=2,
+                    rng=np.random.default_rng(11), pool=pool,
+                )
+            counts.append(sampler._inclusion_counts.copy())
+        assert np.array_equal(counts[0], counts[1])
+        assert np.array_equal(counts[0], counts[2])
+
+    def test_training_history_identical_across_backends(self):
+        data = _two_cluster_graph(240, seed=7)
+        config = GnnConfig(
+            n_features=6, n_classes=2, hidden_dim=12, epochs=20,
+            root_nodes=50, eval_every=5, seed=0,
+        )
+        runs = []
+        for pool in _pools():
+            with pool:
+                model, history = train_node_classifier(
+                    data, config, rng=np.random.default_rng(5), pool=pool
+                )
+            runs.append(
+                (
+                    history.loss,
+                    history.val_accuracy,
+                    history.best_epoch,
+                    [w.tobytes() for w in model.get_weights()],
+                )
+            )
+        assert runs[0] == runs[1] == runs[2]
+        assert len(runs[0][0]) == 20
+
+    def test_prefetching_matches_inline_sampling(self):
+        data = _two_cluster_graph(240, seed=8)
+        config = GnnConfig(
+            n_features=6, n_classes=2, hidden_dim=12, epochs=15,
+            root_nodes=50, eval_every=5, seed=0,
+        )
+        with WorkerPool("serial") as pool:
+            _, inline = train_node_classifier(
+                data, config, rng=np.random.default_rng(9), pool=pool, prefetch=0
+            )
+            _, prefetched = train_node_classifier(
+                data, config, rng=np.random.default_rng(9), pool=pool, prefetch=3
+            )
+        assert inline.loss == prefetched.loss
+        assert inline.val_accuracy == prefetched.val_accuracy
+        assert prefetched.sample_wait_s >= 0.0
+
+
+class TestEquivalenceDeterminism:
+    @pytest.fixture()
+    def circuit_pair_equal(self):
+        a = generate_random_circuit(
+            RandomLogicSpec(name="eq", n_inputs=14, n_outputs=5, n_gates=90, seed=13)
+        )
+        from repro.synth.optimize import remove_buffers, remove_double_inverters
+
+        b, _ = remove_buffers(a)
+        b, _ = remove_double_inverters(b)
+        return a, b
+
+    @pytest.fixture()
+    def circuit_pair_different(self):
+        a = generate_random_circuit(
+            RandomLogicSpec(name="ne", n_inputs=14, n_outputs=5, n_gates=90, seed=14)
+        )
+        b = generate_random_circuit(
+            RandomLogicSpec(name="ne", n_inputs=14, n_outputs=5, n_gates=90, seed=14)
+        )
+        po = sorted(b.outputs)[-1]
+        gate = b.gates[po]
+        b.remove_gate(po)
+        b.add_gate(po + "_pre", gate.cell, gate.inputs)
+        b.add_gate(po, "NOT", [po + "_pre"])
+        return a, b
+
+    def test_equivalent_pair_identical_across_backends(self, circuit_pair_equal):
+        a, b = circuit_pair_equal
+        mono = check_equivalence(a, b, method="sat")
+        results = [
+            check_equivalence(a, b, method="sat", pool=pool) for pool in _pools()
+        ]
+        assert mono.equivalent
+        for result in results:
+            assert result.equivalent
+            assert result.shards == len(set(a.outputs) & set(b.outputs))
+            assert result.conflicts == results[0].conflicts
+
+    def test_inequivalent_pair_identical_across_backends(self, circuit_pair_different):
+        a, b = circuit_pair_different
+        mono = check_equivalence(a, b, method="sat")
+        assert not mono.equivalent
+        results = [
+            check_equivalence(a, b, method="sat", pool=pool) for pool in _pools()
+        ]
+        for result in results:
+            assert not result.equivalent
+            assert result.counterexample == results[0].counterexample
+            assert result.conflicts == results[0].conflicts
+        # Same interface as the monolithic counterexample, and it really
+        # distinguishes the circuits.
+        assert set(results[0].counterexample) == set(mono.counterexample)
+        outputs = sorted(set(a.outputs) & set(b.outputs))
+        sim_a = simulate(a, results[0].counterexample, outputs=outputs)
+        sim_b = simulate(b, results[0].counterexample, outputs=outputs)
+        assert any(sim_a[po][0] != sim_b[po][0] for po in outputs)
+
+    def test_sharded_keyed_check_matches_monolithic_verdict(self):
+        from repro.locking import AntiSatLocking
+
+        base = generate_random_circuit(
+            RandomLogicSpec(name="k", n_inputs=16, n_outputs=4, n_gates=80, seed=15)
+        )
+        locked = AntiSatLocking(8).lock(base, rng=np.random.default_rng(2))
+        right = dict(locked.key)
+        # Flip exactly one key bit: Anti-SAT tolerates flipping *both* halves
+        # in tandem, but a single-bit flip activates the flip signal.
+        wrong = dict(right)
+        first = sorted(wrong)[0]
+        wrong[first] = not wrong[first]
+        for key, expected in ((right, True), (wrong, False)):
+            mono = check_equivalence(
+                locked.locked, locked.original, key_assignment=key, method="sat"
+            )
+            assert mono.equivalent is expected
+            for pool in _pools():
+                with pool:
+                    sharded = check_equivalence(
+                        locked.locked,
+                        locked.original,
+                        key_assignment=key,
+                        method="sat",
+                        pool=pool,
+                    )
+                assert sharded.equivalent is expected
+
+
+class TestAttackReportEquivalence:
+    def test_attack_outcome_identical_across_backends(self, tmp_path):
+        from repro.core import AttackConfig
+        from repro.core.attack import attack_design
+        from repro.core.generation import generate_instances
+        from repro.core.dataset import build_dataset
+        from repro.runner.executor import outcome_record
+
+        config = AttackConfig(locks_per_setting=1, iscas_key_sizes=(8,), seed=5).with_gnn(
+            hidden_dim=16, epochs=6, root_nodes=100, eval_every=2, patience=10
+        )
+        instances = generate_instances(
+            "antisat", ("c2670", "c3540", "c5315"), key_sizes=(8,), config=config
+        )
+        dataset = build_dataset(instances)
+        records = []
+        for pool in (WorkerPool("serial"), WorkerPool("thread", max_workers=2)):
+            with pool:
+                outcome = attack_design(
+                    dataset, "c2670", config=config, pool=pool
+                )
+            record = outcome_record(outcome)
+            for volatile in ("train_time_s", "attack_time_s"):
+                record.pop(volatile)
+            records.append(record)
+        assert records[0] == records[1]

@@ -1,0 +1,135 @@
+"""Unit tests for the WorkerPool abstraction and the intra-task budget."""
+
+import os
+
+import pytest
+
+from repro.core import AttackConfig
+from repro.parallel import (
+    INTRA_BACKEND_ENV,
+    INTRA_WORKERS_ENV,
+    SerialFuture,
+    WorkerPool,
+    derive_job_seed,
+    intra_backend,
+    intra_budget,
+    intra_worker_budget,
+    pool_from_budget,
+    resolve_pool,
+    shared_pool,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(_x):
+    raise RuntimeError("job failed")
+
+
+class TestWorkerPool:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_map_preserves_order(self, backend):
+        with WorkerPool(backend, max_workers=2) as pool:
+            assert pool.map(_square, range(7)) == [x * x for x in range(7)]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_submit_and_as_completed(self, backend):
+        with WorkerPool(backend, max_workers=2) as pool:
+            futures = [pool.submit(_square, x) for x in range(5)]
+            seen = sorted(f.result() for f in pool.as_completed(futures))
+            assert seen == [0, 1, 4, 9, 16]
+
+    def test_serial_futures_are_lazy(self):
+        pool = WorkerPool("serial")
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        futures = [pool.submit(record, x) for x in range(3)]
+        assert calls == []  # nothing ran yet
+        assert futures[1].cancel() is True
+        assert futures[0].result() == 0
+        assert futures[2].result() == 2
+        assert calls == [0, 2]  # the cancelled job never executed
+        assert futures[1].cancelled()
+
+    def test_serial_future_propagates_exceptions(self):
+        future = WorkerPool("serial").submit(_boom, 1)
+        with pytest.raises(RuntimeError, match="job failed"):
+            future.result()
+        # exception() re-raises nothing but reports the error
+        assert isinstance(SerialFuture(_boom, (1,), {}).exception(), RuntimeError)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown pool backend"):
+            WorkerPool("fiber")
+
+    def test_thread_pool_propagates_exceptions(self):
+        with WorkerPool("thread", max_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="job failed"):
+                pool.map(_boom, [1])
+
+    def test_shutdown_idempotent(self):
+        pool = WorkerPool("thread", max_workers=1)
+        pool.map(_square, [2])
+        pool.shutdown()
+        pool.shutdown()
+
+
+class TestBudget:
+    def test_derive_job_seed_matches_attack_config(self):
+        config = AttackConfig(seed=23)
+        assert config.derive_seed("gnn", "x", 4) == derive_job_seed(23, "gnn", "x", 4)
+
+    def test_derive_job_seed_sensitivity(self):
+        assert derive_job_seed(1, "a") != derive_job_seed(1, "b")
+        assert derive_job_seed(1, "a") != derive_job_seed(2, "a")
+
+    def test_budget_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(INTRA_WORKERS_ENV, raising=False)
+        assert intra_worker_budget() == 1
+        assert pool_from_budget() is None
+        assert resolve_pool(None) is None
+
+    def test_budget_parses_env(self, monkeypatch):
+        monkeypatch.setenv(INTRA_WORKERS_ENV, "3")
+        assert intra_worker_budget() == 3
+        pool = pool_from_budget()
+        assert pool is not None and pool.max_workers == 3
+        monkeypatch.setenv(INTRA_WORKERS_ENV, "not-a-number")
+        assert intra_worker_budget() == 1
+
+    def test_backend_env(self, monkeypatch):
+        monkeypatch.delenv(INTRA_BACKEND_ENV, raising=False)
+        assert intra_backend() == "thread"
+        monkeypatch.setenv(INTRA_BACKEND_ENV, "process")
+        assert intra_backend() == "process"
+        monkeypatch.setenv(INTRA_BACKEND_ENV, "bogus")
+        assert intra_backend() == "thread"
+
+    def test_shared_pool_is_cached(self, monkeypatch):
+        monkeypatch.delenv(INTRA_BACKEND_ENV, raising=False)
+        assert shared_pool("thread", 2) is shared_pool("thread", 2)
+        assert shared_pool("thread", 2) is not shared_pool("thread", 3)
+
+    def test_resolve_prefers_explicit_pool(self, monkeypatch):
+        monkeypatch.setenv(INTRA_WORKERS_ENV, "4")
+        explicit = WorkerPool("serial")
+        assert resolve_pool(explicit) is explicit
+
+    def test_intra_budget_context_pins_and_restores(self, monkeypatch):
+        monkeypatch.setenv(INTRA_WORKERS_ENV, "8")
+        with intra_budget(2):
+            assert os.environ[INTRA_WORKERS_ENV] == "2"
+            assert intra_worker_budget() == 2
+        assert os.environ[INTRA_WORKERS_ENV] == "8"
+        with intra_budget(None):
+            assert intra_worker_budget() == 8
+        monkeypatch.delenv(INTRA_WORKERS_ENV, raising=False)
+        with intra_budget(3):
+            assert intra_worker_budget() == 3
+        assert INTRA_WORKERS_ENV not in os.environ

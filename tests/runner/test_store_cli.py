@@ -196,6 +196,23 @@ class TestCli:
         code = main(["run", "--no-cache", "--key-sizes", "600"])
         assert code == 1
 
+    def test_run_accepts_intra_workers(self, tmp_path, capsys):
+        args = [
+            "run", "--serial", "--intra-workers", "2",
+            "--benchmarks", "c2670", "c3540", "c5315",
+            "--targets", "c2670",
+            "--key-sizes", "8",
+            "--set", "gnn.epochs=2", "--set", "gnn.root_nodes=100",
+            "--store", str(tmp_path / "s.jsonl"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        store = ResultStore(tmp_path / "s.jsonl")
+        records = store.load()
+        assert len(records) == 1
+        # A serial campaign hands the whole intra budget to the task.
+        assert records[0]["intra_workers"] == 2
+
     def test_run_resume_skips_completed_tasks(self, tmp_path, capsys):
         args = [
             "run", "--serial",
@@ -262,13 +279,13 @@ class TestCacheCli:
         assert len(cache.entries()) == 2
 
     def test_size_suffixes_parse(self):
-        from repro.runner.cli import _parse_age, _parse_size
+        from repro.runner.cache import parse_age, parse_size
 
-        assert _parse_size("2K") == 2048
-        assert _parse_size("1.5M") == int(1.5 * 1024**2)
-        assert _parse_size("3g") == 3 * 1024**3
-        assert _parse_size("512") == 512
-        assert _parse_age("30m") == 1800
-        assert _parse_age("2h") == 7200
-        assert _parse_age("7d") == 7 * 86400
-        assert _parse_age("90") == 90.0
+        assert parse_size("2K") == 2048
+        assert parse_size("1.5M") == int(1.5 * 1024**2)
+        assert parse_size("3g") == 3 * 1024**3
+        assert parse_size("512") == 512
+        assert parse_age("30m") == 1800
+        assert parse_age("2h") == 7200
+        assert parse_age("7d") == 7 * 86400
+        assert parse_age("90") == 90.0
