@@ -15,7 +15,7 @@ __version__ = "1.1.0"
 
 from . import netlist  # noqa: F401
 
-__all__ = ["netlist", "parallel", "runner", "__version__"]
+__all__ = ["netlist", "parallel", "runner", "service", "__version__"]
 
 
 def __getattr__(name):
@@ -29,4 +29,8 @@ def __getattr__(name):
         from . import parallel
 
         return parallel
+    if name == "service":
+        from . import service
+
+        return service
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

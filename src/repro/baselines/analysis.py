@@ -20,9 +20,7 @@ from ..netlist.traversal import (
     fanin_cone,
     key_inputs_in_fanin,
     primary_inputs_in_fanin,
-    transitive_inputs,
-)
-from ..sat.cnf import CNF
+    )
 from ..sat.solver import solve
 from ..sat.tseitin import CircuitEncoder
 

@@ -11,7 +11,7 @@ functional oracle, which the oracle-guided threat model permits.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -15,7 +15,7 @@ reports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..locking.base import LockingResult
 from ..parallel import WorkerPool

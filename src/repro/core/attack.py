@@ -15,14 +15,13 @@ Given a dataset of locked benchmarks, attacking one design means:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..gnn.model import GnnConfig, GraphSageClassifier
 from ..gnn.trainer import TrainingHistory, train_node_classifier
-from ..locking.base import DESIGN
 from ..netlist.circuit import Circuit
 from ..parallel import WorkerPool, resolve_pool
 from ..sat.equivalence import check_equivalence
@@ -31,8 +30,8 @@ from .dataset import LockedInstance, NodeDataset
 from .labeling import classes_to_labels
 from .metrics import ClassificationReport, classification_report
 from .postprocess import postprocess_predictions
-from .removal import RemovalError, remove_protection_logic
-from .splits import SplitMasks, leave_one_design_out
+from .removal import remove_protection_logic
+from .splits import leave_one_design_out
 
 __all__ = [
     "InstanceOutcome",

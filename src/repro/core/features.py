@@ -16,7 +16,7 @@ library — matching Table III of the paper.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -6,7 +6,7 @@ TTLock / SFLL-HD it is ternary (design, restore, perturb), as in Table III.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -13,7 +13,7 @@ protection logic is deleted and the netlist repaired:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set
 
 from ..locking.base import DESIGN
 from ..netlist.circuit import Circuit, CircuitError

@@ -25,13 +25,13 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..parallel import WorkerPool
-from .data import GraphData, normalize_adjacency
+from .data import GraphData
 from .model import GnnConfig, GraphSageClassifier, cross_entropy_loss
 from .optim import Adam
 from .sampler import RandomWalkSampler, SampledSubgraph

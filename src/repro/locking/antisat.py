@@ -17,7 +17,7 @@ and the integration XOR) is labelled ``AN`` (Anti-SAT node).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

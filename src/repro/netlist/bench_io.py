@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Tuple
 
 from .circuit import Circuit, CircuitError
 from .gates import BENCH8, CellLibrary

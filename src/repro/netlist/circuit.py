@@ -13,7 +13,7 @@ connectivity is recorded per gate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .gates import BENCH8, CellLibrary, CellType
 

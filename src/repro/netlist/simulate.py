@@ -7,7 +7,7 @@ backing the SPS baseline, and by the FALL unateness analysis.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

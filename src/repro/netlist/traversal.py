@@ -7,8 +7,7 @@ baseline attacks (which trace key inputs through the netlist).
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, List, Set
+from typing import Dict, List, Set
 
 from .circuit import Circuit
 

@@ -29,6 +29,8 @@ from .campaign import (
     DatasetSpec,
     PROFILES,
     SchemeSpec,
+    config_from_dict,
+    config_to_dict,
     parse_scheme_spec,
     profile_campaign,
     profile_config,
@@ -41,7 +43,14 @@ from .executor import (
     outcome_record,
     run_campaign,
 )
-from .store import ResultStore, aggregate, campaign_table, h_tech_table, paper_table
+from .store import (
+    ResultStore,
+    aggregate,
+    campaign_table,
+    h_tech_table,
+    paper_table,
+    render_report,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -59,6 +68,8 @@ __all__ = [
     "aggregate",
     "campaign_cache_stats",
     "campaign_table",
+    "config_from_dict",
+    "config_to_dict",
     "default_cache_dir",
     "execute_task",
     "fingerprint",
@@ -69,5 +80,6 @@ __all__ = [
     "profile_campaign",
     "profile_config",
     "profile_suites",
+    "render_report",
     "run_campaign",
 ]

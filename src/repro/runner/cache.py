@@ -38,6 +38,7 @@ __all__ = [
     "CACHE_MAX_AGE_ENV",
     "CACHE_MAX_BYTES_ENV",
     "CACHE_VERSION",
+    "atomic_write",
     "cache_budget_from_env",
     "canonical_json",
     "default_cache_dir",
@@ -131,6 +132,28 @@ def fingerprint(payload: Mapping) -> str:
     return hashlib.sha256(canonical_json(stamped).encode()).hexdigest()
 
 
+def atomic_write(path: Path, write) -> None:
+    """Write a file atomically: temp file in the target directory + rename.
+
+    ``write`` receives the open binary handle.  Concurrent writers cannot
+    corrupt each other (the last rename wins whole) and a crash mid-write
+    leaves the target untouched.  Shared by the artifact cache and the
+    service's job-state persistence.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-gnnunlock``."""
     env = os.environ.get(CACHE_DIR_ENV)
@@ -206,18 +229,10 @@ class ArtifactCache:
         path = self.path_for(kind, key)
         if not self.enabled or path is None:
             return None
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write(
+            path,
+            lambda handle: pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL),
+        )
         self.stats.count(kind, "writes")
         return path
 

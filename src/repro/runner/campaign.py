@@ -31,6 +31,7 @@ from ..core.generation import (
     suite_benchmarks,
     suite_key_sizes,
 )
+from ..gnn.model import GnnConfig
 from .cache import fingerprint
 
 __all__ = [
@@ -40,6 +41,8 @@ __all__ = [
     "DatasetSpec",
     "PROFILES",
     "SchemeSpec",
+    "config_from_dict",
+    "config_to_dict",
     "parse_scheme_spec",
     "profile_campaign",
     "profile_config",
@@ -230,6 +233,94 @@ class AttackTask:
 
 
 # ----------------------------------------------------------------------
+# AttackConfig <-> JSON.  The service accepts campaign submissions over the
+# wire, so specs need a faithful, validating round-trip through plain JSON.
+
+
+def config_to_dict(config: AttackConfig) -> Dict[str, object]:
+    """Flatten an :class:`AttackConfig` (nested GnnConfig included) to JSON."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(payload: Mapping[str, object]) -> AttackConfig:
+    """Rebuild an :class:`AttackConfig` from :func:`config_to_dict` output.
+
+    Unknown fields raise :class:`ValueError` (a typo in a submitted spec must
+    not silently fall back to a default), sequences are normalised to tuples
+    so the config stays hashable, and the result is type-checked with
+    :func:`validate_config`.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"config must be a JSON object, got {type(payload).__name__}")
+    own_fields = {f.name for f in dataclasses.fields(AttackConfig)}
+    unknown = sorted(set(payload) - own_fields)
+    if unknown:
+        raise ValueError(f"unknown AttackConfig field(s): {', '.join(unknown)}")
+    data = dict(payload)
+    gnn_payload = data.pop("gnn", None)
+    gnn = GnnConfig()
+    if gnn_payload is not None:
+        if not isinstance(gnn_payload, Mapping):
+            raise ValueError("config field 'gnn' must be a JSON object")
+        gnn_fields = {f.name for f in dataclasses.fields(GnnConfig)}
+        unknown = sorted(set(gnn_payload) - gnn_fields)
+        if unknown:
+            raise ValueError(f"unknown GnnConfig field(s): {', '.join(unknown)}")
+        gnn = GnnConfig(**dict(gnn_payload))
+    for key, value in data.items():
+        if isinstance(value, (list, tuple)):
+            data[key] = tuple(value)
+    config = AttackConfig(gnn=gnn, **data)
+    validate_config(config)
+    return config
+
+
+def validate_config(config: AttackConfig) -> None:
+    """Type-check every config field against the dataclass defaults.
+
+    Catches specs that would only explode deep inside a worker (e.g. a CLI
+    override like ``gnn.epochs=abc`` or a JSON submission carrying a string
+    where an int belongs) while they are still cheap to reject.
+    """
+
+    def check(obj: object, prefix: str) -> None:
+        defaults = type(obj)()
+        for spec_field in dataclasses.fields(obj):
+            value = getattr(obj, spec_field.name)
+            default = getattr(defaults, spec_field.name)
+            name = f"{prefix}{spec_field.name}"
+            if dataclasses.is_dataclass(default):
+                check(value, f"{name}.")
+                continue
+            if isinstance(default, bool):
+                ok = isinstance(value, bool)
+            elif isinstance(default, int):
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            elif isinstance(default, float):
+                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            elif isinstance(default, str):
+                ok = isinstance(value, str)
+            elif isinstance(default, tuple):
+                ok = isinstance(value, (list, tuple)) and all(
+                    isinstance(item, int) and not isinstance(item, bool)
+                    for item in value
+                )
+            else:
+                continue
+            if not ok:
+                raise ValueError(
+                    f"invalid value for {name}: {value!r} "
+                    f"(expected {type(default).__name__})"
+                )
+
+    check(config, "")
+
+
+#: Attacks schedulable besides the baselines (see :data:`BASELINE_ATTACKS`).
+_BUILTIN_ATTACKS = ("gnnunlock", "dataset-summary")
+
+
+# ----------------------------------------------------------------------
 def _lockable(scheme: str, benchmark: str, key_sizes: Sequence[int], size_scale: float) -> bool:
     """Whether at least one key size of the group fits the benchmark's PIs."""
     profile = ALL_PROFILES.get(benchmark)
@@ -369,6 +460,168 @@ class CampaignSpec:
             attack_params=params,
             timeout_s=self.timeout_s,
         )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip and validation (the campaign service's wire format).
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-JSON rendering of the spec; inverse of :meth:`from_json_dict`.
+
+        Tuples become lists and scheme entries become their compact string
+        form, so the payload survives ``json.dumps``/``json.loads`` and two
+        specs that expand identically serialise identically.
+        """
+
+        def names(values: Optional[Sequence[object]]) -> Optional[List[str]]:
+            return None if values is None else [str(v) for v in values]
+
+        return {
+            "name": str(self.name),
+            "schemes": [str(parse_scheme_spec(s)) for s in self.schemes],
+            "suites": [str(s) for s in self.suites],
+            "key_size_groups": (
+                None
+                if self.key_size_groups is None
+                else [[int(k) for k in group] for group in self.key_size_groups]
+            ),
+            "benchmarks": names(self.benchmarks),
+            "targets": names(self.targets),
+            "overrides": [dict(override) for override in self.overrides],
+            "attacks": [str(a) for a in self.attacks],
+            "attack_params": {
+                str(attack): dict(params)
+                for attack, params in self.attack_params.items()
+            },
+            "postprocessing": [bool(p) for p in self.postprocessing],
+            "config": config_to_dict(self.config),
+            "timeout_s": None if self.timeout_s is None else float(self.timeout_s),
+            "derive_gnn_seeds": bool(self.derive_gnn_seeds),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_json_dict` output (or hand-written
+        JSON), rejecting unknown fields with a clear message."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"campaign spec must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown CampaignSpec field(s): {', '.join(unknown)}")
+
+        def listy(key: str, value: object) -> list:
+            if isinstance(value, (str, Mapping)) or not hasattr(value, "__iter__"):
+                raise ValueError(f"campaign field {key!r} must be a JSON array")
+            return list(value)
+
+        data = dict(payload)
+        kwargs: Dict[str, object] = {}
+        if "config" in data:
+            kwargs["config"] = config_from_dict(data.pop("config"))
+        for key in ("schemes", "suites", "attacks"):
+            if key in data and data[key] is not None:
+                kwargs[key] = tuple(str(v) for v in listy(key, data.pop(key)))
+        for key in ("benchmarks", "targets"):
+            if key in data:
+                value = data.pop(key)
+                if value is not None:
+                    kwargs[key] = tuple(str(v) for v in listy(key, value))
+        if data.get("key_size_groups") is not None:
+            groups = listy("key_size_groups", data.pop("key_size_groups"))
+            try:
+                kwargs["key_size_groups"] = tuple(
+                    tuple(int(k) for k in listy("key_size_groups", group))
+                    for group in groups
+                )
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "campaign field 'key_size_groups' must be an array of "
+                    "integer arrays, e.g. [[8, 16], [32]]"
+                ) from None
+        else:
+            data.pop("key_size_groups", None)
+        if "overrides" in data:
+            overrides = listy("overrides", data.pop("overrides"))
+            if not all(isinstance(o, Mapping) for o in overrides):
+                raise ValueError(
+                    "campaign field 'overrides' must be an array of objects, "
+                    'e.g. [{}, {"gnn.epochs": 5}]'
+                )
+            kwargs["overrides"] = tuple(dict(o) for o in overrides)
+        if "attack_params" in data:
+            params_map = data.pop("attack_params")
+            if not isinstance(params_map, Mapping) or not all(
+                isinstance(p, Mapping) for p in params_map.values()
+            ):
+                raise ValueError(
+                    "campaign field 'attack_params' must map attack names to "
+                    'objects, e.g. {"sat": {"max_iterations": 12}}'
+                )
+            kwargs["attack_params"] = {
+                str(attack): dict(params) for attack, params in params_map.items()
+            }
+        if "postprocessing" in data:
+            kwargs["postprocessing"] = tuple(
+                bool(p) for p in listy("postprocessing", data.pop("postprocessing"))
+            )
+        kwargs.update(data)  # name, timeout_s, derive_gnn_seeds pass through
+        return cls(**kwargs)
+
+    def canonical(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": "campaign"}
+        payload.update(self.to_json_dict())
+        return payload
+
+    def fingerprint(self) -> str:
+        """Content address of the whole campaign (used for job dedup)."""
+        return fingerprint(self.canonical())
+
+    def validate(self) -> List[AttackTask]:
+        """Check the spec end to end and return its expanded tasks.
+
+        Raises :class:`ValueError` — never a raw traceback from deep inside a
+        worker — on an unknown scheme, suite, benchmark, target or attack and
+        on config values of the wrong type.  Called by ``repro run`` before
+        executing (or dry-run printing) anything and by the campaign service
+        on every submission.
+        """
+        if not isinstance(self.name, str):
+            raise ValueError(f"campaign name must be a string, got {self.name!r}")
+        if self.timeout_s is not None and (
+            isinstance(self.timeout_s, bool)
+            or not isinstance(self.timeout_s, (int, float))
+        ):
+            raise ValueError(
+                f"timeout_s must be a number of seconds or null, got "
+                f"{self.timeout_s!r}"
+            )
+        for scheme in self.schemes:
+            parse_scheme_spec(scheme)
+        for suite in self.suites:
+            suite_benchmarks(suite)
+        for kind, values in (("benchmark", self.benchmarks), ("target", self.targets)):
+            for name in values or ():
+                if name not in ALL_PROFILES:
+                    raise ValueError(
+                        f"unknown {kind} {name!r}; choose from "
+                        f"{', '.join(sorted(ALL_PROFILES))}"
+                    )
+        known_attacks = set(_BUILTIN_ATTACKS) | set(BASELINE_ATTACKS)
+        for attack in self.attacks:
+            if attack not in known_attacks:
+                raise ValueError(
+                    f"unknown attack {attack!r}; choose from {sorted(known_attacks)}"
+                )
+        for group in self.key_size_groups or ():
+            for key_size in group:
+                if int(key_size) <= 0:
+                    raise ValueError(f"key sizes must be positive, got {key_size!r}")
+        validate_config(self.config)
+        for override in self.overrides:
+            validate_config(self.config.with_overrides(override))
+        return self.expand()
 
 
 # ----------------------------------------------------------------------

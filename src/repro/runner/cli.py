@@ -6,6 +6,11 @@ Subcommands::
     repro list     show the expanded tasks and their cache status
     repro report   aggregate a JSONL result store into paper-style tables
     repro cache    artifact-cache maintenance (stats, gc)
+    repro serve    start the long-lived campaign service (HTTP JSON API)
+    repro submit   submit a campaign grid to a running service
+    repro status   poll a service job (or list every job)
+    repro fetch    fetch a job's rendered report or raw records
+    repro cancel   cancel a queued or running service job
 
 Examples::
 
@@ -17,6 +22,10 @@ Examples::
     python -m repro report --store runs/quick-campaign.jsonl
     python -m repro cache stats
     python -m repro cache gc --max-bytes 2G --max-age 30d
+    python -m repro serve --port 8765 --state-dir runs/service
+    python -m repro submit --profile quick --targets c2670 --wait
+    python -m repro status 1b2c3d4e5f607182
+    python -m repro fetch 1b2c3d4e5f607182 --report
 
 Worker budgeting: ``--workers`` fans *tasks* over processes while
 ``--intra-workers`` (or ``REPRO_INTRA_WORKERS``) budgets the worker pools
@@ -33,11 +42,19 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import os
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+from urllib.error import URLError
 
+from ..service.client import (
+    DEFAULT_SERVICE_URL,
+    SERVICE_URL_ENV,
+    ServiceClient,
+    ServiceError,
+)
 from .cache import ArtifactCache, default_cache_dir, parse_age, parse_size
 from .campaign import (
     BASELINE_ATTACKS,
@@ -46,7 +63,7 @@ from .campaign import (
     profile_campaign,
 )
 from .executor import run_campaign
-from .store import ResultStore, aggregate, campaign_table, paper_table
+from .store import ResultStore, aggregate, campaign_table, paper_table, render_report
 
 __all__ = ["build_parser", "main"]
 
@@ -140,6 +157,23 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     )
     grid.add_argument("--seed", type=int, help="base campaign seed")
     grid.add_argument("--timeout", type=float, help="per-task budget in seconds")
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    service = parser.add_argument_group("campaign service")
+    service.add_argument(
+        "--url", default=None,
+        help=f"service URL (default: ${SERVICE_URL_ENV} or {DEFAULT_SERVICE_URL})",
+    )
+    service.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw JSON response (machine-readable)",
+    )
+
+
+def _service_client(args: argparse.Namespace) -> ServiceClient:
+    url = args.url or os.environ.get(SERVICE_URL_ENV) or DEFAULT_SERVICE_URL
+    return ServiceClient(url)
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -236,6 +270,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", dest="show_all",
         help="use every record, not just the latest per task",
     )
+    report.add_argument(
+        "--service-style", action="store_true",
+        help="print exactly the deterministic report a service job serves "
+        "(status counts + paper table, no wall-clock columns)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="start the long-lived campaign service (HTTP JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--state-dir", type=Path, default=Path("runs") / "service",
+        help="directory holding job state and per-job result stores",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1,
+        help="campaign jobs run concurrently; worker budgets divide across them",
+    )
+    serve.add_argument(
+        "--task-workers", type=int, default=None,
+        help="task processes per job (default: CPUs // job-workers)",
+    )
+    serve.add_argument(
+        "--intra-workers", type=int, default=None,
+        help="global intra-task worker budget shared by every concurrent job "
+        "(default: REPRO_INTRA_WORKERS)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=parse_size, default=None, metavar="SIZE",
+        help="gc the artifact cache to this size between jobs (suffixes K/M/G/T)",
+    )
+    serve.add_argument(
+        "--cache-max-age", type=parse_age, default=None, metavar="AGE",
+        help="evict artifacts unused longer than this between jobs (30m/12h/7d)",
+    )
+    _add_cache_arguments(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign grid to a running service"
+    )
+    _add_grid_arguments(submit)
+    _add_service_arguments(submit)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job reaches a terminal status, then print its report",
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up polling after this long (with --wait)",
+    )
+
+    status = sub.add_parser(
+        "status", help="show one service job (or list all jobs)"
+    )
+    status.add_argument("job_id", nargs="?", help="job id (omit to list every job)")
+    _add_service_arguments(status)
+    status.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job reaches a terminal status",
+    )
+    status.add_argument(
+        "--wait-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up polling after this long (with --wait)",
+    )
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch a service job's rendered report or raw records"
+    )
+    fetch.add_argument("job_id", help="job id")
+    _add_service_arguments(fetch)
+    fetch.add_argument(
+        "--report", action="store_true",
+        help="print the rendered paper-table report (the default)",
+    )
+    fetch.add_argument(
+        "--records", action="store_true",
+        help="print the raw JSONL result-store records instead of the report",
+    )
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running service job")
+    cancel.add_argument("job_id", help="job id")
+    _add_service_arguments(cancel)
     return parser
 
 
@@ -266,8 +383,10 @@ def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
     return spec
 
 
-def _print_tasks(spec: CampaignSpec, cache: ArtifactCache) -> None:
-    tasks = spec.expand()
+def _print_tasks(
+    spec: CampaignSpec, cache: ArtifactCache, tasks: Optional[List] = None
+) -> None:
+    tasks = spec.validate() if tasks is None else tasks
     print(f"campaign {spec.name!r}: {len(tasks)} task(s)")
     for task in tasks:
         notes = []
@@ -289,13 +408,16 @@ def _print_tasks(spec: CampaignSpec, cache: ArtifactCache) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _campaign_from_args(args)
+    # Validate the whole spec up front (unknown benchmarks, mistyped config
+    # overrides, ...) so both --dry-run and real runs fail with a clean
+    # message instead of a traceback from deep inside a worker.
+    tasks = spec.validate()
     cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     if args.dry_run:
         cache = ArtifactCache(None if args.no_cache else cache_dir)
-        _print_tasks(spec, cache)
+        _print_tasks(spec, cache, tasks)
         print("dry run: nothing executed")
         return 0
-    tasks = spec.expand()
     if not tasks:
         print("campaign expanded to zero tasks", file=sys.stderr)
         return 1
@@ -398,6 +520,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not records:
         print(f"no records in {args.store}", file=sys.stderr)
         return 1
+    if args.service_style:
+        # Exactly what the service's /report endpoint serves for these
+        # records — deterministic, so it diffs cleanly across runs.
+        print(render_report(records))
+        return 0
     print(campaign_table(records))
     summary = aggregate(records, group_by=tuple(args.group_by))
     if summary:
@@ -429,6 +556,123 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_job(snapshot: Dict[str, object]) -> str:
+    progress = snapshot.get("progress", {})
+    done = progress.get("tasks_done", 0)
+    total = progress.get("tasks_total", 0)
+    parts = [
+        f"{snapshot.get('job_id')}",
+        f"{snapshot.get('status'):9s}",
+        f"{done}/{total} task(s)",
+        str(snapshot.get("name", "?")),
+    ]
+    if snapshot.get("error"):
+        parts.append(f"— {snapshot['error']}")
+    return "  ".join(parts)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import CampaignService
+
+    service = CampaignService(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        job_slots=args.job_workers,
+        task_workers=args.task_workers,
+        intra_workers=args.intra_workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_age_s=args.cache_max_age,
+        echo=print,
+    )
+    service.start()
+    print(f"repro service listening on {service.url} (state: {args.state_dir})")
+    print("press Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _campaign_from_args(args)
+    spec.validate()
+    client = _service_client(args)
+    response = client.submit(spec)
+    job = response["job"]
+    if args.as_json:
+        print(json.dumps(response, sort_keys=True))
+    else:
+        verb = "submitted" if response.get("created") else "already known"
+        print(f"job {job['job_id']} {verb} ({job['status']})")
+    if not args.wait:
+        return 0
+    snapshot = client.wait(str(job["job_id"]), timeout=args.wait_timeout)
+    if args.as_json:
+        print(json.dumps({"job": snapshot}, sort_keys=True))
+    else:
+        print(_format_job(snapshot))
+        print()
+        print(client.report(str(job["job_id"])))
+    return 0 if snapshot["status"] == "done" else 3
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if not args.job_id:
+        jobs = client.jobs()
+        if args.as_json:
+            print(json.dumps({"jobs": jobs}, sort_keys=True))
+            return 0
+        if not jobs:
+            print("no jobs submitted")
+            return 0
+        for snapshot in jobs:
+            print(_format_job(snapshot))
+        return 0
+    if args.wait:
+        snapshot = client.wait(args.job_id, timeout=args.wait_timeout)
+    else:
+        snapshot = client.status(args.job_id)
+    if args.as_json:
+        print(json.dumps({"job": snapshot}, sort_keys=True))
+    else:
+        print(_format_job(snapshot))
+    if snapshot["status"] in ("failed", "cancelled"):
+        return 3
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    kind = "records" if args.records else "report"
+    if args.as_json:
+        print(json.dumps(client.fetch(args.job_id, kind), sort_keys=True))
+        return 0
+    if args.records:
+        for record in client.records(args.job_id):
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    print(client.report(args.job_id))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    snapshot = client.cancel(args.job_id)
+    if args.as_json:
+        print(json.dumps({"job": snapshot}, sort_keys=True))
+    else:
+        print(_format_job(snapshot))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -436,6 +680,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list": _cmd_list,
         "report": _cmd_report,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
+        "cancel": _cmd_cancel,
     }
     try:
         return handlers[args.command](args)
@@ -444,6 +693,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # are user errors, not crashes.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except URLError as exc:
+        print(
+            f"error: cannot reach the campaign service ({exc.reason}); "
+            "is `repro serve` running and --url/REPRO_SERVICE_URL correct?",
+            file=sys.stderr,
+        )
+        return 2
+    except BrokenPipeError:
+        # Downstream pipe closed early (`repro ... | head`); not an error.
+        # Point stdout at devnull so the interpreter's exit-time flush does
+        # not raise a second time, and exit like a SIGPIPE'd process would.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

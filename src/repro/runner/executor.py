@@ -33,7 +33,7 @@ import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from importlib import import_module
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..core.attack import AttackOutcome, attack_design, train_attack_model
 from ..parallel import intra_budget, intra_worker_budget, pool_from_budget
@@ -360,6 +360,8 @@ def run_campaign(
     resume: bool = False,
     intra_workers: Optional[int] = None,
     echo: Optional[Callable[[str], None]] = None,
+    on_result: Optional[Callable[[int, int, TaskResult], None]] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> List[TaskResult]:
     """Run a campaign and return one :class:`TaskResult` per task, in order.
 
@@ -392,6 +394,22 @@ def run_campaign(
     reported as ``timeout`` and its worker process is terminated when the
     pool shuts down.  Serial mode cannot interrupt an in-flight task — the
     budget is only checked between tasks.
+
+    ``on_result`` is a progress hook called once per task, in task order, as
+    each result is finalised: ``on_result(index, total, result)``.  Skipped
+    (resumed) tasks fire it too, so ``index + 1`` out of ``total`` is always
+    a faithful completion count.  The campaign service streams job progress
+    through this hook.
+
+    ``cancel`` is a zero-argument callable polled between tasks and, in the
+    pooled path, every ~100ms while waiting on an in-flight future; once it
+    returns true, tasks that have not produced a result are reported with
+    status ``"cancelled"`` instead of being executed — a task already
+    running on a worker process is abandoned and its worker terminated,
+    mirroring the timeout path.  Serial mode cannot interrupt an in-flight
+    task: like the wall-clock budget, cancellation is honoured between
+    tasks.  Cancelled tasks append a ``cancelled`` record to the store;
+    resume treats them like failures and re-executes them.
     """
     echo = echo if echo is not None else (lambda message: None)
     cache_path = str(cache_dir if cache_dir is not None else default_cache_dir())
@@ -433,30 +451,35 @@ def run_campaign(
             f"resume: {len(tasks) - len(pending)} task(s) already complete, "
             f"{len(pending)} to run"
         )
-    executed = iter(
-        _run_pending(
-            pending,
-            workers=workers,
-            cache_path=cache_path,
-            serial=serial,
-            store=store,
-            intra_workers=intra_share,
-            echo=echo,
-        )
+    executed = _run_pending(
+        pending,
+        workers=workers,
+        cache_path=cache_path,
+        serial=serial,
+        store=store,
+        intra_workers=intra_share,
+        echo=echo,
+        cancel=cancel,
     )
     results: List[TaskResult] = []
-    for task, prior in zip(tasks, prior_records):
-        if prior is not None:
-            results.append(
-                TaskResult(
+    try:
+        for index, (task, prior) in enumerate(zip(tasks, prior_records)):
+            if prior is not None:
+                result = TaskResult(
                     task_id=task.task_id,
                     fingerprint=task.fingerprint(pooled=pooled),
                     status="skipped",
                     record=prior,
                 )
-            )
-        else:
-            results.append(next(executed))
+            else:
+                result = next(executed)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, len(tasks), result)
+    finally:
+        # Deterministic pool shutdown: the generator's cleanup must not wait
+        # for garbage collection (and must run even if on_result raised).
+        executed.close()
     _auto_cache_gc(cache_path, echo)
     return results
 
@@ -482,6 +505,36 @@ def _auto_cache_gc(cache_path: Optional[str], echo: Callable[[str], None]) -> No
     )
 
 
+#: How often an in-flight future wait re-checks the cancellation callable.
+_CANCEL_POLL_S = 0.1
+
+
+class _CancelledWait(Exception):
+    """Internal: cancellation observed while waiting on a running future."""
+
+
+def _wait_for_future(future, remaining: Optional[float], cancelled: Callable[[], bool]):
+    """``future.result`` that honours cancellation while blocked.
+
+    Waits in short slices so a cancel request lands within ~100ms even when
+    the running task would take minutes (or hangs); raises
+    :class:`_CancelledWait` in that case, or :class:`FutureTimeout` when the
+    caller's ``remaining`` budget runs out first.
+    """
+    deadline = None if remaining is None else time.monotonic() + remaining
+    while True:
+        slice_s = _CANCEL_POLL_S
+        if deadline is not None:
+            slice_s = min(slice_s, max(0.0, deadline - time.monotonic()))
+        try:
+            return future.result(timeout=slice_s)
+        except FutureTimeout:
+            if cancelled() and not future.done():
+                raise _CancelledWait() from None
+            if deadline is not None and time.monotonic() >= deadline:
+                raise
+
+
 def _run_pending(
     tasks: List[AttackTask],
     *,
@@ -491,21 +544,24 @@ def _run_pending(
     store,
     intra_workers: int = 1,
     echo: Callable[[str], None],
-) -> List[TaskResult]:
-    """Execute tasks (serially or over a process pool), in task order.
+    cancel: Optional[Callable[[], bool]] = None,
+) -> Iterator[TaskResult]:
+    """Execute tasks (serially or over a process pool), yielding in task order.
 
+    A generator so :func:`run_campaign` can stream each result to its
+    progress hook as it lands instead of after the whole campaign.
     ``intra_workers`` is each task's final share of the global budget (the
     campaign-level division already happened in :func:`run_campaign`).
     """
-    results: List[TaskResult] = []
     submitted = time.perf_counter()
     pooled = intra_workers > 1
+    cancelled = cancel if cancel is not None else (lambda: False)
 
-    def timeout_result(task: AttackTask, error: str) -> TaskResult:
+    def stopped_result(task: AttackTask, status: str, error: str) -> TaskResult:
         return TaskResult(
             task_id=task.task_id,
             fingerprint=task.fingerprint(pooled=pooled),
-            status="timeout",
+            status=status,
             wall_time_s=time.perf_counter() - submitted,
             error=error,
         )
@@ -513,44 +569,77 @@ def _run_pending(
     if serial or workers == 1 or len(tasks) <= 1:
         for index, task in enumerate(tasks):
             elapsed = time.perf_counter() - submitted
-            if task.timeout_s is not None and elapsed >= task.timeout_s:
-                result = timeout_result(
+            if cancelled():
+                result = stopped_result(
+                    task, "cancelled", "campaign cancelled before the task started"
+                )
+            elif task.timeout_s is not None and elapsed >= task.timeout_s:
+                result = stopped_result(
                     task,
+                    "timeout",
                     f"campaign budget of {task.timeout_s}s exhausted before "
                     "the task started",
                 )
             else:
                 result = execute_task(task, cache_path, intra_workers)
-            results.append(result)
             _report(echo, index, len(tasks), result)
             _append(store, task, result, pooled=pooled)
-        return results
+            yield result
+        return
 
     workers = workers or min(len(tasks), os.cpu_count() or 2)
     pool = ProcessPoolExecutor(max_workers=workers)
     abandoned_worker = False
+    produced = 0
     try:
         futures = [
             pool.submit(execute_task, task, cache_path, intra_workers)
             for task in tasks
         ]
         for index, (task, future) in enumerate(zip(tasks, futures)):
+            if cancelled() and not future.done():
+                if future.cancel():
+                    result = stopped_result(
+                        task,
+                        "cancelled",
+                        "campaign cancelled before the task started",
+                    )
+                else:
+                    abandoned_worker = True
+                    result = stopped_result(
+                        task,
+                        "cancelled",
+                        "campaign cancelled mid-task; worker terminated",
+                    )
+                _report(echo, index, len(tasks), result)
+                _append(store, task, result, pooled=pooled)
+                yield result
+                continue
             remaining: Optional[float] = None
             if task.timeout_s is not None:
                 remaining = max(0.0, task.timeout_s - (time.perf_counter() - submitted))
             try:
-                result = future.result(timeout=remaining)
+                result = _wait_for_future(future, remaining, cancelled)
+            except _CancelledWait:
+                abandoned_worker = True
+                result = stopped_result(
+                    task,
+                    "cancelled",
+                    "campaign cancelled mid-task; worker terminated",
+                )
             except FutureTimeout:
                 if future.cancel():
-                    result = timeout_result(
+                    result = stopped_result(
                         task,
+                        "timeout",
                         f"campaign budget of {task.timeout_s}s exhausted before "
                         "the task started",
                     )
                 else:
                     abandoned_worker = True
-                    result = timeout_result(
+                    result = stopped_result(
                         task,
+                        "timeout",
                         f"exceeded {task.timeout_s}s budget; worker abandoned",
                     )
             except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
@@ -561,13 +650,21 @@ def _run_pending(
                     wall_time_s=time.perf_counter() - submitted,
                     error=f"{type(exc).__name__}: {exc}",
                 )
-            results.append(result)
             _report(echo, index, len(tasks), result)
             _append(store, task, result, pooled=pooled)
+            produced += 1
+            yield result
     finally:
-        if abandoned_worker:
-            # A hung task would make shutdown(wait=True) block forever; drop
-            # the queue and kill the stragglers so the campaign returns.
+        # The consumer close()s this generator right after the final yield,
+        # so "every result delivered" — not loop fall-through — is what
+        # distinguishes a clean finish from an early abort.
+        if abandoned_worker or produced < len(tasks):
+            # Abandoned worker: a hung task would make shutdown(wait=True)
+            # block forever.  Early abort: the consumer bailed mid-stream
+            # (progress hook raised, generator closed early), so running the
+            # remaining futures to completion would only burn CPU on results
+            # nobody will collect.  Either way, drop the queue and kill the
+            # stragglers so control returns promptly.
             processes = list((getattr(pool, "_processes", None) or {}).values())
             pool.shutdown(wait=False, cancel_futures=True)
             for process in processes:
@@ -577,7 +674,6 @@ def _run_pending(
                     pass
         else:
             pool.shutdown(wait=True)
-    return results
 
 
 def _report(echo: Callable[[str], None], index: int, total: int, result: TaskResult) -> None:

@@ -23,6 +23,7 @@ __all__ = [
     "campaign_table",
     "h_tech_table",
     "paper_table",
+    "render_report",
 ]
 
 
@@ -207,6 +208,28 @@ def h_tech_table(
          "Avg. F1 (%)", "Removal Success (%)", "Avg. TR Time (s)"],
         rows,
     )
+
+
+def render_report(records: Iterable[Mapping]) -> str:
+    """The campaign service's job report: status counts + the paper table.
+
+    Deliberately restricted to *deterministic* record fields (no wall-clock
+    or training times), so the report fetched from a service job is
+    byte-identical to the report rendered from an offline
+    :func:`~repro.runner.executor.run_campaign` of the same spec on the same
+    stream.  Used by the ``/v1/jobs/<id>/report`` endpoint, ``repro fetch``
+    and ``repro report --service-style``.
+    """
+    records = list(records)
+    counts: Dict[str, int] = defaultdict(int)
+    for record in records:
+        counts[str(record.get("status", "ok"))] += 1
+    header = f"{len(records)} task(s)"
+    if counts:
+        header += ": " + ", ".join(
+            f"{counts[status]} {status}" for status in sorted(counts)
+        )
+    return header + "\n\n" + paper_table(records)
 
 
 def campaign_table(records: Iterable[Mapping]) -> str:

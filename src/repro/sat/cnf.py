@@ -6,8 +6,8 @@ negative literal denotes the negated variable (DIMACS convention).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["CNF"]
 

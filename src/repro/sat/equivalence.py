@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from concurrent.futures import CancelledError
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 

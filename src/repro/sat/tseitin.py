@@ -9,7 +9,7 @@ table (exact, fine for the <=5-input cells in our libraries).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

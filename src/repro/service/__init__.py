@@ -1,0 +1,44 @@
+"""Long-lived campaign service: submit / poll / fetch over HTTP.
+
+The service wraps the :mod:`repro.runner` campaign machinery in a
+long-running process, turning the batch "expand a grid and wait" workflow
+into an on-demand one:
+
+* :mod:`~repro.service.jobs` — the job model and a persistent, deduplicating
+  :class:`JobQueue` (job id = campaign fingerprint).
+* :mod:`~repro.service.worker` — :class:`JobWorker` threads that execute
+  claimed jobs with ``run_campaign(..., resume=True)`` and divide the global
+  worker budgets across concurrent jobs.
+* :mod:`~repro.service.api` — :class:`CampaignService`, the stdlib
+  ``ThreadingHTTPServer`` JSON API (``repro serve``).
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the stdlib HTTP
+  client behind ``repro submit / status / fetch / cancel``.
+
+Restart safety: job state persists under the service's state directory and
+every job's results live in its own JSONL store, so a killed service picks
+its queue back up on restart and resumes in-flight jobs without re-running
+finished tasks.
+"""
+
+from .api import CampaignService
+from .client import (
+    DEFAULT_SERVICE_URL,
+    SERVICE_URL_ENV,
+    ServiceClient,
+    ServiceError,
+)
+from .jobs import ACTIVE_STATUSES, Job, JobQueue, TERMINAL_STATUSES
+from .worker import JobWorker
+
+__all__ = [
+    "ACTIVE_STATUSES",
+    "CampaignService",
+    "DEFAULT_SERVICE_URL",
+    "Job",
+    "JobQueue",
+    "JobWorker",
+    "SERVICE_URL_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "TERMINAL_STATUSES",
+]

@@ -1,0 +1,257 @@
+"""HTTP JSON API of the campaign service (stdlib ``http.server`` only).
+
+Endpoints (all JSON)::
+
+    GET    /healthz                  liveness + per-status job counts
+    GET    /v1/jobs                  every known job, oldest first
+    POST   /v1/jobs                  submit {"spec": {...CampaignSpec...}}
+    GET    /v1/jobs/<id>             job status + task-completion progress
+    GET    /v1/jobs/<id>/report      deterministic rendered paper-table report
+    GET    /v1/jobs/<id>/records     raw ResultStore records (all history)
+    POST   /v1/jobs/<id>/cancel      request cancellation
+    DELETE /v1/jobs/<id>             alias for cancel
+
+Error contract: 400 for malformed JSON or an invalid spec (the ``error``
+field carries the validation message), 404 for unknown jobs/routes, 405 for
+wrong methods.  Submissions dedupe by campaign fingerprint: the response's
+``created`` field says whether a new job was enqueued or an existing one
+returned.
+
+The server is a ``ThreadingHTTPServer`` so status polls are served while
+jobs run; campaign execution itself happens on the
+:class:`~repro.service.worker.JobWorker` threads, never on request threads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..runner.campaign import CampaignSpec
+from ..runner.store import ResultStore, render_report
+from .jobs import JobQueue
+from .worker import JobWorker
+
+__all__ = ["CampaignService"]
+
+
+class _ApiError(Exception):
+    """An error with an HTTP status, rendered as ``{"error": ...}``."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`CampaignService`."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    # The ThreadingHTTPServer subclass below carries the service reference.
+    @property
+    def service(self) -> "CampaignService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        self.service.echo(f"http: {format % args}")
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def _handle(self, method: str) -> None:
+        try:
+            # Always drain the request body, even on routes that ignore it:
+            # leaving unread bytes in rfile desynchronises HTTP/1.1
+            # keep-alive connections (the next request would be parsed from
+            # the middle of this one's body).
+            self._body = self._read_body()
+            status, payload = self._route(method)
+        except _ApiError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the server
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def _route(self, method: str) -> Tuple[int, Dict[str, object]]:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "jobs": self.service.queue.counts()}
+        if path == "/v1/jobs":
+            if method == "GET":
+                return 200, {
+                    "jobs": [job.snapshot() for job in self.service.queue.jobs()]
+                }
+            if method == "POST":
+                return self._submit()
+            raise _ApiError(405, f"{method} not allowed on {path}")
+        if path.startswith("/v1/jobs/"):
+            return self._job_route(method, path[len("/v1/jobs/"):])
+        raise _ApiError(404, f"no route {method} {path}")
+
+    def _job_route(self, method: str, tail: str) -> Tuple[int, Dict[str, object]]:
+        parts = tail.split("/")
+        job_id, action = parts[0], "/".join(parts[1:])
+        job = self.service.queue.get(job_id)
+        if job is None:
+            raise _ApiError(404, f"unknown job {job_id!r}")
+        if method == "DELETE" and not action:
+            self.service.queue.cancel(job_id)
+            return 200, {"job": job.snapshot()}
+        if method == "POST" and action == "cancel":
+            self.service.queue.cancel(job_id)
+            return 200, {"job": job.snapshot()}
+        if method != "GET":
+            raise _ApiError(405, f"{method} not allowed on /v1/jobs/{tail}")
+        if not action:
+            return 200, {"job": job.snapshot()}
+        store = ResultStore(job.store_path)
+        if action == "report":
+            records = list(store.latest().values())
+            return 200, {
+                "job_id": job.job_id,
+                "status": job.status,
+                "report": render_report(records),
+            }
+        if action == "records":
+            return 200, {"job_id": job.job_id, "records": store.load()}
+        raise _ApiError(404, f"no route GET /v1/jobs/{tail}")
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise _ApiError(400, "invalid Content-Length") from None
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _submit(self) -> Tuple[int, Dict[str, object]]:
+        try:
+            payload = json.loads(self._body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _ApiError(400, f"request body is not valid JSON: {exc}") from None
+        if isinstance(payload, dict) and "spec" in payload:
+            payload = payload["spec"]
+        try:
+            spec = CampaignSpec.from_json_dict(payload)
+            job, created = self.service.queue.submit(spec)
+        except (TypeError, ValueError) as exc:
+            # TypeError covers payload shapes the converters cannot even
+            # begin to coerce; it is a client error, not a server fault.
+            raise _ApiError(400, f"invalid campaign spec: {exc}") from None
+        return (201 if created else 200), {"job": job.snapshot(), "created": created}
+
+
+class _ServiceServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, service: "CampaignService"):
+        super().__init__(address, handler)
+        self.service = service
+
+
+class CampaignService:
+    """The long-lived campaign service: queue + workers + HTTP server.
+
+    ``port=0`` binds an ephemeral port (useful for tests); the bound address
+    is available as :attr:`url` after :meth:`start`.  Usable as a context
+    manager::
+
+        with CampaignService("runs/service", port=0) as service:
+            client = ServiceClient(service.url)
+            ...
+    """
+
+    def __init__(
+        self,
+        state_dir: os.PathLike,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        job_slots: int = 1,
+        task_workers: Optional[int] = None,
+        intra_workers: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+        cache_max_bytes: Optional[int] = None,
+        cache_max_age_s: Optional[float] = None,
+        echo: Optional[Callable[[str], None]] = None,
+    ):
+        self.echo = echo if echo is not None else (lambda message: None)
+        self.host = host
+        self._requested_port = port
+        self.queue = JobQueue(state_dir)
+        self.recovered: List[str] = self.queue.recover()
+        self.worker = JobWorker(
+            self.queue,
+            job_slots=job_slots,
+            task_workers=task_workers,
+            intra_workers=intra_workers,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            cache_max_bytes=cache_max_bytes,
+            cache_max_age_s=cache_max_age_s,
+            echo=self.echo,
+        )
+        self._httpd: Optional[_ServiceServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CampaignService":
+        if self._httpd is not None:
+            return self
+        self.worker.start()
+        self._httpd = _ServiceServer(
+            (self.host, self._requested_port), _ServiceHandler, self
+        )
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._http_thread.start()
+        if self.recovered:
+            self.echo(f"recovered {len(self.recovered)} unfinished job(s)")
+        self.echo(f"serving on {self.url}")
+        return self
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout)
+            self._http_thread = None
+        self.worker.stop(timeout)
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

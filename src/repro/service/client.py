@@ -1,0 +1,126 @@
+"""Thin stdlib client for the campaign service HTTP API.
+
+Used by the ``repro submit / status / fetch / cancel`` CLI verbs and by the
+service test-suite, so the CLI never hand-rolls HTTP and the tests exercise
+exactly what users run.  Only ``urllib`` — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Mapping, Optional
+from urllib import error as urllib_error
+from urllib import request as urllib_request
+
+from .status import TERMINAL_STATUSES
+
+__all__ = ["DEFAULT_SERVICE_URL", "SERVICE_URL_ENV", "ServiceClient", "ServiceError"]
+
+#: Environment variable overriding the default service URL for the CLI.
+SERVICE_URL_ENV = "REPRO_SERVICE_URL"
+
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level error response from the service (4xx/5xx)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"service returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """JSON-over-HTTP client bound to one service URL."""
+
+    def __init__(self, url: str = DEFAULT_SERVICE_URL, *, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        req = urllib_request.Request(
+            self.url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib_request.urlopen(req, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib_error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                message = str(body.get("error", body))
+            except Exception:  # noqa: BLE001 - non-JSON error body
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return list(self._request("GET", "/v1/jobs")["jobs"])
+
+    def submit(self, spec) -> Dict[str, object]:
+        """Submit a campaign; ``spec`` is a CampaignSpec or its JSON dict.
+
+        Returns ``{"job": <snapshot>, "created": bool}`` — ``created`` is
+        False when the submission deduped onto an existing job.
+        """
+        if hasattr(spec, "to_json_dict"):
+            spec = spec.to_json_dict()
+        return self._request("POST", "/v1/jobs", {"spec": dict(spec)})
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def fetch(self, job_id: str, kind: str = "report") -> Dict[str, object]:
+        """Raw payload of a job's ``report`` or ``records`` endpoint."""
+        return self._request("GET", f"/v1/jobs/{job_id}/{kind}")
+
+    def report(self, job_id: str) -> str:
+        return str(self.fetch(job_id, "report")["report"])
+
+    def records(self, job_id: str) -> List[Dict[str, object]]:
+        return list(self.fetch(job_id, "records")["records"])
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: Optional[float] = 300.0,
+        poll_s: float = 0.25,
+        on_update=None,
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal status; returns the snapshot.
+
+        ``on_update`` (if given) receives every polled snapshot, for callers
+        that want to surface progress while waiting.  Raises
+        :class:`TimeoutError` when ``timeout`` seconds elapse first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if on_update is not None:
+                on_update(snapshot)
+            if snapshot["status"] in TERMINAL_STATUSES:
+                return snapshot
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['status']} after {timeout}s"
+                )
+            time.sleep(poll_s)

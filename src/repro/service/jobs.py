@@ -1,0 +1,329 @@
+"""Job lifecycle and the persistent queue behind the campaign service.
+
+A *job* is one submitted :class:`~repro.runner.campaign.CampaignSpec` plus
+its execution state.  Jobs are identified by the campaign fingerprint, so a
+duplicate submission dedupes onto the existing job instead of re-running the
+same grid.  Every state transition is persisted to
+``<state_dir>/jobs/<job_id>.json`` (atomic write), and each job owns a JSONL
+:class:`~repro.runner.store.ResultStore` at
+``<state_dir>/stores/<job_id>.jsonl`` — together these make the service
+restartable: :meth:`JobQueue.recover` re-enqueues jobs that were queued or
+running when the process died, and the worker re-runs them with
+``run_campaign(..., resume=True)`` so finished tasks are skipped, not
+repeated.
+
+Status machine::
+
+    queued -> running -> done        every task ok (or skipped on resume)
+                      -> failed      >= 1 task failed/timed out, or the spec
+                                     could not even expand
+                      -> cancelled   cancel requested and honoured mid-run
+    queued -> cancelled              cancel before a worker claimed the job
+
+``failed`` and ``cancelled`` are re-submittable: submitting the same spec
+again re-enqueues the existing job, and resume picks up from its store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..runner.cache import atomic_write
+from ..runner.campaign import CampaignSpec
+from .status import ACTIVE_STATUSES, TERMINAL_STATUSES
+
+__all__ = [
+    "ACTIVE_STATUSES",
+    "Job",
+    "JobQueue",
+    "TERMINAL_STATUSES",
+]
+
+#: Hex digits of the campaign fingerprint used as the job id.
+JOB_ID_LENGTH = 16
+
+
+@dataclass
+class Job:
+    """One submitted campaign and its execution state."""
+
+    job_id: str
+    spec: CampaignSpec
+    store_path: Path
+    status: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    tasks_total: int = 0
+    tasks_done: int = 0
+    tasks_ok: int = 0
+    tasks_skipped: int = 0
+    tasks_failed: int = 0
+    error: Optional[str] = None
+    #: Status transitions in order, e.g. ``["queued", "running", "done"]``.
+    history: List[str] = field(default_factory=lambda: ["queued"])
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe view of the job served by the status endpoints."""
+        return {
+            "job_id": self.job_id,
+            "name": self.spec.name,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cancel_requested": self.cancel_event.is_set(),
+            "error": self.error,
+            "history": list(self.history),
+            "progress": {
+                "tasks_total": self.tasks_total,
+                "tasks_done": self.tasks_done,
+                "tasks_ok": self.tasks_ok,
+                "tasks_skipped": self.tasks_skipped,
+                "tasks_failed": self.tasks_failed,
+            },
+        }
+
+
+class JobQueue:
+    """Thread-safe FIFO of jobs with on-disk persistence.
+
+    The HTTP handlers (submit/status/cancel) and the worker threads
+    (claim/progress/finish) share one queue; every method takes the internal
+    lock, so callers never need their own synchronisation.
+    """
+
+    def __init__(self, state_dir: os.PathLike):
+        self.state_dir = Path(state_dir)
+        self.jobs_dir = self.state_dir / "jobs"
+        self.stores_dir = self.state_dir / "stores"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.stores_dir.mkdir(parents=True, exist_ok=True)
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._pending: Deque[str] = deque()
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: CampaignSpec) -> Tuple[Job, bool]:
+        """Enqueue a campaign; returns ``(job, created)``.
+
+        The job id is the campaign fingerprint, so submitting an identical
+        spec while a job is queued, running or done returns the existing job
+        (``created=False``) instead of scheduling duplicate work.  A failed
+        or cancelled job is *re-enqueued* by the duplicate submission — its
+        store is kept, so the re-run resumes past every task that already
+        finished.
+        """
+        tasks = spec.validate()
+        job_id = spec.fingerprint()[:JOB_ID_LENGTH]
+        with self._cond:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                if existing.status in ("queued", "running", "done"):
+                    return existing, False
+                # failed / cancelled: re-enqueue for a resumed re-run.
+                existing.status = "queued"
+                existing.history.append("queued")
+                existing.error = None
+                existing.started_at = None
+                existing.finished_at = None
+                existing.tasks_total = len(tasks)
+                existing.tasks_done = 0
+                existing.tasks_ok = 0
+                existing.tasks_skipped = 0
+                existing.tasks_failed = 0
+                existing.cancel_event = threading.Event()
+                self._pending.append(job_id)
+                self._persist(existing)
+                self._cond.notify()
+                return existing, False
+            job = Job(
+                job_id=job_id,
+                spec=spec,
+                store_path=self.stores_dir / f"{job_id}.jsonl",
+                tasks_total=len(tasks),
+            )
+            self._jobs[job_id] = job
+            self._pending.append(job_id)
+            self._persist(job)
+            self._cond.notify()
+            return job, True
+
+    def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the next queued job and mark it running (None on timeout)."""
+        with self._cond:
+            if not self._pending:
+                self._cond.wait(timeout)
+            if not self._pending:
+                return None
+            job = self._jobs[self._pending.popleft()]
+            job.status = "running"
+            job.history.append("running")
+            job.started_at = time.time()
+            self._persist(job)
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, oldest submission first."""
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda j: (j.submitted_at, j.job_id))
+
+    def counts(self) -> Dict[str, int]:
+        """``{status: job count}`` over every known job."""
+        with self._cond:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+            return counts
+
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; returns the job (None if unknown).
+
+        A queued job is cancelled immediately (it never reaches a worker); a
+        running job gets its cancel event set and transitions once the worker
+        honours it.  Terminal jobs are left untouched.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.status == "queued":
+                try:
+                    self._pending.remove(job_id)
+                except ValueError:
+                    pass
+                job.cancel_event.set()
+                self._finish_locked(job, "cancelled", error="cancelled while queued")
+            elif job.status == "running":
+                job.cancel_event.set()
+                self._persist(job)
+            return job
+
+    def record_progress(self, job: Job, result) -> None:
+        """Fold one :class:`~repro.runner.executor.TaskResult` into the job."""
+        with self._cond:
+            if result.status == "skipped":
+                job.tasks_done += 1
+                job.tasks_skipped += 1
+                job.tasks_ok += 1
+            elif result.status == "ok":
+                job.tasks_done += 1
+                job.tasks_ok += 1
+            elif result.status != "cancelled":
+                # failed / timeout still *completed* (they have a verdict);
+                # cancelled tasks never ran and stay out of the done count.
+                job.tasks_done += 1
+                job.tasks_failed += 1
+            self._persist(job)
+
+    def set_total(self, job: Job, total: int) -> None:
+        with self._cond:
+            job.tasks_total = int(total)
+            self._persist(job)
+
+    def finish(self, job: Job, status: str, error: Optional[str] = None) -> None:
+        with self._cond:
+            self._finish_locked(job, status, error=error)
+
+    def _finish_locked(self, job: Job, status: str, error: Optional[str]) -> None:
+        job.status = status
+        job.history.append(status)
+        job.finished_at = time.time()
+        job.error = error
+        self._persist(job)
+
+    # ------------------------------------------------------------------
+    def recover(self) -> List[str]:
+        """Load persisted jobs; re-enqueue the ones that never finished.
+
+        Called once at service start-up.  Returns the ids that were
+        re-enqueued (they resume from their stores, skipping finished tasks).
+        Unreadable job files are skipped rather than sinking the service.
+        """
+        requeued: List[str] = []
+        entries = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                spec = CampaignSpec.from_json_dict(payload["spec"])
+                job_id = str(payload["job_id"])
+                status = str(payload["status"])
+            except Exception:  # noqa: BLE001 - a corrupt file must not sink startup
+                continue
+            entries.append((job_id, status, payload, spec))
+        entries.sort(key=lambda item: (item[2].get("submitted_at", 0.0), item[0]))
+        with self._cond:
+            for job_id, status, payload, spec in entries:
+                interrupted = status in ACTIVE_STATUSES
+                # A cancel requested but not yet honoured when the service
+                # died must survive the restart: honour it now instead of
+                # resurrecting the job.
+                cancelled_in_flight = interrupted and bool(
+                    payload.get("cancel_requested")
+                )
+                job = Job(
+                    job_id=job_id,
+                    spec=spec,
+                    store_path=self.stores_dir / f"{job_id}.jsonl",
+                    status="queued" if interrupted else status,
+                    submitted_at=float(payload.get("submitted_at", time.time())),
+                    started_at=payload.get("started_at"),
+                    finished_at=payload.get("finished_at"),
+                    tasks_total=int(payload.get("tasks_total", 0)),
+                    tasks_done=int(payload.get("tasks_done", 0)),
+                    tasks_ok=int(payload.get("tasks_ok", 0)),
+                    tasks_skipped=int(payload.get("tasks_skipped", 0)),
+                    tasks_failed=int(payload.get("tasks_failed", 0)),
+                    error=payload.get("error"),
+                    history=[str(s) for s in payload.get("history", ["queued"])],
+                )
+                if cancelled_in_flight:
+                    job.cancel_event.set()
+                    self._finish_locked(
+                        job, "cancelled", error="cancelled before service restart"
+                    )
+                elif interrupted:
+                    # Counters restart from zero: the resumed run re-reports
+                    # every task (finished ones come back as "skipped").
+                    job.started_at = None
+                    job.finished_at = None
+                    job.tasks_done = 0
+                    job.tasks_ok = 0
+                    job.tasks_skipped = 0
+                    job.tasks_failed = 0
+                    job.history.append("queued")
+                    self._pending.append(job_id)
+                    requeued.append(job_id)
+                self._jobs[job_id] = job
+                self._persist(job)
+            if requeued:
+                self._cond.notify_all()
+        return requeued
+
+    def _persist(self, job: Job) -> None:
+        # The snapshot is persisted nearly as-is: cancel_requested must
+        # survive a restart so an unhonoured cancel is not resurrected.
+        payload = dict(job.snapshot())
+        payload.update(payload.pop("progress"))  # flatten counters
+        payload["spec"] = job.spec.to_json_dict()
+        atomic_write(
+            self.jobs_dir / f"{job.job_id}.json",
+            lambda handle: handle.write(
+                json.dumps(payload, sort_keys=True).encode("utf-8")
+            ),
+        )

@@ -1,0 +1,13 @@
+"""Job status constants shared by the queue and the HTTP client.
+
+Lives in its own dependency-free module so :mod:`repro.service.client`
+(which deliberately avoids importing the runner stack) and
+:mod:`repro.service.jobs` agree on the state machine by construction.
+"""
+
+#: Statuses a restarted service must pick back up.
+ACTIVE_STATUSES = ("queued", "running")
+
+#: Statuses that end a job: polling stops, fetch keeps working, and a
+#: duplicate submission of a ``failed``/``cancelled`` spec re-enqueues it.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")

@@ -1,0 +1,173 @@
+"""Worker threads that drain the job queue through ``run_campaign``.
+
+Each worker slot claims one job at a time and executes it with
+``run_campaign(..., resume=True)`` against the job's own result store, so a
+service restart (or a failed-job resubmission) re-runs only the tasks that
+never finished.  Worker budgets divide the machine instead of oversubscribing
+it:
+
+* the **intra-task** budget (``REPRO_INTRA_WORKERS`` or the service's
+  ``intra_workers`` option) is split evenly across the ``job_slots``
+  concurrent jobs, and ``run_campaign`` further divides each job's share
+  across its task processes;
+* the **task-process** count per job defaults to ``cpu_count // job_slots``
+  so two concurrent jobs on an 8-core box get 4 processes each.
+
+Between jobs the worker garbage-collects the artifact cache under the
+service's ``cache_max_bytes`` / ``cache_max_age_s`` budget (on top of the
+``REPRO_CACHE_MAX_BYTES`` env budget that ``run_campaign`` already honours),
+so a long-lived service never grows its cache without bound.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, List, Optional
+
+from ..parallel import intra_worker_budget
+from ..runner.cache import ArtifactCache, default_cache_dir
+from ..runner.executor import run_campaign
+from ..runner.store import ResultStore
+from .jobs import Job, JobQueue
+
+__all__ = ["JobWorker"]
+
+
+class JobWorker:
+    """``job_slots`` daemon threads running queued jobs to completion."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        job_slots: int = 1,
+        task_workers: Optional[int] = None,
+        intra_workers: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+        cache_max_bytes: Optional[int] = None,
+        cache_max_age_s: Optional[float] = None,
+        echo: Optional[Callable[[str], None]] = None,
+    ):
+        self.queue = queue
+        self.job_slots = max(1, int(job_slots))
+        cpus = os.cpu_count() or 2
+        if task_workers is not None:
+            self.task_workers = max(1, int(task_workers))
+        else:
+            self.task_workers = max(1, cpus // self.job_slots)
+        total_intra = (
+            intra_worker_budget() if intra_workers is None else max(1, int(intra_workers))
+        )
+        #: Each concurrent job's share of the global intra-task budget.
+        self.intra_share = max(1, total_intra // self.job_slots)
+        self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        self.use_cache = use_cache
+        self.cache_max_bytes = cache_max_bytes
+        self.cache_max_age_s = cache_max_age_s
+        self.echo = echo if echo is not None else (lambda message: None)
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        # A previous stop() may have timed out with a worker still draining
+        # its job; never spawn fresh threads alongside it (the stop event is
+        # still set, so the straggler exits after its job) — doubling up
+        # would oversubscribe every budget the slots were divided by.
+        self._threads = [t for t in self._threads if t.is_alive()]
+        if self._threads:
+            return
+        self._stop.clear()
+        for slot in range(self.job_slots):
+            thread = threading.Thread(
+                target=self._run_loop, name=f"repro-job-worker-{slot}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop claiming new jobs and wait for in-flight ones to finish.
+
+        A thread that outlives ``timeout`` (a long task mid-run) is kept in
+        the roster so a later :meth:`start` cannot stack new workers on top
+        of it; it exits on its own once the current job completes.
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    def _run_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=0.2)
+            if job is not None:
+                self.run_job(job)
+
+    # ------------------------------------------------------------------
+    def run_job(self, job: Job) -> None:
+        """Execute one claimed job to a terminal status.  Never raises."""
+        self.echo(f"job {job.job_id} ({job.spec.name}): starting")
+        try:
+            tasks = job.spec.expand()
+        except Exception as exc:  # noqa: BLE001 - job isolation is the contract
+            self.queue.finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
+            return
+        if not tasks:
+            self.queue.finish(job, "failed", error="campaign expanded to zero tasks")
+            return
+        self.queue.set_total(job, len(tasks))
+        store = ResultStore(job.store_path)
+        try:
+            results = run_campaign(
+                tasks,
+                workers=self.task_workers,
+                serial=self.task_workers <= 1,
+                cache_dir=self.cache_dir,
+                use_cache=self.use_cache,
+                store=store,
+                resume=True,
+                intra_workers=self.intra_share,
+                echo=self.echo,
+                cancel=job.cancel_event.is_set,
+                on_result=lambda index, total, result: self.queue.record_progress(
+                    job, result
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation is the contract
+            self.queue.finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
+            return
+        cancelled = [r for r in results if r.status == "cancelled"]
+        failed = [r for r in results if not r.ok and r.status != "cancelled"]
+        if cancelled:
+            self.queue.finish(
+                job,
+                "cancelled",
+                error=f"cancelled with {len(cancelled)} task(s) unfinished",
+            )
+        elif failed:
+            self.queue.finish(
+                job,
+                "failed",
+                error=f"{len(failed)} of {len(results)} task(s) failed: "
+                + "; ".join(f"{r.task_id}: {r.error}" for r in failed[:3]),
+            )
+        else:
+            self.queue.finish(job, "done")
+        self.echo(f"job {job.job_id} ({job.spec.name}): {job.status}")
+        self._gc_between_jobs()
+
+    def _gc_between_jobs(self) -> None:
+        """Bound the artifact cache while the service idles between jobs."""
+        if self.cache_max_bytes is None and self.cache_max_age_s is None:
+            return
+        if not self.use_cache:
+            return
+        cache = ArtifactCache(self.cache_dir)
+        evicted = cache.gc(
+            max_bytes=self.cache_max_bytes, max_age_s=self.cache_max_age_s
+        )
+        if evicted:
+            freed = sum(entry.size_bytes for entry in evicted)
+            self.echo(f"cache gc: evicted {len(evicted)} artifact(s), {freed} bytes")

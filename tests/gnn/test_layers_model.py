@@ -9,7 +9,6 @@ from repro.gnn import (
     DenseLayer,
     Dropout,
     GnnConfig,
-    GraphData,
     GraphSageClassifier,
     GraphSageLayer,
     cross_entropy_loss,

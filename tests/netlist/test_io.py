@@ -3,7 +3,6 @@
 import pytest
 
 from repro.netlist import (
-    BENCH8,
     GEN45,
     GEN65,
     Circuit,

@@ -5,7 +5,6 @@ import os
 import pickle
 import time
 
-import pytest
 
 from repro.runner import ArtifactCache, fingerprint
 from repro.runner import cache as cache_module

@@ -1,4 +1,8 @@
-"""CampaignSpec grid expansion, scheme parsing and deterministic seeding."""
+"""CampaignSpec grid expansion, scheme parsing, deterministic seeding and
+the JSON round-trip behind the campaign service."""
+
+import dataclasses
+import json
 
 import pytest
 
@@ -6,6 +10,8 @@ from repro.core import AttackConfig
 from repro.runner import (
     CampaignSpec,
     DatasetSpec,
+    config_from_dict,
+    config_to_dict,
     parse_scheme_spec,
     profile_campaign,
     profile_config,
@@ -184,6 +190,156 @@ class TestAttackConfigOverrides:
         assert config.derive_seed("a", 1) == config.derive_seed("a", 1)
         assert config.derive_seed("a", 1) != config.derive_seed("a", 2)
         assert config.derive_seed("a", 1) != AttackConfig(seed=12).derive_seed("a", 1)
+
+
+class TestJsonRoundTrip:
+    def _rich_spec(self):
+        return CampaignSpec(
+            name="rich",
+            schemes=("antisat", "sfll:2@GEN65"),
+            suites=("ISCAS-85",),
+            key_size_groups=((8,), (8, 16)),
+            benchmarks=("c2670", "c3540", "c5315"),
+            targets=("c2670", "c3540"),
+            overrides=({}, {"gnn.epochs": 5}),
+            attacks=("gnnunlock", "sat"),
+            attack_params={"sat": {"max_iterations": 12}},
+            postprocessing=(True, False),
+            config=profile_config("quick"),
+            timeout_s=120.0,
+        )
+
+    def test_roundtrip_preserves_expansion(self):
+        spec = self._rich_spec()
+        payload = json.loads(json.dumps(spec.to_json_dict()))
+        restored = CampaignSpec.from_json_dict(payload)
+        assert [t.fingerprint() for t in restored.expand()] == [
+            t.fingerprint() for t in spec.expand()
+        ]
+        assert [t.task_id for t in restored.expand()] == [
+            t.task_id for t in spec.expand()
+        ]
+
+    def test_roundtrip_preserves_campaign_fingerprint(self):
+        spec = self._rich_spec()
+        restored = CampaignSpec.from_json_dict(
+            json.loads(json.dumps(spec.to_json_dict()))
+        )
+        assert restored.fingerprint() == spec.fingerprint()
+        assert restored.to_json_dict() == spec.to_json_dict()
+
+    def test_fingerprint_tracks_grid_changes(self, tiny_campaign):
+        base = tiny_campaign.fingerprint()
+        assert dataclasses.replace(tiny_campaign).fingerprint() == base
+        changed = dataclasses.replace(tiny_campaign, targets=("c2670",))
+        assert changed.fingerprint() != base
+        reseeded = dataclasses.replace(
+            tiny_campaign, config=tiny_campaign.config.with_overrides({"seed": 6})
+        )
+        assert reseeded.fingerprint() != base
+
+    def test_defaults_omitted_fields_round_trip(self):
+        spec = CampaignSpec.from_json_dict({"name": "bare"})
+        assert spec.name == "bare"
+        assert parse_scheme_spec(spec.schemes[0]) == parse_scheme_spec("antisat")
+        assert spec.key_size_groups is None
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown CampaignSpec field"):
+            CampaignSpec.from_json_dict({"name": "x", "frobnicate": 1})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            CampaignSpec.from_json_dict(["not", "a", "spec"])
+
+    def test_malformed_field_shapes_rejected_with_clear_messages(self):
+        """JSON-valid but wrongly shaped fields must raise ValueError (the
+        service maps it to 400), never TypeError from deep inside."""
+        with pytest.raises(ValueError, match="key_size_groups"):
+            CampaignSpec.from_json_dict({"key_size_groups": 5})
+        with pytest.raises(ValueError, match="key_size_groups"):
+            CampaignSpec.from_json_dict({"key_size_groups": [8, 16]})
+        with pytest.raises(ValueError, match="overrides"):
+            CampaignSpec.from_json_dict({"overrides": {"gnn.epochs": 5}})
+        with pytest.raises(ValueError, match="overrides"):
+            CampaignSpec.from_json_dict({"overrides": [["gnn.epochs", 5]]})
+        with pytest.raises(ValueError, match="attack_params"):
+            CampaignSpec.from_json_dict({"attack_params": {"sat": 12}})
+        with pytest.raises(ValueError, match="schemes.*JSON array"):
+            CampaignSpec.from_json_dict({"schemes": "antisat"})
+
+    def test_mistyped_scalars_rejected_by_validate(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            CampaignSpec.from_json_dict({"timeout_s": {}}).validate()
+        with pytest.raises(ValueError, match="name"):
+            CampaignSpec.from_json_dict({"name": 7}).validate()
+
+    def test_config_dict_roundtrip(self):
+        config = profile_config("full")
+        restored = config_from_dict(json.loads(json.dumps(config_to_dict(config))))
+        assert restored == config
+
+    def test_config_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown AttackConfig field"):
+            config_from_dict({"not_a_knob": 1})
+        with pytest.raises(ValueError, match="unknown GnnConfig field"):
+            config_from_dict({"gnn": {"not_a_knob": 1}})
+
+    def test_config_mistyped_field_rejected(self):
+        with pytest.raises(ValueError, match="gnn.epochs"):
+            config_from_dict({"gnn": {"epochs": "many"}})
+        with pytest.raises(ValueError, match="locks_per_setting"):
+            config_from_dict({"locks_per_setting": "two"})
+
+
+class TestValidate:
+    def test_valid_spec_returns_expanded_tasks(self, tiny_campaign):
+        tasks = tiny_campaign.validate()
+        assert [t.fingerprint() for t in tasks] == [
+            t.fingerprint() for t in tiny_campaign.expand()
+        ]
+
+    def test_unknown_benchmark_rejected(self, tiny_campaign):
+        spec = dataclasses.replace(
+            tiny_campaign, benchmarks=("c2670", "nosuchbench")
+        )
+        with pytest.raises(ValueError, match="unknown benchmark 'nosuchbench'"):
+            spec.validate()
+
+    def test_unknown_target_rejected(self, tiny_campaign):
+        spec = dataclasses.replace(tiny_campaign, targets=("nosuchbench",))
+        with pytest.raises(ValueError, match="unknown target"):
+            spec.validate()
+
+    def test_unknown_attack_rejected(self, tiny_campaign):
+        spec = dataclasses.replace(tiny_campaign, attacks=("mystery",))
+        with pytest.raises(ValueError, match="unknown attack"):
+            spec.validate()
+
+    def test_unknown_scheme_and_suite_rejected(self, tiny_campaign):
+        with pytest.raises(ValueError, match="unknown locking scheme"):
+            dataclasses.replace(tiny_campaign, schemes=("bogus",)).validate()
+        with pytest.raises(ValueError, match="unknown benchmark suite"):
+            dataclasses.replace(tiny_campaign, suites=("NOPE-1",)).validate()
+
+    def test_mistyped_config_rejected(self, tiny_campaign):
+        spec = dataclasses.replace(
+            tiny_campaign, config=tiny_campaign.config.with_gnn(epochs="abc")
+        )
+        with pytest.raises(ValueError, match="gnn.epochs.*expected int"):
+            spec.validate()
+
+    def test_mistyped_override_rejected(self, tiny_campaign):
+        spec = dataclasses.replace(
+            tiny_campaign, overrides=({"gnn.hidden_dim": "wide"},)
+        )
+        with pytest.raises(ValueError, match="gnn.hidden_dim"):
+            spec.validate()
+
+    def test_nonpositive_key_size_rejected(self, tiny_campaign):
+        spec = dataclasses.replace(tiny_campaign, key_size_groups=((0,),))
+        with pytest.raises(ValueError, match="positive"):
+            spec.validate()
 
 
 class TestProfiles:

@@ -1,7 +1,10 @@
 """Executor behaviour: parallel == serial, cache reuse, crash isolation,
-campaign resume and aggregated cache statistics."""
+campaign resume, progress callbacks, cancellation and aggregated cache
+statistics."""
 
 import dataclasses
+import multiprocessing
+import os
 
 import pytest
 
@@ -200,6 +203,253 @@ class TestResume:
             resume=True,
         )
         assert results[0].status == "ok"
+
+
+class TestProgressCallback:
+    def test_on_result_fires_once_per_task_in_order(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        seen = []
+        results = run_campaign(
+            tasks,
+            serial=True,
+            cache_dir=tmp_path / "cache",
+            on_result=lambda index, total, result: seen.append(
+                (index, total, result.task_id, result.status)
+            ),
+        )
+        assert seen == [
+            (i, len(tasks), t.task_id, "ok") for i, t in enumerate(tasks)
+        ]
+        assert [r.task_id for r in results] == [t.task_id for t in tasks]
+
+    def test_on_result_streams_before_the_campaign_finishes(
+        self, tiny_campaign, tmp_path
+    ):
+        """The hook must see task N before task N+1 executes (streaming), not
+        receive everything in a burst after the campaign completes."""
+        tasks = tiny_campaign.expand()
+        store = ResultStore(tmp_path / "r.jsonl")
+        appended_when_seen = []
+        run_campaign(
+            tasks,
+            serial=True,
+            cache_dir=tmp_path / "cache",
+            store=store,
+            on_result=lambda index, total, result: appended_when_seen.append(
+                len(store.load())
+            ),
+        )
+        # When the hook fires for task i, only tasks 0..i have store records.
+        assert appended_when_seen == [1, 2]
+
+    def test_on_result_includes_skipped_tasks_on_resume(
+        self, tiny_campaign, tmp_path
+    ):
+        tasks = tiny_campaign.expand()
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_campaign(tasks, serial=True, cache_dir=tmp_path / "cache", store=store)
+        seen = []
+        run_campaign(
+            tasks,
+            serial=True,
+            cache_dir=tmp_path / "cache",
+            store=store,
+            resume=True,
+            on_result=lambda index, total, result: seen.append(
+                (index, total, result.status)
+            ),
+        )
+        assert seen == [(0, 2, "skipped"), (1, 2, "skipped")]
+
+    def test_parallel_campaign_reports_in_task_order(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        seen = []
+        run_campaign(
+            tasks,
+            workers=2,
+            cache_dir=tmp_path / "cache",
+            on_result=lambda index, total, result: seen.append(index),
+        )
+        assert seen == list(range(len(tasks)))
+
+
+class TestCancellation:
+    def test_serial_cancel_before_start_runs_nothing(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        results = run_campaign(
+            tasks, serial=True, cache_dir=tmp_path / "cache", cancel=lambda: True
+        )
+        assert [r.status for r in results] == ["cancelled", "cancelled"]
+        assert all(r.record is None for r in results)
+        assert all("cancelled" in r.error for r in results)
+
+    def test_serial_cancel_between_tasks(self, tiny_campaign, tmp_path):
+        """Cancellation raised after task 1 stops task 2 from executing."""
+        tasks = tiny_campaign.expand()
+        finished = []
+        results = run_campaign(
+            tasks,
+            serial=True,
+            cache_dir=tmp_path / "cache",
+            cancel=lambda: len(finished) >= 1,
+            on_result=lambda index, total, result: finished.append(result),
+        )
+        assert [r.status for r in results] == ["ok", "cancelled"]
+
+    def test_cancelled_tasks_append_cancelled_records(self, tiny_campaign, tmp_path):
+        tasks = tiny_campaign.expand()
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_campaign(
+            tasks,
+            serial=True,
+            cache_dir=tmp_path / "cache",
+            store=store,
+            cancel=lambda: True,
+        )
+        records = store.load()
+        assert len(records) == 2
+        assert all(r["status"] == "cancelled" for r in records)
+
+    def test_resume_reexecutes_cancelled_tasks(self, tiny_campaign, tmp_path):
+        """Cancelled records do not satisfy resume; the work happens later."""
+        tasks = tiny_campaign.expand()
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_campaign(
+            tasks,
+            serial=True,
+            cache_dir=tmp_path / "cache",
+            store=store,
+            cancel=lambda: True,
+        )
+        results = run_campaign(
+            tasks, serial=True, cache_dir=tmp_path / "cache", store=store,
+            resume=True,
+        )
+        assert [r.status for r in results] == ["ok", "ok"]
+
+    def test_parallel_cancel_returns_promptly(self, tiny_campaign, tmp_path):
+        """With cancel already set, a 2-worker campaign reports every task as
+        cancelled (queued ones revoked, running ones abandoned) and returns
+        without waiting for full attacks to finish."""
+        tasks = tiny_campaign.expand()
+        results = run_campaign(
+            tasks, workers=2, cache_dir=tmp_path / "cache", cancel=lambda: True
+        )
+        assert [r.status for r in results] == ["cancelled", "cancelled"]
+
+    def test_parallel_cancel_interrupts_a_blocked_wait(
+        self, tiny_campaign, tmp_path
+    ):
+        """Cancellation must land while the executor is blocked waiting on a
+        long in-flight task, not only between future waits: the slow tasks
+        below would run for minutes, yet the campaign returns within a few
+        poll slices of the cancel request and abandons the workers."""
+        import threading
+        import time as time_module
+
+        slow = [
+            dataclasses.replace(
+                task, config=task.config.with_gnn(epochs=100_000, patience=100_000)
+            )
+            for task in tiny_campaign.expand()
+        ]
+        flag = threading.Event()
+        timer = threading.Timer(1.0, flag.set)
+        timer.start()
+        started = time_module.monotonic()
+        try:
+            results = run_campaign(
+                slow, workers=2, cache_dir=tmp_path / "cache", cancel=flag.is_set
+            )
+        finally:
+            timer.cancel()
+            flag.set()
+        assert [r.status for r in results] == ["cancelled", "cancelled"]
+        assert any("worker terminated" in r.error for r in results)
+        # Far below the tasks' natural runtime: the wait was interrupted.
+        assert time_module.monotonic() - started < 30
+
+
+class TestPoolShutdown:
+    def test_successful_campaign_shuts_the_pool_down_gracefully(
+        self, tiny_campaign, tmp_path, monkeypatch
+    ):
+        """A fully-consumed pooled campaign must take the graceful
+        shutdown(wait=True) path, never the terminate-workers kill path
+        (which is reserved for hung/abandoned/aborted campaigns)."""
+        from repro.runner import executor as executor_module
+
+        calls = []
+        real_pool = executor_module.ProcessPoolExecutor
+
+        class SpyPool(real_pool):
+            def shutdown(self, wait=True, cancel_futures=False):
+                calls.append({"wait": wait, "cancel_futures": cancel_futures})
+                return super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", SpyPool)
+        results = run_campaign(
+            tiny_campaign.expand(), workers=2, cache_dir=tmp_path / "cache"
+        )
+        assert all(r.ok for r in results)
+        assert calls == [{"wait": True, "cancel_futures": False}]
+
+
+class TestProgressHookFailure:
+    def test_raising_hook_aborts_the_campaign_promptly(
+        self, tiny_campaign, tmp_path
+    ):
+        """An on_result exception propagates without first running every
+        remaining (here: effectively endless) task to completion."""
+        import time as time_module
+
+        tasks = tiny_campaign.expand()
+        slow = dataclasses.replace(
+            tasks[1], config=tasks[1].config.with_gnn(epochs=100_000, patience=100_000)
+        )
+
+        def explode(index, total, result):
+            raise RuntimeError("progress sink failed")
+
+        started = time_module.monotonic()
+        with pytest.raises(RuntimeError, match="progress sink failed"):
+            run_campaign(
+                [tasks[0], slow],
+                workers=2,
+                cache_dir=tmp_path / "cache",
+                on_result=explode,
+            )
+        # The slow worker was terminated, not drained to completion.
+        assert time_module.monotonic() - started < 30
+
+
+class TestWorkerCrash:
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="crash injection relies on fork inheriting the patched executor",
+    )
+    def test_worker_death_mid_job_is_reported_not_raised(
+        self, tiny_campaign, tmp_path, monkeypatch
+    ):
+        """A worker process dying outright (OOM kill, segfault) surfaces as a
+        failed result for its task instead of sinking run_campaign."""
+        from repro.runner import executor as executor_module
+
+        monkeypatch.setattr(executor_module, "execute_task", _die_hard)
+        tasks = tiny_campaign.expand()
+        store = ResultStore(tmp_path / "r.jsonl")
+        results = run_campaign(
+            tasks, workers=2, cache_dir=tmp_path / "cache", store=store
+        )
+        assert [r.status for r in results] == ["failed", "failed"]
+        assert all("BrokenProcessPool" in r.error for r in results)
+        # The failure is durable: the store records it for post-mortems.
+        assert all(r["status"] == "failed" for r in store.load())
+
+
+def _die_hard(task, cache_path=None, intra_workers=None):
+    """Simulates a hard worker death (no Python-level exception to catch)."""
+    os._exit(3)
 
 
 class TestCampaignCacheStats:

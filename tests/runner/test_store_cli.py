@@ -134,6 +134,31 @@ class TestAggregation:
         assert "KeyError: boom" in table
         assert "dataset:miss" in table
 
+    def test_render_report_counts_statuses_and_omits_timings(self):
+        from repro.runner import render_report
+
+        failed = dict(_record("c3540", status="failed", fp="f2"), error="boom")
+        report = render_report([_record(), failed])
+        assert report.startswith("2 task(s): 1 failed, 1 ok")
+        assert "GNN Acc. (%)" in report
+        # Volatile fields must not leak in: the report diffs across runs.
+        assert "wall_time" not in report and "Time (s)" not in report
+
+    def test_render_report_is_deterministic_for_identical_records(self):
+        from repro.runner import render_report
+
+        first = render_report([_record(), _record("c3540", fp="f2")])
+        second = render_report(
+            [dict(_record(), wall_time_s=99.0, recorded_at=1.0),
+             dict(_record("c3540", fp="f2"), train_time_s=42.0)]
+        )
+        assert first == second
+
+    def test_render_report_empty(self):
+        from repro.runner import render_report
+
+        assert render_report([]).startswith("0 task(s)")
+
 
 class TestCli:
     def test_run_dry_run(self, capsys):
@@ -183,6 +208,19 @@ class TestCli:
         code = main(["report", "--store", str(tmp_path / "absent.jsonl")])
         assert code == 1
 
+    def test_report_service_style_matches_render_report(self, tmp_path, capsys):
+        from repro.runner import render_report
+
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record())
+        store.append(_record("c3540", fp="f2"))
+        code = main(
+            ["report", "--store", str(tmp_path / "r.jsonl"), "--service-style"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out == render_report(list(store.latest().values())) + "\n"
+
     def test_usage_mistakes_print_clean_errors(self, capsys):
         assert main(["run", "--scheme", "bogus", "--dry-run", "--no-cache"]) == 2
         assert "unknown locking scheme" in capsys.readouterr().err
@@ -190,6 +228,45 @@ class TestCli:
         assert "expected key=value" in capsys.readouterr().err
         assert main(["run", "--scheme", "sfll", "--dry-run", "--no-cache"]) == 2
         assert "h value" in capsys.readouterr().err
+
+    def test_dry_run_rejects_unknown_benchmark(self, capsys):
+        code = main(
+            ["run", "--dry-run", "--no-cache",
+             "--benchmarks", "nosuchbench", "--key-sizes", "8"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'nosuchbench'" in err
+        assert "Traceback" not in err
+
+    def test_dry_run_rejects_mistyped_config_override(self, capsys):
+        code = main(
+            ["run", "--dry-run", "--no-cache", "--set", "gnn.epochs=abc"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "gnn.epochs" in err and "expected int" in err
+        assert "Traceback" not in err
+
+    def test_real_run_rejects_invalid_spec_before_executing(
+        self, tmp_path, capsys
+    ):
+        """The same validation guards non-dry runs: no store file appears."""
+        store = tmp_path / "never.jsonl"
+        code = main(
+            ["run", "--no-cache", "--store", str(store),
+             "--targets", "nosuchbench", "--key-sizes", "8"]
+        )
+        assert code == 2
+        assert "unknown target" in capsys.readouterr().err
+        assert not store.exists()
+
+    def test_dry_run_rejects_mistyped_sweep_value(self, capsys):
+        code = main(
+            ["run", "--dry-run", "--no-cache", "--sweep", "gnn.hidden_dim=16,big"]
+        )
+        assert code == 2
+        assert "gnn.hidden_dim" in capsys.readouterr().err
 
     def test_run_zero_tasks_errors(self, capsys):
         # K = 600 needs 300 PIs — beyond every stand-in — so the grid is empty.

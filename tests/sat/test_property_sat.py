@@ -84,7 +84,8 @@ class TestEncodingProperties:
         inputs = list(circuit.all_inputs)
         patterns = exhaustive_patterns(len(inputs))
         sim = simulate_patterns(circuit, patterns, input_order=inputs, outputs=[output])
-        for row, expected in zip(patterns[:: max(1, len(patterns) // 8)], sim[:: max(1, len(patterns) // 8), 0]):
+        stride = max(1, len(patterns) // 8)
+        for row, expected in zip(patterns[::stride], sim[::stride, 0]):
             assumptions = [
                 var_of[n] if bit else -var_of[n] for n, bit in zip(inputs, row)
             ]

@@ -1,0 +1,35 @@
+"""Spec factories shared by the service test modules."""
+
+from __future__ import annotations
+
+from repro.core import AttackConfig
+from repro.runner import CampaignSpec
+
+TINY_CONFIG = AttackConfig(locks_per_setting=1, iscas_key_sizes=(8,), seed=5).with_gnn(
+    hidden_dim=16, epochs=4, root_nodes=100, eval_every=2, patience=10
+)
+
+
+def summary_spec(name: str = "svc", targets=("c2670", "c3540")):
+    """A fast two-task ``dataset-summary`` campaign (no training)."""
+    return CampaignSpec(
+        name=name,
+        schemes=("antisat",),
+        benchmarks=("c2670", "c3540", "c5315"),
+        targets=tuple(targets),
+        key_size_groups=((8,),),
+        attacks=("dataset-summary",),
+        config=TINY_CONFIG,
+    )
+
+
+def gnn_spec(name: str = "svc-gnn", epochs: int = 4):
+    """A two-task GNNUnlock campaign; ``epochs`` tunes how long a task runs."""
+    return CampaignSpec(
+        name=name,
+        schemes=("antisat",),
+        benchmarks=("c2670", "c3540", "c5315"),
+        targets=("c2670", "c3540"),
+        key_size_groups=((8,),),
+        config=TINY_CONFIG.with_gnn(epochs=epochs, patience=epochs),
+    )

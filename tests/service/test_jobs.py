@@ -1,0 +1,244 @@
+"""JobQueue unit behaviour: dedup, claiming, cancellation, persistence —
+plus the JobWorker thread-roster rules."""
+
+import json
+import time
+
+import pytest
+
+from service_helpers import gnn_spec, summary_spec
+
+from repro.service import JobQueue, JobWorker
+
+
+class _FakeResult:
+    def __init__(self, status):
+        self.status = status
+
+
+class TestSubmit:
+    def test_submit_enqueues_and_counts_tasks(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, created = queue.submit(summary_spec())
+        assert created
+        assert job.status == "queued"
+        assert job.tasks_total == 2
+        assert job.history == ["queued"]
+
+    def test_duplicate_submission_dedupes(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        first, created_first = queue.submit(summary_spec())
+        second, created_second = queue.submit(summary_spec())
+        assert created_first and not created_second
+        assert first.job_id == second.job_id
+        assert len(queue.jobs()) == 1
+
+    def test_different_specs_get_different_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        a, _ = queue.submit(summary_spec("a"))
+        b, _ = queue.submit(summary_spec("b"))
+        assert a.job_id != b.job_id
+        assert len(queue.jobs()) == 2
+
+    def test_invalid_spec_is_rejected_before_enqueue(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        spec = summary_spec()
+        spec.targets = ("never-a-benchmark",)
+        with pytest.raises(ValueError, match="unknown target"):
+            queue.submit(spec)
+        assert queue.jobs() == []
+
+    def test_failed_job_resubmission_requeues(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        claimed = queue.claim(timeout=0)
+        queue.finish(claimed, "failed", error="boom")
+        resubmitted, created = queue.submit(summary_spec())
+        assert not created
+        assert resubmitted.job_id == job.job_id
+        assert resubmitted.status == "queued"
+        assert resubmitted.error is None
+        assert queue.claim(timeout=0) is resubmitted
+
+    def test_done_job_resubmission_does_not_requeue(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        queue.finish(queue.claim(timeout=0), "done")
+        again, created = queue.submit(summary_spec())
+        assert not created
+        assert again.status == "done"
+        assert queue.claim(timeout=0) is None
+
+
+class TestClaimAndProgress:
+    def test_claim_marks_running_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        first, _ = queue.submit(summary_spec("a"))
+        queue.submit(summary_spec("b"))
+        claimed = queue.claim(timeout=0)
+        assert claimed is first
+        assert claimed.status == "running"
+        assert claimed.history == ["queued", "running"]
+        assert claimed.started_at is not None
+
+    def test_claim_times_out_empty(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        assert queue.claim(timeout=0.01) is None
+
+    def test_progress_counters(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        queue.record_progress(job, _FakeResult("ok"))
+        queue.record_progress(job, _FakeResult("skipped"))
+        queue.record_progress(job, _FakeResult("failed"))
+        queue.record_progress(job, _FakeResult("cancelled"))
+        snapshot = job.snapshot()["progress"]
+        assert snapshot["tasks_done"] == 3  # cancelled tasks never completed
+        assert snapshot["tasks_ok"] == 2
+        assert snapshot["tasks_skipped"] == 1
+        assert snapshot["tasks_failed"] == 1
+
+
+class TestCancel:
+    def test_cancel_queued_job_is_immediate(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        queue.cancel(job.job_id)
+        assert job.status == "cancelled"
+        assert queue.claim(timeout=0) is None
+
+    def test_cancel_running_job_sets_the_event(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        claimed = queue.claim(timeout=0)
+        queue.cancel(job.job_id)
+        assert claimed.status == "running"  # worker transitions it
+        assert claimed.cancel_event.is_set()
+
+    def test_cancel_unknown_job_returns_none(self, tmp_path):
+        assert JobQueue(tmp_path / "state").cancel("nope") is None
+
+    def test_cancel_done_job_is_a_noop(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        queue.finish(queue.claim(timeout=0), "done")
+        queue.cancel(job.job_id)
+        assert job.status == "done"
+        assert not job.cancel_event.is_set()
+
+
+class TestPersistence:
+    def test_job_files_are_valid_json_with_spec(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        path = tmp_path / "state" / "jobs" / f"{job.job_id}.json"
+        payload = json.loads(path.read_text())
+        assert payload["job_id"] == job.job_id
+        assert payload["status"] == "queued"
+        assert payload["spec"]["attacks"] == ["dataset-summary"]
+
+    def test_recover_requeues_active_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        interrupted, _ = queue.submit(summary_spec("interrupted-mid-run"))
+        finished, _ = queue.submit(summary_spec("finished"))
+        never_started, _ = queue.submit(summary_spec("never-started"))
+        # Simulate a service killed mid-flight: the first job was claimed
+        # (persisted as running), the second finished, the third never ran.
+        assert queue.claim(timeout=0) is interrupted
+        queue.finish(queue.claim(timeout=0), "done")
+        del queue
+
+        fresh = JobQueue(tmp_path / "state")
+        requeued = fresh.recover()
+        assert set(requeued) == {interrupted.job_id, never_started.job_id}
+        recovered = {job.job_id: job for job in fresh.jobs()}
+        assert recovered[interrupted.job_id].status == "queued"
+        assert recovered[finished.job_id].status == "done"
+        assert recovered[never_started.job_id].status == "queued"
+        # FIFO order survives the restart (oldest submission first).
+        claim_order = [fresh.claim(timeout=0).job_id, fresh.claim(timeout=0).job_id]
+        assert claim_order == [interrupted.job_id, never_started.job_id]
+
+    def test_recover_skips_corrupt_job_files(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        (tmp_path / "state" / "jobs" / "bad.json").write_text("{not json")
+        # Valid JSON but schema-drifted (missing job_id/status) is equally
+        # skippable; startup must never crash on a state file.
+        (tmp_path / "state" / "jobs" / "drift.json").write_text(
+            json.dumps({"spec": summary_spec("drift").to_json_dict()})
+        )
+        fresh = JobQueue(tmp_path / "state")
+        fresh.recover()
+        assert [j.job_id for j in fresh.jobs()] == [job.job_id]
+
+    def test_recover_honours_an_unhonoured_cancel(self, tmp_path):
+        """Cancel requested on a running job, then the service dies before
+        the worker notices: the restart must not resurrect the job."""
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        claimed = queue.claim(timeout=0)
+        queue.cancel(claimed.job_id)  # running: sets the event, persists
+        assert claimed.status == "running"
+        del queue
+
+        fresh = JobQueue(tmp_path / "state")
+        assert fresh.recover() == []  # nothing re-enqueued
+        recovered = fresh.get(job.job_id)
+        assert recovered.status == "cancelled"
+        assert recovered.cancel_event.is_set()
+        assert fresh.claim(timeout=0) is None
+
+    def test_recovered_job_resets_progress_counters(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        claimed = queue.claim(timeout=0)
+        queue.record_progress(claimed, _FakeResult("ok"))
+        fresh = JobQueue(tmp_path / "state")
+        fresh.recover()
+        recovered = fresh.get(job.job_id)
+        assert recovered.status == "queued"
+        assert recovered.snapshot()["progress"]["tasks_done"] == 0
+
+    def test_counts_by_status(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        queue.submit(summary_spec("a"))
+        queue.submit(summary_spec("b"))
+        queue.finish(queue.claim(timeout=0), "done")
+        assert queue.counts() == {"done": 1, "queued": 1}
+
+
+class TestWorkerRoster:
+    def test_start_is_idempotent(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        worker = JobWorker(queue, job_slots=2)
+        worker.start()
+        first = list(worker._threads)
+        assert len(first) == 2
+        worker.start()
+        assert worker._threads == first
+        worker.stop()
+        assert worker._threads == []
+
+    def test_timed_out_stop_never_stacks_new_workers(self, tmp_path):
+        """stop() that times out on a busy worker keeps it in the roster, and
+        start() must not spawn a second claimer alongside it — that would
+        oversubscribe every budget the job slots were divided by."""
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(gnn_spec("slow-roster", epochs=80))
+        worker = JobWorker(
+            queue, job_slots=1, task_workers=1, cache_dir=tmp_path / "cache"
+        )
+        worker.start()
+        deadline = time.monotonic() + 60
+        while queue.get(job.job_id).status == "queued":
+            assert time.monotonic() < deadline, "job never claimed"
+            time.sleep(0.02)
+        worker.stop(timeout=0.05)  # too short: the worker is mid-job
+        assert len(worker._threads) == 1
+        worker.start()
+        assert len(worker._threads) == 1  # no doubling
+        queue.cancel(job.job_id)
+        worker.stop(timeout=120)  # drains once the in-flight task ends
+        assert worker._threads == []
+        assert queue.get(job.job_id).status == "cancelled"

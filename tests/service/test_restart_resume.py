@@ -1,0 +1,142 @@
+"""Service restart semantics: killed services resume in-flight jobs."""
+
+import json
+
+from service_helpers import gnn_spec, summary_spec
+
+from repro.runner import ResultStore, run_campaign
+from repro.service import JobQueue, ServiceClient
+
+
+class TestRestartResume:
+    def test_half_finished_job_resumes_without_rerunning_tasks(
+        self, tmp_path, service_factory
+    ):
+        """A job killed mid-campaign (persisted as running, store holding the
+        first task's record) finishes on restart by executing only the rest."""
+        state_dir = tmp_path / "state"
+        spec = gnn_spec("resumable", epochs=4)
+        tasks = spec.expand()
+        assert len(tasks) == 2
+
+        # Phase 1: a "service" that died mid-job.  Submit + claim persists
+        # the job as running; the first task's record lands in its store.
+        queue = JobQueue(state_dir)
+        job, _ = queue.submit(spec)
+        claimed = queue.claim(timeout=0)
+        assert claimed.status == "running"
+        run_campaign(
+            tasks[:1],
+            serial=True,
+            cache_dir=tmp_path / "cache",
+            store=ResultStore(job.store_path),
+        )
+        first_record = ResultStore(job.store_path).load()[0]
+        del queue
+
+        # Phase 2: restart.  recover() re-enqueues; resume skips task 1.
+        service = service_factory("state")
+        assert service.recovered == [job.job_id]
+        client = ServiceClient(service.url)
+        final = client.wait(job.job_id, timeout=120)
+        assert final["status"] == "done"
+        assert final["progress"]["tasks_done"] == 2
+        assert final["progress"]["tasks_skipped"] == 1
+
+        records = ResultStore(job.store_path).load()
+        assert len(records) == 2  # nothing re-ran, nothing re-appended
+        assert records[0] == first_record  # first record untouched on disk
+
+    def test_restart_resume_report_matches_uninterrupted_run(
+        self, tmp_path, service_factory
+    ):
+        """The resumed job's report is byte-identical to an offline
+        uninterrupted run of the same spec (same cache, same stream)."""
+        from repro.runner import render_report
+
+        state_dir = tmp_path / "state"
+        spec = gnn_spec("resumable-report", epochs=4)
+        tasks = spec.expand()
+
+        straight_store = ResultStore(tmp_path / "straight.jsonl")
+        run_campaign(
+            tasks, serial=True, cache_dir=tmp_path / "cache", store=straight_store
+        )
+        straight = render_report(list(straight_store.latest().values()))
+
+        queue = JobQueue(state_dir)
+        job, _ = queue.submit(spec)
+        queue.claim(timeout=0)
+        run_campaign(
+            tasks[:1],
+            serial=True,
+            cache_dir=tmp_path / "cache",
+            store=ResultStore(job.store_path),
+        )
+        del queue
+
+        service = service_factory("state")
+        client = ServiceClient(service.url)
+        client.wait(job.job_id, timeout=120)
+        assert client.report(job.job_id) == straight
+
+    def test_terminal_jobs_survive_restart_without_rerunning(
+        self, tmp_path, service_factory
+    ):
+        first = service_factory("state")
+        client = ServiceClient(first.url)
+        job = client.submit(summary_spec("restart-done"))["job"]
+        client.wait(job["job_id"], timeout=120)
+        report = client.report(job["job_id"])
+        first.stop()
+
+        second = service_factory("state")
+        assert second.recovered == []
+        client = ServiceClient(second.url)
+        snapshot = client.status(job["job_id"])
+        assert snapshot["status"] == "done"
+        assert client.report(job["job_id"]) == report
+        # The store was not appended to by the restart.
+        records = ResultStore(second.queue.get(job["job_id"]).store_path).load()
+        assert len(records) == 2
+
+    def test_cancelled_job_resubmission_resumes_from_store(
+        self, tmp_path, service_factory
+    ):
+        """Cancel mid-run, resubmit the same spec: the finished task is
+        skipped and only the cancelled remainder executes."""
+        service = service_factory("state")
+        client = ServiceClient(service.url)
+        spec = gnn_spec("cancel-resubmit", epochs=80)
+        job = client.submit(spec)["job"]
+        import time
+
+        deadline = time.monotonic() + 60
+        while client.status(job["job_id"])["status"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        client.cancel(job["job_id"])
+        cancelled = client.wait(job["job_id"], timeout=120)
+        assert cancelled["status"] == "cancelled"
+        done_before = cancelled["progress"]["tasks_done"]
+
+        resubmitted = client.submit(spec)
+        assert resubmitted["created"] is False
+        final = client.wait(job["job_id"], timeout=300)
+        assert final["status"] == "done"
+        assert final["progress"]["tasks_skipped"] == done_before
+
+    def test_job_state_files_round_trip_the_spec(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        spec = summary_spec("persisted")
+        job, _ = queue.submit(spec)
+        payload = json.loads(
+            (tmp_path / "state" / "jobs" / f"{job.job_id}.json").read_text()
+        )
+        from repro.runner import CampaignSpec
+
+        restored = CampaignSpec.from_json_dict(payload["spec"])
+        assert restored.fingerprint() == spec.fingerprint()
+        assert [t.fingerprint() for t in restored.expand()] == [
+            t.fingerprint() for t in spec.expand()
+        ]

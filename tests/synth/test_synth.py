@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.benchgen import get_benchmark
 from repro.locking import DESIGN, SfllHdLocking
 from repro.netlist import BENCH8, GEN45, GEN65, Circuit, cell_histogram, validate_circuit
 from repro.sat import check_equivalence
