@@ -9,8 +9,14 @@ Subcommands::
     repro serve    start the long-lived campaign service (HTTP JSON API)
     repro submit   submit a campaign grid to a running service
     repro status   poll a service job (or list every job)
+    repro watch    stream a job's live progress events (long-poll, no busy-poll)
     repro fetch    fetch a job's rendered report or raw records
     repro cancel   cancel a queued or running service job
+
+Service hardening: ``repro serve --tokens-file tokens.json`` turns on
+bearer-token auth (``--token`` / ``REPRO_SERVICE_TOKEN`` client-side) with
+per-token submit/admin roles, rate limits and job quotas; ``repro submit
+--priority N`` schedules urgent campaigns ahead of the backlog.
 
 Examples::
 
@@ -51,6 +57,7 @@ from urllib.error import URLError
 
 from ..service.client import (
     DEFAULT_SERVICE_URL,
+    SERVICE_TOKEN_ENV,
     SERVICE_URL_ENV,
     ServiceClient,
     ServiceError,
@@ -166,6 +173,11 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         help=f"service URL (default: ${SERVICE_URL_ENV} or {DEFAULT_SERVICE_URL})",
     )
     service.add_argument(
+        "--token", default=None,
+        help=f"bearer token for an auth-enabled service "
+        f"(default: ${SERVICE_TOKEN_ENV})",
+    )
+    service.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the raw JSON response (machine-readable)",
     )
@@ -173,7 +185,8 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _service_client(args: argparse.Namespace) -> ServiceClient:
     url = args.url or os.environ.get(SERVICE_URL_ENV) or DEFAULT_SERVICE_URL
-    return ServiceClient(url)
+    token = args.token or os.environ.get(SERVICE_TOKEN_ENV) or None
+    return ServiceClient(url, token=token)
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -306,6 +319,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-age", type=parse_age, default=None, metavar="AGE",
         help="evict artifacts unused longer than this between jobs (30m/12h/7d)",
     )
+    traffic = serve.add_argument_group("traffic shaping")
+    traffic.add_argument(
+        "--tokens-file", type=Path, default=None,
+        help="enable bearer-token auth from this JSON tokens file "
+        '({"tokens": {"<secret>": {"name": ..., "role": "submit"|"admin", '
+        '"max_queued": N, "max_active": N, "submit_rate": R}}}); '
+        "edits (including revocations) are picked up without a restart",
+    )
+    traffic.add_argument(
+        "--submit-rate", type=float, default=None, metavar="PER_SECOND",
+        help="default sustained submissions/second per principal "
+        "(token entries may override; default: unlimited)",
+    )
+    traffic.add_argument(
+        "--submit-burst", type=int, default=None, metavar="N",
+        help="default submit burst size per principal (default: the rate)",
+    )
+    traffic.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        help="default max queued jobs per principal (default: unlimited)",
+    )
+    traffic.add_argument(
+        "--max-active", type=int, default=None, metavar="N",
+        help="default max queued+running jobs per principal "
+        "(default: unlimited)",
+    )
+    traffic.add_argument(
+        "--max-priority", type=int, default=None, metavar="N",
+        help="default cap on the job priority non-admin principals may "
+        "request (token entries may override; default: uncapped)",
+    )
     _add_cache_arguments(serve)
 
     submit = sub.add_parser(
@@ -313,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_grid_arguments(submit)
     _add_service_arguments(submit)
+    submit.add_argument(
+        "--priority", type=int, default=None, metavar="N",
+        help="scheduling priority (higher runs first, FIFO within a class; "
+        "default 0; excluded from the job fingerprint)",
+    )
     submit.add_argument(
         "--wait", action="store_true",
         help="poll until the job reaches a terminal status, then print its report",
@@ -350,6 +399,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw JSONL result-store records instead of the report",
     )
 
+    watch = sub.add_parser(
+        "watch", help="stream a service job's progress events until it finishes"
+    )
+    watch.add_argument("job_id", help="job id")
+    _add_service_arguments(watch)
+    watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up after this long (default: watch until terminal)",
+    )
+
     cancel = sub.add_parser("cancel", help="cancel a queued or running service job")
     cancel.add_argument("job_id", help="job id")
     _add_service_arguments(cancel)
@@ -376,6 +435,8 @@ def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         kwargs["attacks"] = tuple(args.attacks)
     if args.timeout is not None:
         kwargs["timeout_s"] = args.timeout
+    if getattr(args, "priority", None) is not None:  # submit-only flag
+        kwargs["priority"] = args.priority
     kwargs["overrides"] = _override_grid(args.set, args.sweep)
     spec = profile_campaign(args.profile, **kwargs)
     if args.seed is not None:
@@ -585,6 +646,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_max_bytes=args.cache_max_bytes,
         cache_max_age_s=args.cache_max_age,
+        tokens_file=args.tokens_file,
+        submit_rate=args.submit_rate,
+        submit_burst=args.submit_burst,
+        max_queued_per_owner=args.max_queued,
+        max_active_per_owner=args.max_active,
+        max_priority_per_owner=args.max_priority,
         echo=print,
     )
     service.start()
@@ -663,6 +730,48 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_event(event: Dict[str, object]) -> Optional[str]:
+    kind = event.get("event")
+    if kind == "status":
+        line = f"status: {event.get('status')}"
+        if event.get("recovered"):
+            line += " (recovered after a service restart)"
+        if event.get("error"):
+            line += f" — {event['error']}"
+        return line
+    if kind == "task":
+        done = event.get("tasks_done", "?")
+        total = event.get("tasks_total", "?")
+        return f"[{done}/{total}] {event.get('status'):9s} {event.get('task_id')}"
+    if kind == "total":
+        return f"expanded to {event.get('tasks_total')} task(s)"
+    if kind == "priority":
+        return f"escalated to priority {event.get('priority')}"
+    if kind == "cancel_requested":
+        return "cancellation requested"
+    return None
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    final_status = None
+    for event in client.watch(args.job_id, timeout=args.timeout):
+        if args.as_json:
+            print(json.dumps({k: v for k, v in event.items() if k != "job"},
+                             sort_keys=True), flush=True)
+        else:
+            line = _format_event(event)
+            if line is not None:
+                print(line, flush=True)
+        final_status = event["job"]["status"]
+    if final_status is None:
+        # Terminal before we attached and the feed had nothing to replay.
+        final_status = client.status(args.job_id)["status"]
+    if not args.as_json:
+        print(f"final: {final_status}")
+    return 0 if final_status == "done" else 3
+
+
 def _cmd_cancel(args: argparse.Namespace) -> int:
     client = _service_client(args)
     snapshot = client.cancel(args.job_id)
@@ -683,6 +792,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
+        "watch": _cmd_watch,
         "fetch": _cmd_fetch,
         "cancel": _cmd_cancel,
     }

@@ -10,9 +10,14 @@ into an on-demand one:
   claimed jobs with ``run_campaign(..., resume=True)`` and divide the global
   worker budgets across concurrent jobs.
 * :mod:`~repro.service.api` — :class:`CampaignService`, the stdlib
-  ``ThreadingHTTPServer`` JSON API (``repro serve``).
+  ``ThreadingHTTPServer`` JSON API (``repro serve``): bearer-token auth,
+  per-token rate limits and quotas, job priorities, and a
+  ``/v1/jobs/<id>/stream`` long-poll progress feed.
+* :mod:`~repro.service.auth` — the tokens-file registry (submit/admin
+  roles, per-token limits, live-reload revocation) and the token bucket.
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the stdlib HTTP
-  client behind ``repro submit / status / fetch / cancel``.
+  client behind ``repro submit / status / watch / fetch / cancel``, with
+  typed errors (:class:`AuthError`, :class:`ThrottledError`, ...).
 
 Restart safety: job state persists under the service's state directory and
 every job's results live in its own JSONL store, so a killed service picks
@@ -21,24 +26,37 @@ finished tasks.
 """
 
 from .api import CampaignService
+from .auth import TokenBucket, TokenInfo, TokenRegistry
 from .client import (
+    AuthError,
     DEFAULT_SERVICE_URL,
+    NotFoundError,
+    SERVICE_TOKEN_ENV,
     SERVICE_URL_ENV,
     ServiceClient,
     ServiceError,
+    ThrottledError,
 )
-from .jobs import ACTIVE_STATUSES, Job, JobQueue, TERMINAL_STATUSES
+from .jobs import ACTIVE_STATUSES, Job, JobQueue, QuotaError, TERMINAL_STATUSES
 from .worker import JobWorker
 
 __all__ = [
     "ACTIVE_STATUSES",
+    "AuthError",
     "CampaignService",
     "DEFAULT_SERVICE_URL",
     "Job",
     "JobQueue",
     "JobWorker",
+    "NotFoundError",
+    "QuotaError",
+    "SERVICE_TOKEN_ENV",
     "SERVICE_URL_ENV",
     "ServiceClient",
     "ServiceError",
+    "ThrottledError",
     "TERMINAL_STATUSES",
+    "TokenBucket",
+    "TokenInfo",
+    "TokenRegistry",
 ]

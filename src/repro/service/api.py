@@ -2,48 +2,87 @@
 
 Endpoints (all JSON)::
 
-    GET    /healthz                  liveness + per-status job counts
-    GET    /v1/jobs                  every known job, oldest first
+    GET    /healthz                  liveness (always open; job counts are
+                                     included only when auth is off)
+    GET    /v1/jobs                  known jobs, oldest first (admins see all,
+                                     submit-role tokens see their own)
     POST   /v1/jobs                  submit {"spec": {...CampaignSpec...}}
     GET    /v1/jobs/<id>             job status + task-completion progress
     GET    /v1/jobs/<id>/report      deterministic rendered paper-table report
     GET    /v1/jobs/<id>/records     raw ResultStore records (all history)
+    GET    /v1/jobs/<id>/stream      long-poll progress feed
+                                     (``?since=<cursor>&timeout=<seconds>``)
     POST   /v1/jobs/<id>/cancel      request cancellation
     DELETE /v1/jobs/<id>             alias for cancel
 
-Error contract: 400 for malformed JSON or an invalid spec (the ``error``
-field carries the validation message), 404 for unknown jobs/routes, 405 for
-wrong methods.  Submissions dedupe by campaign fingerprint: the response's
-``created`` field says whether a new job was enqueued or an existing one
-returned.
+Error contract: every non-2xx response body is
+``{"error": {"code": <machine-readable>, "message": <human-readable>}}``
+(codes in :mod:`repro.service.status`).  400 for malformed JSON or an
+invalid spec, 401 for a missing/unknown/revoked token, 403 for a role
+violation (e.g. a priority above the caller's cap), 404 for unknown jobs
+and routes — and for jobs the caller cannot see, indistinguishably, since
+job ids are computable fingerprints and a bare 403 would leak which specs
+other tenants run, 405 for wrong methods,
+429 — always with a ``Retry-After`` header — when the submit rate limit or
+a per-token quota rejects a submission.  Submissions dedupe by campaign
+fingerprint: the response's ``created`` field says whether a new job was
+enqueued or an existing one returned.
 
-The server is a ``ThreadingHTTPServer`` so status polls are served while
-jobs run; campaign execution itself happens on the
+Authentication is optional: without a tokens file the service is open (every
+request acts as an anonymous admin, as in earlier releases) but the
+service-wide rate limit and quotas, if configured, still apply.  With a
+tokens file, every ``/v1`` request needs ``Authorization: Bearer <token>``;
+``/healthz`` stays open for liveness probes.
+
+The server is a ``ThreadingHTTPServer`` so status polls and long-poll
+streams are served while jobs run; campaign execution itself happens on the
 :class:`~repro.service.worker.JobWorker` threads, never on request threads.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
 from ..runner.campaign import CampaignSpec
 from ..runner.store import ResultStore, render_report
-from .jobs import JobQueue
+from . import status as codes
+from .auth import TokenBucket, TokenInfo, TokenRegistry
+from .jobs import Job, JobQueue, QuotaError
 from .worker import JobWorker
 
 __all__ = ["CampaignService"]
 
+#: Cap on the server-side long-poll wait; clients re-issue to wait longer.
+STREAM_MAX_WAIT_S = 30.0
+
+#: Cap on request bodies, enforced *before* buffering: campaign specs are a
+#: few KB, so anything near this is hostile.  Without the cap a tokenless
+#: client could OOM the service with one giant Content-Length — exactly the
+#: resource-exhaustion class the auth/rate-limit layer exists to close.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
 
 class _ApiError(Exception):
-    """An error with an HTTP status, rendered as ``{"error": ...}``."""
+    """An error with an HTTP status, rendered as the structured JSON body."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after_s: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -71,6 +110,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self._handle("DELETE")
 
     def _handle(self, method: str) -> None:
+        headers: Dict[str, str] = {}
         try:
             # Always drain the request body, even on routes that ignore it:
             # leaving unread bytes in rfile desynchronises HTTP/1.1
@@ -79,49 +119,138 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._body = self._read_body()
             status, payload = self._route(method)
         except _ApiError as exc:
-            status, payload = exc.status, {"error": str(exc)}
+            status = exc.status
+            payload = {"error": {"code": exc.code, "message": str(exc)}}
+            if exc.retry_after_s is not None:
+                headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after_s)))
         except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the server
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            status = 500
+            payload = {
+                "error": {
+                    "code": codes.ERR_INTERNAL,
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            }
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response — routine for long-poll stream
+            # consumers that lose interest; never let it unwind the handler.
+            self.close_connection = True
+
+    # ------------------------------------------------------------------
+    def _identity(self) -> TokenInfo:
+        """The caller's grant; raises 401 when auth is on and absent/bad."""
+        registry = self.service.auth
+        if registry is None:
+            return self.service.anonymous
+        header = self.headers.get("Authorization") or ""
+        if not header.startswith("Bearer "):
+            raise _ApiError(
+                401,
+                codes.ERR_UNAUTHORIZED,
+                "missing bearer token (Authorization: Bearer <token>)",
+            )
+        info = registry.lookup(header[len("Bearer "):].strip())
+        if info is None:
+            raise _ApiError(401, codes.ERR_UNAUTHORIZED, "unknown or revoked token")
+        return info
+
+    def _snapshot_for(
+        self, job: Job, identity: TokenInfo
+    ) -> Dict[str, object]:
+        """Job snapshot with co-owner names redacted for non-admins.
+
+        The 404 masking in :meth:`_visible_job` exists so tenants cannot
+        learn what specs others run; an unredacted ``owners`` list would
+        reopen that hole (submit a spec, read the co-owners off the deduped
+        response).
+        """
+        snapshot = job.snapshot()
+        if not identity.is_admin:
+            snapshot["owners"] = [
+                owner for owner in snapshot["owners"] if owner == identity.name
+            ]
+        return snapshot
+
+    def _visible_job(self, job_id: str, identity: TokenInfo) -> Job:
+        job = self.service.queue.get(job_id)
+        # Another tenant's job answers exactly like a nonexistent one: job
+        # ids are computable offline (truncated campaign fingerprints), so a
+        # distinguishable 403 would let any token probe whether someone else
+        # already submitted a given spec.
+        if job is None or (not identity.is_admin and not job.owned_by(identity.name)):
+            raise _ApiError(404, codes.ERR_NOT_FOUND, f"unknown job {job_id!r}")
+        return job
+
+    def _query(self) -> Dict[str, str]:
+        if "?" not in self.path:
+            return {}
+        return {
+            key: values[-1]
+            for key, values in parse_qs(self.path.split("?", 1)[1]).items()
+        }
 
     # ------------------------------------------------------------------
     def _route(self, method: str) -> Tuple[int, Dict[str, object]]:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/healthz" and method == "GET":
-            return 200, {"status": "ok", "jobs": self.service.queue.counts()}
+            payload: Dict[str, object] = {
+                "status": "ok",
+                "auth": self.service.auth is not None,
+            }
+            # Workload counts only in open mode: with auth on, a tokenless
+            # probe gets liveness and nothing about other tenants' jobs.
+            if self.service.auth is None:
+                payload["jobs"] = self.service.queue.counts()
+            return 200, payload
         if path == "/v1/jobs":
+            identity = self._identity()
             if method == "GET":
+                owner = None if identity.is_admin else identity.name
                 return 200, {
-                    "jobs": [job.snapshot() for job in self.service.queue.jobs()]
+                    "jobs": [
+                        self._snapshot_for(job, identity)
+                        for job in self.service.queue.jobs(owner)
+                    ]
                 }
             if method == "POST":
-                return self._submit()
-            raise _ApiError(405, f"{method} not allowed on {path}")
+                return self._submit(identity)
+            raise _ApiError(
+                405, codes.ERR_METHOD_NOT_ALLOWED, f"{method} not allowed on {path}"
+            )
         if path.startswith("/v1/jobs/"):
             return self._job_route(method, path[len("/v1/jobs/"):])
-        raise _ApiError(404, f"no route {method} {path}")
+        raise _ApiError(404, codes.ERR_NOT_FOUND, f"no route {method} {path}")
 
     def _job_route(self, method: str, tail: str) -> Tuple[int, Dict[str, object]]:
+        identity = self._identity()
         parts = tail.split("/")
         job_id, action = parts[0], "/".join(parts[1:])
-        job = self.service.queue.get(job_id)
-        if job is None:
-            raise _ApiError(404, f"unknown job {job_id!r}")
+        job = self._visible_job(job_id, identity)
         if method == "DELETE" and not action:
             self.service.queue.cancel(job_id)
-            return 200, {"job": job.snapshot()}
+            return 200, {"job": self._snapshot_for(job, identity)}
         if method == "POST" and action == "cancel":
             self.service.queue.cancel(job_id)
-            return 200, {"job": job.snapshot()}
+            return 200, {"job": self._snapshot_for(job, identity)}
         if method != "GET":
-            raise _ApiError(405, f"{method} not allowed on /v1/jobs/{tail}")
+            raise _ApiError(
+                405,
+                codes.ERR_METHOD_NOT_ALLOWED,
+                f"{method} not allowed on /v1/jobs/{tail}",
+            )
         if not action:
-            return 200, {"job": job.snapshot()}
+            return 200, {"job": self._snapshot_for(job, identity)}
+        if action == "stream":
+            return self._stream(job, identity)
         store = ResultStore(job.store_path)
         if action == "report":
             records = list(store.latest().values())
@@ -132,30 +261,116 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             }
         if action == "records":
             return 200, {"job_id": job.job_id, "records": store.load()}
-        raise _ApiError(404, f"no route GET /v1/jobs/{tail}")
+        raise _ApiError(404, codes.ERR_NOT_FOUND, f"no route GET /v1/jobs/{tail}")
+
+    def _stream(
+        self, job: Job, identity: TokenInfo
+    ) -> Tuple[int, Dict[str, object]]:
+        query = self._query()
+        try:
+            since = int(query.get("since", 0))
+            timeout = float(query.get("timeout", 25.0))
+        except ValueError:
+            raise _ApiError(
+                400,
+                codes.ERR_INVALID_REQUEST,
+                "stream parameters 'since' and 'timeout' must be numbers",
+            ) from None
+        timeout = min(max(0.0, timeout), self.service.stream_max_wait_s)
+        waited = self.service.queue.wait_events(job.job_id, since=since, timeout=timeout)
+        if waited is None:  # job vanished between lookup and wait (impossible today)
+            raise _ApiError(404, codes.ERR_NOT_FOUND, f"unknown job {job.job_id!r}")
+        events, next_cursor, _ = waited
+        return 200, {
+            "job": self._snapshot_for(job, identity),
+            "events": events,
+            "next": next_cursor,
+        }
 
     def _read_body(self) -> bytes:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
-            raise _ApiError(400, "invalid Content-Length") from None
+            raise _ApiError(
+                400, codes.ERR_INVALID_REQUEST, "invalid Content-Length"
+            ) from None
+        if length > MAX_BODY_BYTES:
+            # Refuse before buffering a single byte.  The unread body makes
+            # the connection unusable for keep-alive, so drop it.
+            self.close_connection = True
+            raise _ApiError(
+                413,
+                codes.ERR_PAYLOAD_TOO_LARGE,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
         return self.rfile.read(length) if length > 0 else b""
 
-    def _submit(self) -> Tuple[int, Dict[str, object]]:
+    def _submit(self, identity: TokenInfo) -> Tuple[int, Dict[str, object]]:
+        retry_after = self.service.throttle_submit(identity)
+        if retry_after is not None:
+            raise _ApiError(
+                429,
+                codes.ERR_RATE_LIMITED,
+                f"submit rate limit exceeded for {identity.name!r}; "
+                f"retry in {retry_after:.2f}s",
+                retry_after_s=retry_after,
+            )
         try:
             payload = json.loads(self._body.decode("utf-8") or "null")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise _ApiError(400, f"request body is not valid JSON: {exc}") from None
+            raise _ApiError(
+                400,
+                codes.ERR_INVALID_REQUEST,
+                f"request body is not valid JSON: {exc}",
+            ) from None
         if isinstance(payload, dict) and "spec" in payload:
             payload = payload["spec"]
+        max_queued, max_active = self.service.quota_for(identity)
         try:
             spec = CampaignSpec.from_json_dict(payload)
-            job, created = self.service.queue.submit(spec)
         except (TypeError, ValueError) as exc:
-            # TypeError covers payload shapes the converters cannot even
-            # begin to coerce; it is a client error, not a server fault.
-            raise _ApiError(400, f"invalid campaign spec: {exc}") from None
-        return (201 if created else 200), {"job": job.snapshot(), "created": created}
+            raise _ApiError(
+                400, codes.ERR_INVALID_SPEC, f"invalid campaign spec: {exc}"
+            ) from None
+        cap = self.service.priority_cap_for(identity)
+        if (
+            cap is not None
+            and isinstance(spec.priority, int)
+            and not isinstance(spec.priority, bool)
+            and spec.priority > cap
+        ):
+            raise _ApiError(
+                403,
+                codes.ERR_FORBIDDEN,
+                f"priority {spec.priority} exceeds the cap {cap} "
+                f"for {identity.name!r}",
+            )
+        try:
+            job, created = self.service.queue.submit(
+                spec,
+                owner=identity.name,
+                max_queued=max_queued,
+                max_active=max_active,
+            )
+        except QuotaError as exc:
+            raise _ApiError(
+                429,
+                codes.ERR_QUOTA_EXCEEDED,
+                str(exc),
+                retry_after_s=exc.retry_after_s,
+            ) from None
+        except (TypeError, ValueError) as exc:
+            # from_json_dict only shape-checks; submit()'s validate() is
+            # where bad field values (unknown benchmarks, mistyped config)
+            # surface.  Both are client errors, not server faults.
+            raise _ApiError(
+                400, codes.ERR_INVALID_SPEC, f"invalid campaign spec: {exc}"
+            ) from None
+        return (201 if created else 200), {
+            "job": self._snapshot_for(job, identity),
+            "created": created,
+        }
 
 
 class _ServiceServer(ThreadingHTTPServer):
@@ -177,6 +392,17 @@ class CampaignService:
         with CampaignService("runs/service", port=0) as service:
             client = ServiceClient(service.url)
             ...
+
+    Traffic shaping:
+
+    * ``tokens_file`` switches on bearer-token auth (see
+      :mod:`repro.service.auth` for the file format).  Without it the
+      service is open and every request acts as an anonymous admin.
+    * ``submit_rate`` / ``submit_burst`` are the default token bucket on
+      POST ``/v1/jobs`` per principal; a token entry's own
+      ``submit_rate``/``submit_burst`` override them.
+    * ``max_queued_per_owner`` / ``max_active_per_owner`` are the default
+      per-principal job quotas, likewise overridable per token.
     """
 
     def __init__(
@@ -192,11 +418,36 @@ class CampaignService:
         use_cache: bool = True,
         cache_max_bytes: Optional[int] = None,
         cache_max_age_s: Optional[float] = None,
+        tokens_file: Optional[os.PathLike] = None,
+        submit_rate: Optional[float] = None,
+        submit_burst: Optional[int] = None,
+        max_queued_per_owner: Optional[int] = None,
+        max_active_per_owner: Optional[int] = None,
+        max_priority_per_owner: Optional[int] = None,
+        stream_max_wait_s: float = STREAM_MAX_WAIT_S,
         echo: Optional[Callable[[str], None]] = None,
     ):
         self.echo = echo if echo is not None else (lambda message: None)
         self.host = host
         self._requested_port = port
+        self.auth = (
+            None
+            if tokens_file is None
+            else TokenRegistry(tokens_file, on_error=self.echo)
+        )
+        #: The grant unauthenticated requests run under when auth is off.
+        self.anonymous = TokenInfo(name="anonymous", role="admin")
+        self.submit_rate = submit_rate
+        self.submit_burst = submit_burst
+        self.max_queued_per_owner = max_queued_per_owner
+        self.max_active_per_owner = max_active_per_owner
+        self.max_priority_per_owner = max_priority_per_owner
+        self.stream_max_wait_s = float(stream_max_wait_s)
+        #: (principal, rate, burst) -> bucket; see throttle_submit.
+        self._buckets: Dict[
+            Tuple[str, float, Optional[int]], TokenBucket
+        ] = {}
+        self._buckets_lock = threading.Lock()
         self.queue = JobQueue(state_dir)
         self.recovered: List[str] = self.queue.recover()
         self.worker = JobWorker(
@@ -212,6 +463,65 @@ class CampaignService:
         )
         self._httpd: Optional[_ServiceServer] = None
         self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Traffic shaping.
+
+    def quota_for(self, identity: TokenInfo) -> Tuple[Optional[int], Optional[int]]:
+        """Effective ``(max_queued, max_active)`` for a principal."""
+        max_queued = (
+            identity.max_queued
+            if identity.max_queued is not None
+            else self.max_queued_per_owner
+        )
+        max_active = (
+            identity.max_active
+            if identity.max_active is not None
+            else self.max_active_per_owner
+        )
+        return max_queued, max_active
+
+    def priority_cap_for(self, identity: TokenInfo) -> Optional[int]:
+        """Highest priority a principal may request (None = uncapped).
+
+        A token's explicit ``max_priority`` always wins; otherwise admins
+        are uncapped and everyone else gets the service-wide default —
+        without a cap, one tenant could pin its whole backlog above every
+        other tenant's jobs while staying inside its job-count quotas.
+        """
+        if identity.max_priority is not None:
+            return identity.max_priority
+        if identity.is_admin:
+            return None
+        return self.max_priority_per_owner
+
+    def throttle_submit(self, identity: TokenInfo) -> Optional[float]:
+        """Spend one submit token; returns seconds-until-retry when empty."""
+        rate = (
+            identity.submit_rate
+            if identity.submit_rate is not None
+            else self.submit_rate
+        )
+        if rate is None:
+            return None
+        burst = (
+            identity.submit_burst
+            if identity.submit_burst is not None
+            else self.submit_burst
+        )
+        # Keyed by principal AND parameters: tokens-file edits take effect
+        # without a restart (a new key = a fresh bucket), while two
+        # same-name tokens with different rates (mid-rotation) each drain
+        # their own bucket instead of resetting a shared one to full burst
+        # on every alternation.  Stale buckets are bounded by the number of
+        # distinct configurations ever served and cost ~100 bytes each.
+        key = (identity.name, rate, burst)
+        with self._buckets_lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(rate, burst)
+                self._buckets[key] = bucket
+        return bucket.acquire()
 
     # ------------------------------------------------------------------
     @property
@@ -237,6 +547,8 @@ class CampaignService:
         self._http_thread.start()
         if self.recovered:
             self.echo(f"recovered {len(self.recovered)} unfinished job(s)")
+        if self.auth is not None:
+            self.echo(f"auth: {len(self.auth)} token(s) loaded")
         self.echo(f"serving on {self.url}")
         return self
 

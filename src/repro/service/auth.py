@@ -1,0 +1,234 @@
+"""Bearer-token authentication, quotas and rate limiting for the service.
+
+The tokens file is JSON mapping each secret token string to its grant::
+
+    {
+      "tokens": {
+        "s3cret-alice": {"name": "alice", "role": "submit",
+                         "max_queued": 4, "max_active": 2,
+                         "submit_rate": 5.0, "submit_burst": 10},
+        "s3cret-ops":   {"name": "ops", "role": "admin"}
+      }
+    }
+
+* ``name`` identifies the principal; jobs record it as their owner.  Two
+  tokens may share a name (key rotation) — they share quotas and ownership.
+* ``role`` is ``"submit"`` (submit, and see / cancel / stream *own* jobs)
+  or ``"admin"`` (everything, every job).  Default: ``submit``.
+* ``max_queued`` caps the owner's *queued* jobs; ``max_active`` caps their
+  queued + running jobs.  Omitted limits fall back to the service-wide
+  defaults (``None`` = unlimited).
+* ``submit_rate`` / ``submit_burst`` shape a token bucket on POST
+  ``/v1/jobs``: sustained ``submit_rate`` submissions per second with
+  bursts up to ``submit_burst`` (default: the rate, rounded up).
+* ``max_priority`` caps the job priority the token may request — without a
+  cap a single tenant could pin its jobs above everyone else's backlog.
+  Falls back to the service-wide default; admins are uncapped unless their
+  entry sets one explicitly.
+
+The registry re-reads the file whenever it changes on disk, so revoking a
+token (deleting its entry) takes effect without a restart.  A token absent
+from the file is simply unknown — revocation and "never existed" are
+indistinguishable on the wire (401 either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+__all__ = ["ROLES", "TokenBucket", "TokenInfo", "TokenRegistry"]
+
+ROLES = ("submit", "admin")
+
+
+@dataclass(frozen=True)
+class TokenInfo:
+    """One token's grant: identity, role and (optional) limits."""
+
+    name: str
+    role: str = "submit"
+    max_queued: Optional[int] = None
+    max_active: Optional[int] = None
+    submit_rate: Optional[float] = None
+    submit_burst: Optional[int] = None
+    #: Highest job priority this token may request (None = the service-wide
+    #: default for its role).  Caps escalation, not demotion.
+    max_priority: Optional[int] = None
+
+    @property
+    def is_admin(self) -> bool:
+        return self.role == "admin"
+
+
+def _parse_token_entry(token: str, entry: object) -> TokenInfo:
+    if not isinstance(entry, dict):
+        raise ValueError(f"token entry for {token[:8]!r}... must be a JSON object")
+    known = {
+        "name",
+        "role",
+        "max_queued",
+        "max_active",
+        "submit_rate",
+        "submit_burst",
+        "max_priority",
+    }
+    unknown = sorted(set(entry) - known)
+    if unknown:
+        raise ValueError(f"unknown token field(s): {', '.join(unknown)}")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError("every token entry needs a non-empty string 'name'")
+    role = entry.get("role", "submit")
+    if role not in ROLES:
+        raise ValueError(f"token {name!r}: role must be one of {ROLES}, got {role!r}")
+
+    def _int_limit(key: str) -> Optional[int]:
+        value = entry.get(key)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise ValueError(f"token {name!r}: {key} must be a non-negative integer")
+        return value
+
+    rate = entry.get("submit_rate")
+    if rate is not None and (
+        isinstance(rate, bool) or not isinstance(rate, (int, float)) or rate <= 0
+    ):
+        raise ValueError(f"token {name!r}: submit_rate must be a positive number")
+    max_priority = entry.get("max_priority")
+    if max_priority is not None and (
+        isinstance(max_priority, bool) or not isinstance(max_priority, int)
+    ):
+        raise ValueError(f"token {name!r}: max_priority must be an integer")
+    return TokenInfo(
+        name=name,
+        role=role,
+        max_queued=_int_limit("max_queued"),
+        max_active=_int_limit("max_active"),
+        submit_rate=None if rate is None else float(rate),
+        submit_burst=_int_limit("submit_burst"),
+        max_priority=max_priority,
+    )
+
+
+def parse_tokens(payload: object) -> Dict[str, TokenInfo]:
+    """Parse the tokens-file JSON payload into ``{secret: TokenInfo}``."""
+    if not isinstance(payload, dict) or not isinstance(payload.get("tokens"), dict):
+        raise ValueError('tokens file must be {"tokens": {"<secret>": {...}}}')
+    tokens: Dict[str, TokenInfo] = {}
+    for secret, entry in payload["tokens"].items():
+        if not isinstance(secret, str) or not secret:
+            raise ValueError("token secrets must be non-empty strings")
+        tokens[secret] = _parse_token_entry(secret, entry)
+    return tokens
+
+
+class TokenRegistry:
+    """Tokens loaded from a file, re-read whenever it changes on disk.
+
+    ``lookup`` is what the API calls per request: a cheap ``stat`` plus a
+    dict lookup on the unchanged path, a full (validated) reload when the
+    operator edited the file.  A reload that fails to parse keeps the last
+    good token set and surfaces the error through ``last_error`` — a typo
+    while editing must not lock every client out.
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        on_error: Optional[Callable[[str], None]] = None,
+    ):
+        self.path = Path(path)
+        self._on_error = on_error
+        self._lock = threading.Lock()
+        self._signature: Optional[tuple] = None
+        self._tokens: Dict[str, TokenInfo] = {}
+        self.last_error: Optional[str] = None
+        self._reload_locked(initial=True)
+
+    def _reload_locked(self, initial: bool = False) -> None:
+        try:
+            stat = self.path.stat()
+        except OSError as exc:
+            if initial:
+                raise ValueError(
+                    f"cannot load tokens file {self.path}: {exc}"
+                ) from None
+            self._note_error_locked(f"{type(exc).__name__}: {exc}")
+            return
+        # mtime_ns alone can miss two saves within the filesystem's
+        # timestamp granularity (the second being the revocation);
+        # size and inode (atomic-rename editors) close that window.
+        signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+        if signature == self._signature:
+            return
+        # Advance the signature even when the parse below fails: the broken
+        # file is re-parsed only after the *next* edit, not on every request.
+        self._signature = signature
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            self._tokens = parse_tokens(payload)
+            self.last_error = None
+        except Exception as exc:  # noqa: BLE001 - keep serving the last good set
+            if initial:
+                raise ValueError(f"cannot load tokens file {self.path}: {exc}") from None
+            self._note_error_locked(f"{type(exc).__name__}: {exc}")
+
+    def _note_error_locked(self, message: str) -> None:
+        """Record a reload failure and surface it (once per distinct error)."""
+        if message != self.last_error:
+            self.last_error = message
+            if self._on_error is not None:
+                self._on_error(
+                    f"tokens file {self.path}: {message} "
+                    f"(keeping the last good token set)"
+                )
+
+    def lookup(self, secret: str) -> Optional[TokenInfo]:
+        """The grant behind ``secret``, or None for unknown/revoked tokens."""
+        with self._lock:
+            self._reload_locked()
+            return self._tokens.get(secret)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tokens)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` refills/s up to ``burst`` capacity.
+
+    ``acquire()`` either spends one token (returns None) or reports how many
+    seconds until one is available — the value served as ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = max(1, int(burst if burst is not None else -(-rate // 1)))
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def acquire(self) -> Optional[float]:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            return (1.0 - self._tokens) / self.rate

@@ -1,42 +1,129 @@
 """Thin stdlib client for the campaign service HTTP API.
 
-Used by the ``repro submit / status / fetch / cancel`` CLI verbs and by the
-service test-suite, so the CLI never hand-rolls HTTP and the tests exercise
-exactly what users run.  Only ``urllib`` — no new dependencies.
+Used by the ``repro submit / status / watch / fetch / cancel`` CLI verbs and
+by the service test-suite, so the CLI never hand-rolls HTTP and the tests
+exercise exactly what users run.  Only ``urllib`` — no new dependencies.
+
+Errors are typed: every non-2xx response raises :class:`ServiceError` or a
+subclass (:class:`AuthError` for 401/403, :class:`NotFoundError` for 404,
+:class:`ThrottledError` for 429 — carrying the server's ``Retry-After``),
+with the machine-readable ``code`` from the structured error body.
+
+Progress is streamed, not polled: :meth:`ServiceClient.wait` and
+:meth:`ServiceClient.watch` ride the ``/v1/jobs/<id>/stream`` long-poll
+endpoint, so a waiting client holds one slow request at a time instead of
+busy-polling the status route.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 from urllib import error as urllib_error
 from urllib import request as urllib_request
 
 from .status import TERMINAL_STATUSES
 
-__all__ = ["DEFAULT_SERVICE_URL", "SERVICE_URL_ENV", "ServiceClient", "ServiceError"]
+__all__ = [
+    "AuthError",
+    "DEFAULT_SERVICE_URL",
+    "NotFoundError",
+    "SERVICE_TOKEN_ENV",
+    "SERVICE_URL_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "ThrottledError",
+]
 
 #: Environment variable overriding the default service URL for the CLI.
 SERVICE_URL_ENV = "REPRO_SERVICE_URL"
 
+#: Environment variable supplying the bearer token for the CLI.
+SERVICE_TOKEN_ENV = "REPRO_SERVICE_TOKEN"
+
 DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
+
+#: Server-side wait per stream request; the client loops to wait longer.
+STREAM_CHUNK_S = 10.0
 
 
 class ServiceError(RuntimeError):
     """An HTTP-level error response from the service (4xx/5xx)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        code: Optional[str] = None,
+        retry_after_s: Optional[float] = None,
+    ):
         super().__init__(f"service returned {status}: {message}")
         self.status = status
         self.message = message
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+class AuthError(ServiceError):
+    """401 (missing/unknown/revoked token) or 403 (role/ownership)."""
+
+
+class NotFoundError(ServiceError):
+    """404: unknown job or route."""
+
+
+class ThrottledError(ServiceError):
+    """429: rate limit or quota; ``retry_after_s`` says when to try again."""
+
+
+def _error_from_http(exc: urllib_error.HTTPError) -> ServiceError:
+    """Map an HTTPError onto the typed hierarchy, parsing the JSON body."""
+    code: Optional[str] = None
+    try:
+        body = json.loads(exc.read().decode("utf-8"))
+        error = body.get("error", body)
+        if isinstance(error, Mapping):  # structured {"code": ..., "message": ...}
+            code = error.get("code")
+            message = str(error.get("message", error))
+        else:
+            message = str(error)
+    except Exception:  # noqa: BLE001 - non-JSON error body
+        message = str(exc.reason)
+    retry_after: Optional[float] = None
+    header = exc.headers.get("Retry-After") if exc.headers is not None else None
+    if header is not None:
+        try:
+            retry_after = float(header)
+        except ValueError:
+            pass
+    cls = ServiceError
+    if exc.code in (401, 403):
+        cls = AuthError
+    elif exc.code == 404:
+        cls = NotFoundError
+    elif exc.code == 429:
+        cls = ThrottledError
+    return cls(exc.code, message, code=code, retry_after_s=retry_after)
 
 
 class ServiceClient:
-    """JSON-over-HTTP client bound to one service URL."""
+    """JSON-over-HTTP client bound to one service URL.
 
-    def __init__(self, url: str = DEFAULT_SERVICE_URL, *, timeout: float = 30.0):
+    ``token`` (optional) is sent as ``Authorization: Bearer <token>`` on
+    every request; required when the service runs with a tokens file.
+    """
+
+    def __init__(
+        self,
+        url: str = DEFAULT_SERVICE_URL,
+        *,
+        token: Optional[str] = None,
+        timeout: float = 30.0,
+    ):
         self.url = url.rstrip("/")
+        self.token = token
         self.timeout = timeout
 
     # ------------------------------------------------------------------
@@ -45,24 +132,23 @@ class ServiceClient:
         method: str,
         path: str,
         payload: Optional[Mapping[str, object]] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> Dict[str, object]:
         data = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         req = urllib_request.Request(
-            self.url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
+            self.url + path, data=data, method=method, headers=headers
         )
         try:
-            with urllib_request.urlopen(req, timeout=self.timeout) as response:
+            with urllib_request.urlopen(
+                req, timeout=self.timeout if timeout is None else timeout
+            ) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib_error.HTTPError as exc:
-            try:
-                body = json.loads(exc.read().decode("utf-8"))
-                message = str(body.get("error", body))
-            except Exception:  # noqa: BLE001 - non-JSON error body
-                message = str(exc.reason)
-            raise ServiceError(exc.code, message) from None
+            raise _error_from_http(exc) from None
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
@@ -75,7 +161,9 @@ class ServiceClient:
         """Submit a campaign; ``spec`` is a CampaignSpec or its JSON dict.
 
         Returns ``{"job": <snapshot>, "created": bool}`` — ``created`` is
-        False when the submission deduped onto an existing job.
+        False when the submission deduped onto an existing job.  Raises
+        :class:`ThrottledError` (with ``retry_after_s``) when the service's
+        rate limit or the caller's quota rejects the submission.
         """
         if hasattr(spec, "to_json_dict"):
             spec = spec.to_json_dict()
@@ -98,6 +186,50 @@ class ServiceClient:
         return self._request("POST", f"/v1/jobs/{job_id}/cancel")["job"]
 
     # ------------------------------------------------------------------
+    def stream(
+        self, job_id: str, *, since: int = 0, timeout: float = STREAM_CHUNK_S
+    ) -> Dict[str, object]:
+        """One long-poll turn: block server-side up to ``timeout`` seconds.
+
+        Returns ``{"job": snapshot, "events": [...], "next": cursor}``; pass
+        ``next`` back as ``since`` to continue the feed.
+        """
+        return self._request(
+            "GET",
+            f"/v1/jobs/{job_id}/stream?since={int(since)}&timeout={float(timeout)}",
+            # The socket must outlive the server-side wait.
+            timeout=float(timeout) + self.timeout,
+        )
+
+    def watch(
+        self, job_id: str, *, timeout: Optional[float] = None, since: int = 0
+    ) -> Iterator[Dict[str, object]]:
+        """Yield progress events until the job is terminal.
+
+        Each yielded dict is one event from the job's feed (``event`` is
+        ``status``/``task``/``total``/``priority``/``cancel_requested``),
+        with the
+        current job snapshot attached under ``"job"``.  Raises
+        :class:`TimeoutError` if the job is still live after ``timeout``
+        seconds (None = wait forever).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            chunk = STREAM_CHUNK_S
+            if deadline is not None:
+                chunk = min(chunk, max(0.0, deadline - time.monotonic()))
+            payload = self.stream(job_id, since=since, timeout=chunk)
+            snapshot = payload["job"]
+            for event in payload["events"]:
+                yield {**event, "job": snapshot}
+            since = int(payload["next"])
+            if snapshot["status"] in TERMINAL_STATUSES:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['status']} after {timeout}s"
+                )
+
     def wait(
         self,
         job_id: str,
@@ -106,15 +238,34 @@ class ServiceClient:
         poll_s: float = 0.25,
         on_update=None,
     ) -> Dict[str, object]:
-        """Poll until the job reaches a terminal status; returns the snapshot.
+        """Block until the job reaches a terminal status; returns the snapshot.
 
-        ``on_update`` (if given) receives every polled snapshot, for callers
-        that want to surface progress while waiting.  Raises
-        :class:`TimeoutError` when ``timeout`` seconds elapse first.
+        Rides the stream endpoint (one slow HTTP request at a time server
+        side) instead of busy-polling the status route.  ``on_update`` (if
+        given) receives every received snapshot, for callers that want to
+        surface progress while waiting.  ``poll_s`` is kept for backwards
+        compatibility and only paces the fallback path used if the stream
+        endpoint is unavailable.  Raises :class:`TimeoutError` when
+        ``timeout`` seconds elapse first.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        since = 0
         while True:
-            snapshot = self.status(job_id)
+            chunk = STREAM_CHUNK_S
+            if deadline is not None:
+                chunk = min(chunk, max(0.0, deadline - time.monotonic()))
+            try:
+                payload = self.stream(job_id, since=since, timeout=chunk)
+            except NotFoundError:
+                # Job missing, or a pre-stream server without the route?
+                # Only the latter degrades to the classic status poll: the
+                # probe below re-raises NotFoundError for an unknown job.
+                self.status(job_id)
+                return self._wait_polling(
+                    job_id, deadline=deadline, poll_s=poll_s, on_update=on_update
+                )
+            snapshot = payload["job"]
+            since = int(payload["next"])
             if on_update is not None:
                 on_update(snapshot)
             if snapshot["status"] in TERMINAL_STATUSES:
@@ -123,4 +274,14 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['status']} after {timeout}s"
                 )
+
+    def _wait_polling(self, job_id, *, deadline, poll_s, on_update):
+        while True:
+            snapshot = self.status(job_id)
+            if on_update is not None:
+                on_update(snapshot)
+            if snapshot["status"] in TERMINAL_STATUSES:
+                return snapshot
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {snapshot['status']}")
             time.sleep(poll_s)

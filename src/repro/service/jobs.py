@@ -12,6 +12,21 @@ running when the process died, and the worker re-runs them with
 ``run_campaign(..., resume=True)`` so finished tasks are skipped, not
 repeated.
 
+Scheduling is a **stable priority queue**: :meth:`JobQueue.claim` pops the
+highest :attr:`CampaignSpec.priority` first and, within one priority class,
+the oldest submission (FIFO by a persisted per-queue sequence number, so the
+order survives restarts even when two jobs were submitted within the same
+clock tick).  Priority is scheduling metadata only — it is excluded from the
+campaign fingerprint, so resubmitting a grid at a different priority dedupes
+onto the existing job.
+
+Every transition and per-task completion is also appended to the job's
+in-memory **event feed**, which the ``/v1/jobs/<id>/stream`` long-poll
+endpoint serves: callers block in :meth:`JobQueue.wait_events` until the
+feed grows past their cursor (or the job goes terminal).  Events do not
+survive a restart — a recovered job starts a fresh feed; its persisted
+counters and store records carry the durable truth.
+
 Status machine::
 
     queued -> running -> done        every task ok (or skipped on resume)
@@ -21,7 +36,8 @@ Status machine::
     queued -> cancelled              cancel before a worker claimed the job
 
 ``failed`` and ``cancelled`` are re-submittable: submitting the same spec
-again re-enqueues the existing job, and resume picks up from its store.
+again re-enqueues the existing job (at the back of its priority class), and
+resume picks up from its store.
 """
 
 from __future__ import annotations
@@ -43,11 +59,30 @@ __all__ = [
     "ACTIVE_STATUSES",
     "Job",
     "JobQueue",
+    "QuotaError",
     "TERMINAL_STATUSES",
 ]
 
 #: Hex digits of the campaign fingerprint used as the job id.
 JOB_ID_LENGTH = 16
+
+#: Events retained per live job for the stream endpoint; older events are
+#: dropped (clients detect the gap via absolute event numbers and re-sync
+#: from the snapshot, which always carries the authoritative counters).
+MAX_EVENTS_RETAINED = 4096
+
+#: Events kept once a job is terminal — enough to replay the tail of any
+#: ordinary campaign for late `repro watch` attachments, while bounding
+#: what a long-lived service holds per finished job.
+MAX_EVENTS_TERMINAL = 512
+
+
+class QuotaError(Exception):
+    """A per-owner job quota rejected a submission (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after_s: float = 5.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass
@@ -58,6 +93,14 @@ class Job:
     spec: CampaignSpec
     store_path: Path
     status: str = "queued"
+    #: Scheduling class (higher runs first); mirrors ``spec.priority``.
+    priority: int = 0
+    #: Queue-wide submission sequence number: the FIFO tie-breaker within a
+    #: priority class.  Persisted, so recovery keeps the original order.
+    seq: int = 0
+    #: Principals that submitted this spec (first one first); used for
+    #: quota accounting and submit-role visibility.
+    owners: List[str] = field(default_factory=list)
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -72,6 +115,24 @@ class Job:
     cancel_event: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
     )
+    #: Live event feed for the stream endpoint (not persisted).  Each event
+    #: carries its absolute number ``n``; the deque retains the most recent
+    #: ``MAX_EVENTS_RETAINED`` of ``events_emitted`` total.
+    events: Deque[Dict[str, object]] = field(
+        default_factory=lambda: deque(maxlen=MAX_EVENTS_RETAINED),
+        repr=False,
+        compare=False,
+    )
+    events_emitted: int = field(default=0, repr=False, compare=False)
+    #: Per-job notification channel for stream waiters.  Shares the queue's
+    #: lock (set by the queue when it registers the job), so an event on one
+    #: job wakes only that job's watchers.
+    event_cond: Optional[threading.Condition] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def owned_by(self, name: Optional[str]) -> bool:
+        return name is not None and name in self.owners
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-safe view of the job served by the status endpoints."""
@@ -79,6 +140,8 @@ class Job:
             "job_id": self.job_id,
             "name": self.spec.name,
             "status": self.status,
+            "priority": self.priority,
+            "owners": list(self.owners),
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -96,9 +159,9 @@ class Job:
 
 
 class JobQueue:
-    """Thread-safe FIFO of jobs with on-disk persistence.
+    """Thread-safe stable priority queue of jobs with on-disk persistence.
 
-    The HTTP handlers (submit/status/cancel) and the worker threads
+    The HTTP handlers (submit/status/cancel/stream) and the worker threads
     (claim/progress/finish) share one queue; every method takes the internal
     lock, so callers never need their own synchronisation.
     """
@@ -109,31 +172,84 @@ class JobQueue:
         self.stores_dir = self.state_dir / "stores"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.stores_dir.mkdir(parents=True, exist_ok=True)
-        self._cond = threading.Condition()
+        # One lock guards all queue state; two notification channels share
+        # it: _claim_cond for workers blocked in claim(), and a per-job
+        # Condition (job.event_cond) for stream waiters — so a task event on
+        # one job wakes only that job's watchers, never every waiter of
+        # every job plus the idle claimers.
+        self._lock = threading.Lock()
+        self._claim_cond = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
-        self._pending: Deque[str] = deque()
+        #: job_id -> (-priority, seq): ``claim`` pops the minimum, i.e. the
+        #: highest priority first and FIFO within one priority class.
+        self._pending: Dict[str, Tuple[int, int]] = {}
+        self._next_seq = 0
 
     # ------------------------------------------------------------------
-    def submit(self, spec: CampaignSpec) -> Tuple[Job, bool]:
+    def submit(
+        self,
+        spec: CampaignSpec,
+        *,
+        owner: Optional[str] = None,
+        max_queued: Optional[int] = None,
+        max_active: Optional[int] = None,
+    ) -> Tuple[Job, bool]:
         """Enqueue a campaign; returns ``(job, created)``.
 
         The job id is the campaign fingerprint, so submitting an identical
         spec while a job is queued, running or done returns the existing job
-        (``created=False``) instead of scheduling duplicate work.  A failed
-        or cancelled job is *re-enqueued* by the duplicate submission — its
+        (``created=False``) instead of scheduling duplicate work — though a
+        resubmission at a *higher* priority escalates a job that is still
+        waiting in the queue (original FIFO slot, new class; never a
+        demotion, so a plain resubmit cannot sink an urgent job).  A
+        failed or cancelled job is *re-enqueued* by the duplicate submission — its
         store is kept, so the re-run resumes past every task that already
-        finished.
+        finished; it re-joins the back of its priority class (fresh ``seq``).
+
+        ``owner`` (the authenticated principal, if any) is recorded on the
+        job; ``max_queued`` / ``max_active`` are that owner's quotas, checked
+        atomically with the enqueue: more than ``max_queued`` queued jobs or
+        ``max_active`` queued+running jobs raises :class:`QuotaError` —
+        except when the submission dedupes onto an existing live job, which
+        schedules no new work and therefore never counts against a quota.
         """
         tasks = spec.validate()
         job_id = spec.fingerprint()[:JOB_ID_LENGTH]
-        with self._cond:
+        with self._lock:
             existing = self._jobs.get(job_id)
             if existing is not None:
                 if existing.status in ("queued", "running", "done"):
+                    self._add_owner_locked(existing, owner)
+                    # A deduped resubmission can still *escalate* a job that
+                    # is waiting in the queue ("jump the backlog"); it keeps
+                    # its original seq, i.e. its FIFO slot within the new
+                    # class.  Escalation only: a resubmission at a lower (or
+                    # default) priority must not demote the job — priority
+                    # is outside the fingerprint, so any co-owner's plain
+                    # resubmit would otherwise silently sink an urgent job.
+                    # Running/done jobs are past scheduling either way.
+                    if (
+                        existing.status == "queued"
+                        and spec.priority > existing.priority
+                    ):
+                        existing.priority = spec.priority
+                        if existing.job_id in self._pending:
+                            self._pending[existing.job_id] = (
+                                -existing.priority,
+                                existing.seq,
+                            )
+                        self._emit_locked(
+                            existing, "priority", priority=existing.priority
+                        )
+                        self._persist(existing)
                     return existing, False
                 # failed / cancelled: re-enqueue for a resumed re-run.
+                self._check_quota_locked(owner, max_queued, max_active)
+                self._add_owner_locked(existing, owner)
                 existing.status = "queued"
                 existing.history.append("queued")
+                existing.priority = spec.priority
+                existing.seq = self._take_seq_locked()
                 existing.error = None
                 existing.started_at = None
                 existing.finished_at = None
@@ -143,52 +259,160 @@ class JobQueue:
                 existing.tasks_skipped = 0
                 existing.tasks_failed = 0
                 existing.cancel_event = threading.Event()
-                self._pending.append(job_id)
+                self._enqueue_locked(existing)
+                self._emit_locked(existing, "status", status="queued")
                 self._persist(existing)
-                self._cond.notify()
                 return existing, False
+            self._check_quota_locked(owner, max_queued, max_active)
             job = Job(
                 job_id=job_id,
                 spec=spec,
                 store_path=self.stores_dir / f"{job_id}.jsonl",
+                priority=spec.priority,
+                seq=self._take_seq_locked(),
+                owners=[owner] if owner is not None else [],
                 tasks_total=len(tasks),
             )
+            job.event_cond = threading.Condition(self._lock)
             self._jobs[job_id] = job
-            self._pending.append(job_id)
+            self._enqueue_locked(job)
+            self._emit_locked(job, "status", status="queued")
             self._persist(job)
-            self._cond.notify()
             return job, True
 
+    def _take_seq_locked(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _enqueue_locked(self, job: Job) -> None:
+        self._pending[job.job_id] = (-job.priority, job.seq)
+        self._claim_cond.notify_all()
+
+    def _add_owner_locked(self, job: Job, owner: Optional[str]) -> None:
+        if owner is not None and owner not in job.owners:
+            job.owners.append(owner)
+            self._persist(job)
+
+    def _check_quota_locked(
+        self,
+        owner: Optional[str],
+        max_queued: Optional[int],
+        max_active: Optional[int],
+    ) -> None:
+        if owner is None or (max_queued is None and max_active is None):
+            return
+        queued = active = 0
+        for job in self._jobs.values():
+            if not job.owned_by(owner):
+                continue
+            if job.status == "queued":
+                queued += 1
+                active += 1
+            elif job.status == "running":
+                active += 1
+        if max_queued is not None and queued >= max_queued:
+            raise QuotaError(
+                f"quota exceeded for {owner!r}: {queued} job(s) already queued "
+                f"(max_queued={max_queued})"
+            )
+        if max_active is not None and active >= max_active:
+            raise QuotaError(
+                f"quota exceeded for {owner!r}: {active} job(s) queued or running "
+                f"(max_active={max_active})"
+            )
+
     def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
-        """Pop the next queued job and mark it running (None on timeout)."""
-        with self._cond:
-            if not self._pending:
-                self._cond.wait(timeout)
-            if not self._pending:
-                return None
-            job = self._jobs[self._pending.popleft()]
+        """Pop the next queued job and mark it running (None on timeout).
+
+        "Next" = highest priority; submission order within a priority class.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            # Loop until the deadline: spurious condition wake-ups must not
+            # masquerade as a timeout.
+            while not self._pending:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._claim_cond.wait(remaining)
+            job_id = min(self._pending, key=self._pending.__getitem__)
+            del self._pending[job_id]
+            job = self._jobs[job_id]
             job.status = "running"
             job.history.append("running")
             job.started_at = time.time()
+            self._emit_locked(job, "status", status="running")
             self._persist(job)
             return job
 
     def get(self, job_id: str) -> Optional[Job]:
-        with self._cond:
+        with self._lock:
             return self._jobs.get(job_id)
 
-    def jobs(self) -> List[Job]:
-        """Every known job, oldest submission first."""
-        with self._cond:
-            return sorted(self._jobs.values(), key=lambda j: (j.submitted_at, j.job_id))
+    def jobs(self, owner: Optional[str] = None) -> List[Job]:
+        """Every known job, oldest submission first.
+
+        ``owner`` restricts the listing to that principal's jobs (what a
+        submit-role token sees).
+        """
+        with self._lock:
+            selected = [
+                job
+                for job in self._jobs.values()
+                if owner is None or job.owned_by(owner)
+            ]
+            return sorted(selected, key=lambda j: (j.submitted_at, j.seq, j.job_id))
 
     def counts(self) -> Dict[str, int]:
         """``{status: job count}`` over every known job."""
-        with self._cond:
+        with self._lock:
             counts: Dict[str, int] = {}
             for job in self._jobs.values():
                 counts[job.status] = counts.get(job.status, 0) + 1
             return counts
+
+    # ------------------------------------------------------------------
+    # Event feed (the stream endpoint's source).
+
+    def _emit_locked(self, job: Job, kind: str, **fields: object) -> None:
+        event: Dict[str, object] = {"n": job.events_emitted, "event": kind}
+        event.update(fields)
+        job.events.append(event)
+        job.events_emitted += 1
+        if job.event_cond is not None:
+            job.event_cond.notify_all()
+
+    def wait_events(
+        self, job_id: str, since: int = 0, timeout: float = 25.0
+    ) -> Optional[Tuple[List[Dict[str, object]], int, Dict[str, object]]]:
+        """Long-poll the job's event feed.
+
+        Blocks until the feed holds events numbered ``>= since``, the job is
+        terminal, or ``timeout`` elapses; returns ``(events, next, snapshot)``
+        where ``next`` is the cursor for the follow-up call.  Events older
+        than the retention window are silently absent — the snapshot always
+        carries authoritative counters, so a lagging client loses verbosity,
+        never truth.  Returns None for an unknown job.
+        """
+        since = max(0, int(since))
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            while (
+                job.events_emitted <= since
+                and job.status not in TERMINAL_STATUSES
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                job.event_cond.wait(remaining)
+            events = [e for e in job.events if int(e["n"]) >= since]  # type: ignore[arg-type]
+            return events, job.events_emitted, job.snapshot()
 
     # ------------------------------------------------------------------
     def cancel(self, job_id: str) -> Optional[Job]:
@@ -198,25 +422,29 @@ class JobQueue:
         running job gets its cancel event set and transitions once the worker
         honours it.  Terminal jobs are left untouched.
         """
-        with self._cond:
+        with self._lock:
             job = self._jobs.get(job_id)
             if job is None:
                 return None
             if job.status == "queued":
-                try:
-                    self._pending.remove(job_id)
-                except ValueError:
-                    pass
+                self._pending.pop(job_id, None)
                 job.cancel_event.set()
                 self._finish_locked(job, "cancelled", error="cancelled while queued")
             elif job.status == "running":
                 job.cancel_event.set()
+                self._emit_locked(job, "cancel_requested")
                 self._persist(job)
             return job
 
-    def record_progress(self, job: Job, result) -> None:
+    def record_progress(
+        self,
+        job: Job,
+        result,
+        index: Optional[int] = None,
+        total: Optional[int] = None,
+    ) -> None:
         """Fold one :class:`~repro.runner.executor.TaskResult` into the job."""
-        with self._cond:
+        with self._lock:
             if result.status == "skipped":
                 job.tasks_done += 1
                 job.tasks_skipped += 1
@@ -229,15 +457,25 @@ class JobQueue:
                 # cancelled tasks never ran and stay out of the done count.
                 job.tasks_done += 1
                 job.tasks_failed += 1
+            event: Dict[str, object] = {
+                "task_id": getattr(result, "task_id", None),
+                "status": result.status,
+                "tasks_done": job.tasks_done,
+                "tasks_total": total if total is not None else job.tasks_total,
+            }
+            if index is not None:
+                event["index"] = index
+            self._emit_locked(job, "task", **event)
             self._persist(job)
 
     def set_total(self, job: Job, total: int) -> None:
-        with self._cond:
+        with self._lock:
             job.tasks_total = int(total)
+            self._emit_locked(job, "total", tasks_total=job.tasks_total)
             self._persist(job)
 
     def finish(self, job: Job, status: str, error: Optional[str] = None) -> None:
-        with self._cond:
+        with self._lock:
             self._finish_locked(job, status, error=error)
 
     def _finish_locked(self, job: Job, status: str, error: Optional[str]) -> None:
@@ -245,6 +483,12 @@ class JobQueue:
         job.history.append(status)
         job.finished_at = time.time()
         job.error = error
+        self._emit_locked(job, "status", status=status, error=error)
+        # The feed stops growing here; shrink what a finished job pins in
+        # memory while keeping the tail replayable for late watchers (the
+        # snapshot carries the authoritative counters regardless).
+        while len(job.events) > MAX_EVENTS_TERMINAL:
+            job.events.popleft()
         self._persist(job)
 
     # ------------------------------------------------------------------
@@ -253,6 +497,12 @@ class JobQueue:
 
         Called once at service start-up.  Returns the ids that were
         re-enqueued (they resume from their stores, skipping finished tasks).
+        Re-enqueued jobs keep their **original submission order**: the
+        persisted per-queue ``seq`` is the sort key (files whose payloads
+        predate it fall back to ``submitted_at``), so recovery is immune to
+        directory-listing order and to submissions that shared one clock
+        tick.  Priority classes are likewise restored, so a high-priority
+        job queued behind a long run still claims first after a restart.
         Unreadable job files are skipped rather than sinking the service.
         """
         requeued: List[str] = []
@@ -266,8 +516,19 @@ class JobQueue:
             except Exception:  # noqa: BLE001 - a corrupt file must not sink startup
                 continue
             entries.append((job_id, status, payload, spec))
-        entries.sort(key=lambda item: (item[2].get("submitted_at", 0.0), item[0]))
-        with self._cond:
+        # Original queue order: the persisted seq is exact (immune to clock
+        # ties, and a failed job re-enqueued later keeps its *later* slot
+        # despite its early submitted_at).  Payloads predating seq sort
+        # after the seq'd ones, by submission time; directory order never
+        # decides.
+        entries.sort(
+            key=lambda item: (
+                float(item[2].get("seq", float("inf"))),
+                float(item[2].get("submitted_at", 0.0)),
+                item[0],
+            )
+        )
+        with self._lock:
             for job_id, status, payload, spec in entries:
                 interrupted = status in ACTIVE_STATUSES
                 # A cancel requested but not yet honoured when the service
@@ -281,6 +542,9 @@ class JobQueue:
                     spec=spec,
                     store_path=self.stores_dir / f"{job_id}.jsonl",
                     status="queued" if interrupted else status,
+                    priority=int(payload.get("priority", spec.priority)),
+                    seq=self._take_seq_locked(),
+                    owners=[str(o) for o in payload.get("owners", [])],
                     submitted_at=float(payload.get("submitted_at", time.time())),
                     started_at=payload.get("started_at"),
                     finished_at=payload.get("finished_at"),
@@ -292,6 +556,7 @@ class JobQueue:
                     error=payload.get("error"),
                     history=[str(s) for s in payload.get("history", ["queued"])],
                 )
+                job.event_cond = threading.Condition(self._lock)
                 if cancelled_in_flight:
                     job.cancel_event.set()
                     self._finish_locked(
@@ -307,19 +572,22 @@ class JobQueue:
                     job.tasks_skipped = 0
                     job.tasks_failed = 0
                     job.history.append("queued")
-                    self._pending.append(job_id)
+                    self._pending[job_id] = (-job.priority, job.seq)
+                    self._emit_locked(job, "status", status="queued", recovered=True)
                     requeued.append(job_id)
                 self._jobs[job_id] = job
                 self._persist(job)
             if requeued:
-                self._cond.notify_all()
+                self._claim_cond.notify_all()
         return requeued
 
     def _persist(self, job: Job) -> None:
         # The snapshot is persisted nearly as-is: cancel_requested must
-        # survive a restart so an unhonoured cancel is not resurrected.
+        # survive a restart so an unhonoured cancel is not resurrected, and
+        # seq must survive so recovery keeps the original submission order.
         payload = dict(job.snapshot())
         payload.update(payload.pop("progress"))  # flatten counters
+        payload["seq"] = job.seq
         payload["spec"] = job.spec.to_json_dict()
         atomic_write(
             self.jobs_dir / f"{job.job_id}.json",

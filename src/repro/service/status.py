@@ -1,8 +1,9 @@
-"""Job status constants shared by the queue and the HTTP client.
+"""Job status constants and error codes shared by the queue and the client.
 
 Lives in its own dependency-free module so :mod:`repro.service.client`
 (which deliberately avoids importing the runner stack) and
-:mod:`repro.service.jobs` agree on the state machine by construction.
+:mod:`repro.service.jobs` agree on the state machine — and on the error
+vocabulary — by construction.
 """
 
 #: Statuses a restarted service must pick back up.
@@ -11,3 +12,19 @@ ACTIVE_STATUSES = ("queued", "running")
 #: Statuses that end a job: polling stops, fetch keeps working, and a
 #: duplicate submission of a ``failed``/``cancelled`` spec re-enqueues it.
 TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+# ----------------------------------------------------------------------
+# Machine-readable error codes.  Every non-2xx service response carries
+# ``{"error": {"code": <one of these>, "message": ...}}``; the client maps
+# them onto typed exceptions.
+
+ERR_UNAUTHORIZED = "unauthorized"  # 401: missing, unknown or revoked token
+ERR_FORBIDDEN = "forbidden"  # 403: authenticated but not allowed
+ERR_RATE_LIMITED = "rate_limited"  # 429: submit token bucket empty
+ERR_QUOTA_EXCEEDED = "quota_exceeded"  # 429: per-token job quota reached
+ERR_NOT_FOUND = "not_found"  # 404: unknown job or route
+ERR_METHOD_NOT_ALLOWED = "method_not_allowed"  # 405
+ERR_INVALID_REQUEST = "invalid_request"  # 400: malformed JSON / params
+ERR_PAYLOAD_TOO_LARGE = "payload_too_large"  # 413: body exceeds the cap
+ERR_INVALID_SPEC = "invalid_spec"  # 400: spec failed validation
+ERR_INTERNAL = "internal"  # 500: handler bug

@@ -131,8 +131,10 @@ class JobWorker:
                 intra_workers=self.intra_share,
                 echo=self.echo,
                 cancel=job.cancel_event.is_set,
+                # index/total flow into the job's event feed so stream
+                # clients can render "k/n" progress without re-deriving it.
                 on_result=lambda index, total, result: self.queue.record_progress(
-                    job, result
+                    job, result, index=index, total=total
                 ),
             )
         except Exception as exc:  # noqa: BLE001 - job isolation is the contract

@@ -1,0 +1,437 @@
+"""Bearer-token auth, roles, quotas and rate limits over real loopback HTTP."""
+
+import json
+import os
+import time
+
+import pytest
+
+from service_helpers import gnn_spec, summary_spec
+
+from repro.runner.cli import main
+from repro.service import (
+    AuthError,
+    ServiceClient,
+    ThrottledError,
+    TokenRegistry,
+)
+from repro.service.auth import parse_tokens
+
+
+def _write_tokens(path, tokens, *, bump_past=None):
+    path.write_text(json.dumps({"tokens": tokens}), encoding="utf-8")
+    if bump_past is not None:
+        # mtime granularity can swallow a rewrite within the same tick; move
+        # the clock forward explicitly so the registry must reload.
+        stamp = max(time.time(), bump_past + 1.0)
+        os.utime(path, (stamp, stamp))
+    return path
+
+
+BASE_TOKENS = {
+    "alice-secret": {"name": "alice", "role": "submit"},
+    "bob-secret": {"name": "bob", "role": "submit"},
+    "ops-secret": {"name": "ops", "role": "admin"},
+}
+
+
+@pytest.fixture
+def auth_service(service_factory, tmp_path):
+    tokens_path = _write_tokens(tmp_path / "tokens.json", dict(BASE_TOKENS))
+    service = service_factory(tokens_file=tokens_path)
+    return service, tokens_path
+
+
+class TestAuthentication:
+    def test_healthz_is_open_and_reports_auth(self, auth_service):
+        service, _ = auth_service
+        payload = ServiceClient(service.url).health()
+        assert payload["status"] == "ok"
+        assert payload["auth"] is True
+
+    def test_missing_token_is_401(self, auth_service):
+        service, _ = auth_service
+        with pytest.raises(AuthError) as excinfo:
+            ServiceClient(service.url).jobs()
+        assert excinfo.value.status == 401
+        assert excinfo.value.code == "unauthorized"
+
+    def test_garbage_token_is_401(self, auth_service):
+        service, _ = auth_service
+        client = ServiceClient(service.url, token="never-issued")
+        with pytest.raises(AuthError) as excinfo:
+            client.submit(summary_spec())
+        assert excinfo.value.status == 401
+
+    def test_valid_token_submits(self, auth_service):
+        service, _ = auth_service
+        client = ServiceClient(service.url, token="alice-secret")
+        response = client.submit(summary_spec())
+        assert response["created"] is True
+        assert response["job"]["owners"] == ["alice"]
+        client.wait(response["job"]["job_id"], timeout=120)
+
+    def test_revoked_token_is_401_without_restart(self, auth_service):
+        service, tokens_path = auth_service
+        client = ServiceClient(service.url, token="alice-secret")
+        assert client.jobs() == []
+        revoked = {k: v for k, v in BASE_TOKENS.items() if k != "alice-secret"}
+        _write_tokens(tokens_path, revoked, bump_past=tokens_path.stat().st_mtime)
+        with pytest.raises(AuthError) as excinfo:
+            client.jobs()
+        assert excinfo.value.status == 401
+        # The other tokens keep working.
+        assert ServiceClient(service.url, token="bob-secret").jobs() == []
+
+    def test_broken_tokens_file_keeps_last_good_set(self, auth_service):
+        """A typo while editing the tokens file must not lock everyone out."""
+        service, tokens_path = auth_service
+        mtime = tokens_path.stat().st_mtime
+        tokens_path.write_text("{not json", encoding="utf-8")
+        stamp = max(time.time(), mtime + 1.0)
+        os.utime(tokens_path, (stamp, stamp))
+        assert ServiceClient(service.url, token="alice-secret").jobs() == []
+        assert service.auth.last_error is not None
+
+    def test_malformed_tokens_file_rejected_at_startup(self, tmp_path):
+        from repro.service import CampaignService
+
+        bad = tmp_path / "tokens.json"
+        bad.write_text(json.dumps({"tokens": {"t": {"role": "submit"}}}))
+        with pytest.raises(ValueError, match="name"):
+            CampaignService(tmp_path / "state", tokens_file=bad)
+
+    def test_parse_tokens_validates_fields(self):
+        with pytest.raises(ValueError, match="role"):
+            parse_tokens({"tokens": {"t": {"name": "x", "role": "root"}}})
+        with pytest.raises(ValueError, match="max_queued"):
+            parse_tokens({"tokens": {"t": {"name": "x", "max_queued": -1}}})
+        with pytest.raises(ValueError, match="unknown token field"):
+            parse_tokens({"tokens": {"t": {"name": "x", "frobnicate": 1}}})
+        with pytest.raises(ValueError, match="tokens file"):
+            parse_tokens(["not", "a", "mapping"])
+
+    def test_registry_len_and_reload(self, tmp_path):
+        path = _write_tokens(tmp_path / "tokens.json", dict(BASE_TOKENS))
+        registry = TokenRegistry(path)
+        assert len(registry) == 3
+        assert registry.lookup("alice-secret").name == "alice"
+        assert registry.lookup("alice-secret").role == "submit"
+        assert registry.lookup("nope") is None
+
+
+class TestOwnershipAndRoles:
+    def test_submit_role_sees_only_own_jobs(self, auth_service):
+        service, _ = auth_service
+        alice = ServiceClient(service.url, token="alice-secret")
+        bob = ServiceClient(service.url, token="bob-secret")
+        ops = ServiceClient(service.url, token="ops-secret")
+        job_a = alice.submit(summary_spec("alice-job"))["job"]
+        job_b = bob.submit(summary_spec("bob-job"))["job"]
+        assert {j["job_id"] for j in alice.jobs()} == {job_a["job_id"]}
+        assert {j["job_id"] for j in bob.jobs()} == {job_b["job_id"]}
+        assert {j["job_id"] for j in ops.jobs()} == {
+            job_a["job_id"],
+            job_b["job_id"],
+        }
+
+    def test_foreign_job_access_is_an_indistinguishable_404(self, auth_service):
+        """Another tenant's job answers exactly like a nonexistent one —
+        job ids are computable fingerprints, so a distinguishable 403 would
+        let any token probe what specs other tenants run."""
+        from repro.service import NotFoundError
+
+        service, _ = auth_service
+        alice = ServiceClient(service.url, token="alice-secret")
+        bob = ServiceClient(service.url, token="bob-secret")
+        job = alice.submit(summary_spec())["job"]
+        probes = {}
+        for name, call in (
+            ("status", bob.status),
+            ("report", bob.report),
+            ("cancel", bob.cancel),
+            ("stream", bob.stream),
+        ):
+            with pytest.raises(NotFoundError) as excinfo:
+                call(job["job_id"])
+            probes[name] = (excinfo.value.status, excinfo.value.message)
+        with pytest.raises(NotFoundError) as excinfo:
+            bob.status("0000000000000000")  # genuinely nonexistent
+        missing = (excinfo.value.status, excinfo.value.message.replace(
+            "0000000000000000", job["job_id"]
+        ))
+        assert probes["status"] == missing  # byte-identical answers
+
+    def test_admin_can_cancel_any_job(self, auth_service):
+        service, _ = auth_service
+        alice = ServiceClient(service.url, token="alice-secret")
+        ops = ServiceClient(service.url, token="ops-secret")
+        job = alice.submit(gnn_spec("admin-cancel", epochs=80))["job"]
+        ops.cancel(job["job_id"])
+        final = ops.wait(job["job_id"], timeout=120)
+        assert final["status"] == "cancelled"
+
+    def test_duplicate_submission_shares_ownership(self, auth_service):
+        """Bob submitting Alice's exact spec dedupes onto her job and gains
+        access to it (both own the identical workload) — but neither tenant
+        sees the other's name: an unredacted owners list would leak which
+        specs other tenants run, the very thing the 404 masking hides."""
+        service, _ = auth_service
+        alice = ServiceClient(service.url, token="alice-secret")
+        bob = ServiceClient(service.url, token="bob-secret")
+        ops = ServiceClient(service.url, token="ops-secret")
+        job = alice.submit(summary_spec())["job"]
+        again = bob.submit(summary_spec())
+        assert again["created"] is False
+        assert again["job"]["owners"] == ["bob"]  # co-owners redacted
+        assert bob.status(job["job_id"])["owners"] == ["bob"]
+        assert alice.status(job["job_id"])["owners"] == ["alice"]
+        assert ops.status(job["job_id"])["owners"] == ["alice", "bob"]
+
+    def test_cli_token_flag_and_env(self, auth_service, capsys, monkeypatch):
+        service, _ = auth_service
+        assert main(["status", "--url", service.url, "--token", "ops-secret"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--url", service.url]) == 2
+        assert "401" in capsys.readouterr().err
+        monkeypatch.setenv("REPRO_SERVICE_TOKEN", "ops-secret")
+        assert main(["status", "--url", service.url]) == 0
+
+
+class TestQuotas:
+    @pytest.fixture
+    def quota_service(self, service_factory, tmp_path):
+        tokens = dict(BASE_TOKENS)
+        tokens["alice-secret"] = {
+            "name": "alice",
+            "role": "submit",
+            "max_active": 2,
+        }
+        tokens_path = _write_tokens(tmp_path / "tokens.json", tokens)
+        return service_factory(tokens_file=tokens_path, job_slots=1)
+
+    def test_quota_boundary_limit_vs_limit_plus_one(self, quota_service):
+        """max_active=2: the second submission is admitted, the third 429s.
+
+        The claim pump is paused so the backlog deterministically stays
+        queued (tiny jobs would otherwise drain before the boundary probe).
+        """
+        quota_service.worker.stop()
+        alice = ServiceClient(quota_service.url, token="alice-secret")
+        assert alice.submit(summary_spec("quota-1"))["created"]
+        assert alice.submit(summary_spec("quota-2"))["created"]  # at the limit
+        with pytest.raises(ThrottledError) as excinfo:
+            alice.submit(summary_spec("quota-over"))  # limit + 1
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "quota_exceeded"
+        assert excinfo.value.retry_after_s is not None
+        # Quota is per-principal: bob is unaffected.
+        bob = ServiceClient(quota_service.url, token="bob-secret")
+        assert bob.submit(summary_spec("bob-unaffected"))["created"]
+        quota_service.worker.start()
+        for snap in ServiceClient(quota_service.url, token="ops-secret").jobs():
+            ServiceClient(quota_service.url, token="ops-secret").wait(
+                snap["job_id"], timeout=120
+            )
+
+    def test_dedupe_never_counts_against_quota(self, quota_service):
+        quota_service.worker.stop()
+        alice = ServiceClient(quota_service.url, token="alice-secret")
+        alice.submit(summary_spec("dedupe-a"))
+        alice.submit(summary_spec("dedupe-b"))
+        # At the limit: a duplicate of a live spec schedules nothing and
+        # therefore succeeds where a fresh spec would 429.
+        again = alice.submit(summary_spec("dedupe-a"))
+        assert again["created"] is False
+        with pytest.raises(ThrottledError):
+            alice.submit(summary_spec("dedupe-fresh"))
+        quota_service.worker.start()
+
+    def test_quota_frees_when_jobs_finish(self, quota_service):
+        alice = ServiceClient(quota_service.url, token="alice-secret")
+        first = alice.submit(summary_spec("free-1"))["job"]
+        alice.wait(first["job_id"], timeout=120)
+        second = alice.submit(summary_spec("free-2"))["job"]
+        alice.wait(second["job_id"], timeout=120)
+        third = alice.submit(summary_spec("free-3"))["job"]
+        assert alice.wait(third["job_id"], timeout=120)["status"] == "done"
+
+    def test_retry_after_header_on_429(self, quota_service):
+        """The HTTP response itself carries Retry-After (not just the JSON)."""
+        import urllib.error
+        import urllib.request
+
+        quota_service.worker.stop()
+        alice = ServiceClient(quota_service.url, token="alice-secret")
+        alice.submit(summary_spec("hdr-1"))
+        alice.submit(summary_spec("hdr-2"))
+        request = urllib.request.Request(
+            quota_service.url + "/v1/jobs",
+            data=json.dumps({"spec": summary_spec("hdr-over").to_json_dict()}).encode(),
+            method="POST",
+            headers={
+                "Content-Type": "application/json",
+                "Authorization": "Bearer alice-secret",
+            },
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 429
+        assert int(excinfo.value.headers["Retry-After"]) >= 1
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "quota_exceeded"
+        quota_service.worker.start()
+
+
+class TestPriorityCaps:
+    @pytest.fixture
+    def capped_service(self, service_factory, tmp_path):
+        tokens = dict(BASE_TOKENS)
+        tokens["alice-secret"] = {
+            "name": "alice",
+            "role": "submit",
+            "max_priority": 3,
+        }
+        tokens_path = _write_tokens(tmp_path / "tokens.json", tokens)
+        return service_factory(tokens_file=tokens_path, max_priority_per_owner=1)
+
+    def _prio_payload(self, name, priority):
+        payload = summary_spec(name).to_json_dict()
+        payload["priority"] = priority
+        return payload
+
+    def test_token_cap_boundary(self, capped_service):
+        alice = ServiceClient(capped_service.url, token="alice-secret")
+        ok = alice.submit(self._prio_payload("cap-ok", 3))  # at the cap
+        assert ok["job"]["priority"] == 3
+        with pytest.raises(AuthError) as excinfo:
+            alice.submit(self._prio_payload("cap-over", 4))  # cap + 1
+        assert excinfo.value.status == 403
+        assert excinfo.value.code == "forbidden"
+        # Demotion below default is never escalation: always allowed.
+        assert alice.submit(self._prio_payload("cap-neg", -5))["created"]
+
+    def test_service_default_cap_applies_without_a_token_field(
+        self, capped_service
+    ):
+        bob = ServiceClient(capped_service.url, token="bob-secret")
+        assert bob.submit(self._prio_payload("svc-cap-ok", 1))["created"]
+        with pytest.raises(AuthError):
+            bob.submit(self._prio_payload("svc-cap-over", 2))
+
+    def test_admin_is_uncapped_by_default(self, capped_service):
+        ops = ServiceClient(capped_service.url, token="ops-secret")
+        job = ops.submit(self._prio_payload("admin-high", 10_000))["job"]
+        assert job["priority"] == 10_000
+
+    def test_escalation_via_dedupe_resubmit_is_blocked(self, capped_service):
+        """Resubmitting an existing spec at a priority above the caller's
+        cap must 403 before it can reprioritise the queued job."""
+        capped_service.worker.stop()
+        alice = ServiceClient(capped_service.url, token="alice-secret")
+        job = alice.submit(self._prio_payload("escalate", 0))["job"]
+        with pytest.raises(AuthError):
+            alice.submit(self._prio_payload("escalate", 99))
+        assert alice.status(job["job_id"])["priority"] == 0
+        capped_service.worker.start()
+
+
+class TestBodySizeCap:
+    def test_oversized_content_length_is_413_before_buffering(
+        self, service_factory
+    ):
+        """A huge Content-Length is refused from the header alone — the
+        server must never try to buffer the advertised bytes."""
+        import http.client
+
+        service = service_factory()
+        conn = http.client.HTTPConnection(service.host, service.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(4 * 1024 * 1024 * 1024))
+            conn.endheaders()  # no body sent: the response must not wait for one
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 413
+            assert payload["error"]["code"] == "payload_too_large"
+        finally:
+            conn.close()
+        # The listener is unharmed.
+        assert ServiceClient(service.url).health()["status"] == "ok"
+
+
+class TestRateLimits:
+    def test_service_wide_submit_rate(self, service_factory):
+        """Anonymous (auth off) traffic still honours the service bucket."""
+        service = service_factory(submit_rate=0.5, submit_burst=2)
+        client = ServiceClient(service.url)
+        assert client.submit(summary_spec("rate-1"))["created"]
+        assert client.submit(summary_spec("rate-2"))["created"]
+        with pytest.raises(ThrottledError) as excinfo:
+            client.submit(summary_spec("rate-3"))
+        assert excinfo.value.code == "rate_limited"
+        assert excinfo.value.retry_after_s >= 1
+
+    def test_per_token_rate_overrides_service_default(
+        self, service_factory, tmp_path
+    ):
+        tokens = {
+            "slow-secret": {
+                "name": "slow",
+                "role": "submit",
+                "submit_rate": 0.25,
+                "submit_burst": 1,
+            },
+            "fast-secret": {"name": "fast", "role": "submit"},
+        }
+        tokens_path = _write_tokens(tmp_path / "tokens.json", tokens)
+        service = service_factory(tokens_file=tokens_path)
+        slow = ServiceClient(service.url, token="slow-secret")
+        fast = ServiceClient(service.url, token="fast-secret")
+        assert slow.submit(summary_spec("slow-1"))["created"]
+        with pytest.raises(ThrottledError):
+            slow.submit(summary_spec("slow-2"))
+        # The unlimited token is not collateral damage.
+        for i in range(4):
+            assert fast.submit(summary_spec(f"fast-{i}"))["created"]
+
+    def test_same_name_token_rotation_cannot_reset_the_bucket(
+        self, service_factory, tmp_path
+    ):
+        """Two tokens sharing a principal name (key rotation) but carrying
+        different rates each drain their own bucket — alternating secrets
+        must not hand the client a freshly refilled bucket every request."""
+        tokens = {
+            "old-secret": {
+                "name": "alice",
+                "role": "submit",
+                "submit_rate": 0.25,
+                "submit_burst": 1,
+            },
+            "new-secret": {
+                "name": "alice",
+                "role": "submit",
+                "submit_rate": 0.5,
+                "submit_burst": 1,
+            },
+        }
+        tokens_path = _write_tokens(tmp_path / "tokens.json", tokens)
+        service = service_factory(tokens_file=tokens_path)
+        old = ServiceClient(service.url, token="old-secret")
+        new = ServiceClient(service.url, token="new-secret")
+        assert old.submit(summary_spec("rot-1"))["created"]
+        assert new.submit(summary_spec("rot-2"))["created"]  # its own burst
+        with pytest.raises(ThrottledError):
+            old.submit(summary_spec("rot-3"))
+        with pytest.raises(ThrottledError):
+            new.submit(summary_spec("rot-4"))
+
+    def test_rate_limit_recovers_after_waiting(self, service_factory):
+        service = service_factory(submit_rate=5.0, submit_burst=1)
+        client = ServiceClient(service.url)
+        assert client.submit(summary_spec("recover-1"))["created"]
+        with pytest.raises(ThrottledError) as excinfo:
+            client.submit(summary_spec("recover-2"))
+        time.sleep(min(1.0, (excinfo.value.retry_after_s or 0.2) + 0.05))
+        assert client.submit(summary_spec("recover-2"))["created"]

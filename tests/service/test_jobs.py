@@ -200,6 +200,56 @@ class TestPersistence:
         assert recovered.status == "queued"
         assert recovered.snapshot()["progress"]["tasks_done"] == 0
 
+    def test_recover_preserves_submit_order_with_tied_timestamps(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: jobs submitted within one clock tick must recover in
+        submission order.  The persisted per-queue ``seq`` is the tie-breaker;
+        before it existed, ties fell back to job-id (hash) order, so recovery
+        could reorder a burst of submissions."""
+        import repro.service.jobs as jobs_module
+
+        with monkeypatch.context() as patch:
+            patch.setattr(jobs_module.time, "time", lambda: 1234567890.0)
+            queue = JobQueue(tmp_path / "state")
+            jobs = [queue.submit(summary_spec(f"tied-{i}"))[0] for i in range(6)]
+        del queue
+        submitted_ids = [job.job_id for job in jobs]
+        # The premise that makes this a real regression test: hash order
+        # disagrees with submission order for these specs.
+        assert submitted_ids != sorted(submitted_ids)
+
+        fresh = JobQueue(tmp_path / "state")
+        assert fresh.recover() == submitted_ids
+        claim_order = [fresh.claim(timeout=0).job_id for _ in range(6)]
+        assert claim_order == submitted_ids
+
+    def test_persisted_payload_carries_seq(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        queue.submit(summary_spec("a"))
+        job_b, _ = queue.submit(summary_spec("b"))
+        payload = json.loads(
+            (tmp_path / "state" / "jobs" / f"{job_b.job_id}.json").read_text()
+        )
+        assert payload["seq"] == 1
+
+    def test_terminal_job_trims_its_event_feed(self, tmp_path):
+        """A finished job must not pin a full live-size feed in memory;
+        the retained tail (and the snapshot) still serve late watchers."""
+        from repro.service.jobs import MAX_EVENTS_TERMINAL
+
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(summary_spec())
+        claimed = queue.claim(timeout=0)
+        for _ in range(MAX_EVENTS_TERMINAL + 100):
+            queue.record_progress(claimed, _FakeResult("ok"))
+        queue.finish(claimed, "done")
+        assert len(job.events) == MAX_EVENTS_TERMINAL
+        events, cursor, snapshot = queue.wait_events(job.job_id, since=0, timeout=0)
+        assert snapshot["status"] == "done"
+        assert cursor == job.events_emitted  # absolute numbering intact
+        assert events[-1]["event"] == "status"  # terminal event survives
+
     def test_counts_by_status(self, tmp_path):
         queue = JobQueue(tmp_path / "state")
         queue.submit(summary_spec("a"))

@@ -1,0 +1,162 @@
+"""Priority scheduling: stable ordering, fingerprint neutrality, restarts."""
+
+import pytest
+
+from service_helpers import summary_spec
+
+from repro.service import JobQueue, ServiceClient
+
+
+def prio_spec(name, priority):
+    spec = summary_spec(name)
+    spec.priority = priority
+    return spec
+
+
+class TestPriorityClaimOrder:
+    def test_higher_priority_claims_first(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        low, _ = queue.submit(prio_spec("low", 0))
+        high, _ = queue.submit(prio_spec("high", 5))
+        mid, _ = queue.submit(prio_spec("mid", 3))
+        order = [queue.claim(timeout=0).job_id for _ in range(3)]
+        assert order == [high.job_id, mid.job_id, low.job_id]
+
+    def test_fifo_within_a_priority_class(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        jobs = [queue.submit(prio_spec(f"job-{i}", 2))[0] for i in range(5)]
+        order = [queue.claim(timeout=0).job_id for _ in range(5)]
+        assert order == [job.job_id for job in jobs]
+
+    def test_negative_priority_sinks_below_default(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        idle, _ = queue.submit(prio_spec("idle", -1))
+        normal, _ = queue.submit(prio_spec("normal", 0))
+        assert queue.claim(timeout=0) is normal
+        assert queue.claim(timeout=0) is idle
+
+    def test_priority_is_excluded_from_the_fingerprint(self, tmp_path):
+        """The same grid at a different priority dedupes onto the same job."""
+        queue = JobQueue(tmp_path / "state")
+        job, created = queue.submit(prio_spec("same", 0))
+        again, created_again = queue.submit(prio_spec("same", 7))
+        assert created and not created_again
+        assert again is job
+
+    def test_resubmission_reprioritises_a_queued_job(self, tmp_path):
+        """`repro submit --priority N` on an already-queued grid jumps the
+        backlog: same job, new class, original FIFO slot within it."""
+        queue = JobQueue(tmp_path / "state")
+        stuck, _ = queue.submit(prio_spec("stuck", 0))
+        ahead, _ = queue.submit(prio_spec("ahead", 0))
+        bumped, created = queue.submit(prio_spec("stuck", 9))
+        assert not created and bumped is stuck
+        assert stuck.priority == 9
+        # Escalation only: a later plain (default-priority) resubmission —
+        # e.g. a co-owner re-running `repro submit` for the job id — must
+        # not silently sink the now-urgent job.
+        queue.submit(prio_spec("stuck", 0))
+        assert stuck.priority == 9
+        assert queue.claim(timeout=0) is stuck  # overtakes the backlog
+        assert queue.claim(timeout=0) is ahead
+        # Running/terminal jobs are past scheduling: no retroactive bump.
+        running, _ = queue.submit(prio_spec("already-running", 0))
+        queue.claim(timeout=0)
+        queue.submit(prio_spec("already-running", 5))
+        assert running.priority == 0
+
+    def test_resubmitted_failed_job_rejoins_the_back_of_its_class(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        first, _ = queue.submit(prio_spec("first", 1))
+        queue.finish(queue.claim(timeout=0), "failed", error="boom")
+        second, _ = queue.submit(prio_spec("second", 1))
+        requeued, created = queue.submit(prio_spec("first", 1))
+        assert not created and requeued is first
+        assert queue.claim(timeout=0) is second  # FIFO: fresh seq for the re-run
+        assert queue.claim(timeout=0) is first
+
+    def test_snapshot_and_persistence_carry_priority(self, tmp_path):
+        queue = JobQueue(tmp_path / "state")
+        job, _ = queue.submit(prio_spec("p", 4))
+        assert job.snapshot()["priority"] == 4
+        fresh = JobQueue(tmp_path / "state")
+        fresh.recover()
+        assert fresh.get(job.job_id).priority == 4
+
+
+class TestPriorityAcrossRestart:
+    def test_no_priority_inversion_across_restart(self, tmp_path):
+        """Queued low-priority work must not leapfrog a high-priority job
+        just because a restart rebuilt the queue from disk."""
+        queue = JobQueue(tmp_path / "state")
+        low_a, _ = queue.submit(prio_spec("low-a", 0))
+        high, _ = queue.submit(prio_spec("high", 9))
+        low_b, _ = queue.submit(prio_spec("low-b", 0))
+        del queue
+
+        fresh = JobQueue(tmp_path / "state")
+        requeued = fresh.recover()
+        assert set(requeued) == {low_a.job_id, high.job_id, low_b.job_id}
+        order = [fresh.claim(timeout=0).job_id for _ in range(3)]
+        assert order == [high.job_id, low_a.job_id, low_b.job_id]
+
+    def test_service_restart_runs_high_priority_first(
+        self, tmp_path, service_factory
+    ):
+        """End-to-end: backlog persisted by a dead service is drained in
+        priority order by the restarted one."""
+        state = tmp_path / "state"
+        queue = JobQueue(state)
+        low, _ = queue.submit(prio_spec("e2e-low", 0))
+        high, _ = queue.submit(prio_spec("e2e-high", 5))
+        del queue
+
+        service = service_factory("state")
+        client = ServiceClient(service.url)
+        final_high = client.wait(high.job_id, timeout=120)
+        final_low = client.wait(low.job_id, timeout=120)
+        assert final_high["status"] == final_low["status"] == "done"
+        assert final_high["started_at"] <= final_low["started_at"]
+
+
+class TestServicePriorityScheduling:
+    def test_urgent_job_overtakes_queued_backlog(self, service_factory):
+        """With the claim pump paused, an urgent submission runs before
+        earlier default-priority backlog once the workers resume."""
+        service = service_factory()
+        service.worker.stop()
+        client = ServiceClient(service.url)
+        backlog = client.submit(summary_spec("prio-backlog"))["job"]
+        urgent = client.submit(prio_spec("prio-urgent", 10))["job"]
+        assert urgent["priority"] == 10
+        service.worker.start()
+        final_urgent = client.wait(urgent["job_id"], timeout=300)
+        final_backlog = client.wait(backlog["job_id"], timeout=300)
+        assert final_urgent["status"] == final_backlog["status"] == "done"
+        assert final_urgent["started_at"] <= final_backlog["started_at"]
+
+    def test_cli_submit_priority_flag(self, service_factory, capsys):
+        from repro.runner.cli import main
+
+        service = service_factory()
+        args = [
+            "submit", "--url", service.url, "--json", "--priority", "3",
+            "--benchmarks", "c2670", "c3540", "c5315",
+            "--targets", "c2670", "--key-sizes", "8",
+            "--attack", "dataset-summary",
+        ]
+        assert main(args) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["job"]["priority"] == 3
+
+    def test_priority_must_be_an_integer(self, service_factory):
+        from repro.service import ServiceError
+
+        client = ServiceClient(service_factory().url)
+        spec = summary_spec().to_json_dict()
+        spec["priority"] = "urgent"
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(spec)
+        assert excinfo.value.status == 400
