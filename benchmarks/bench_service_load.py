@@ -19,7 +19,9 @@ The workload is the synthetic-fast ``dataset-summary`` attack (no GNN
 training; ~10ms/task warm-cache), so the measured numbers are dominated by
 the service itself: submit latency percentiles (p50/p95) and end-to-end
 jobs/second.  Results land in ``BENCH_service_load.json`` next to the
-repository root to seed the service-throughput trajectory.
+repository root to seed the service-throughput trajectory, together with an
+end-of-run ``/metricsz`` snapshot (aggregate series only) cross-checking the
+client-side numbers against the service's own telemetry.
 
 The invariants and a generous p95 submit-latency bound (2s — loopback JSON
 handling, three orders of magnitude of headroom) are asserted on every run;
@@ -49,6 +51,7 @@ from typing import Dict, List, Optional
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import AttackConfig  # noqa: E402
+from repro.obs import parse_prometheus  # noqa: E402
 from repro.runner import CampaignSpec, ResultStore, render_report, run_campaign  # noqa: E402
 from repro.service import (  # noqa: E402
     CampaignService,
@@ -407,9 +410,39 @@ def run_bench(
             results["soak"] = run_soak_phase(
                 service, secrets, duration_s=soak_seconds, clients=min(clients, 4)
             )
+        results["metrics"] = scrape_metrics(service, secrets)
         return results
     finally:
         service.stop()
+
+
+def scrape_metrics(
+    service: CampaignService, secrets: Dict[str, str]
+) -> Dict[str, float]:
+    """End-of-run ``/metricsz`` snapshot: the series a dashboard would chart.
+
+    Scraped through the admin token (the endpoint is admin-only under auth)
+    and filtered to the aggregate series so the JSON stays diffable — the
+    per-principal counters vary with ``--clients``.
+    """
+    parsed = parse_prometheus(
+        ServiceClient(service.url, token=secrets["admin"]).metrics()
+    )
+    keep = (
+        "repro_service_jobs{",
+        "repro_service_jobs_finished_total{",
+        "repro_service_claims_total",
+        "repro_service_tasks_total{",
+        "repro_service_job_queue_wait_seconds_count",
+        "repro_service_job_run_seconds_count",
+        "repro_service_event_feed_depth",
+        "repro_service_worker_slots",
+    )
+    return {
+        series: value
+        for series, value in sorted(parsed.items())
+        if series.startswith(keep)
+    }
 
 
 def check_results(results: Dict[str, object], *, strict: bool) -> List[str]:

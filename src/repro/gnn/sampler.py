@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs import span
 from ..parallel import WorkerPool, derive_job_seed
 from .data import GraphData
 
@@ -150,10 +151,11 @@ class RandomWalkSampler:
         )
 
     def _estimate_normalisation(self, n_samples: int) -> None:
-        for _ in range(n_samples):
-            nodes = self._walk_nodes()
-            self._inclusion_counts[nodes] += 1
-            self._norm_samples += 1
+        with span("sampling", phase="normalisation", n_samples=n_samples):
+            for _ in range(n_samples):
+                nodes = self._walk_nodes()
+                self._inclusion_counts[nodes] += 1
+                self._norm_samples += 1
 
     def _estimate_normalisation_pooled(self, n_samples: int, pool: WorkerPool) -> None:
         """Estimate inclusion probabilities with independent pool jobs.
@@ -164,27 +166,30 @@ class RandomWalkSampler:
         """
         if n_samples <= 0:
             return
-        base_seed = int(self.rng.integers(0, 2**63))
-        n_roots = min(self.n_roots, self.train_nodes.size)
-        n_chunks = min(n_samples, max(1, pool.max_workers))
-        bounds = np.linspace(0, n_samples, n_chunks + 1).astype(int)
-        jobs = [
-            (
-                self.adjacency.indptr,
-                self.adjacency.indices,
-                self.train_nodes,
-                n_roots,
-                self.walk_length,
-                base_seed,
-                int(start),
-                int(stop),
-            )
-            for start, stop in zip(bounds[:-1], bounds[1:])
-            if stop > start
-        ]
-        for nodes, counts in pool.map(_normalisation_chunk, jobs):
-            self._inclusion_counts[nodes] += counts
-        self._norm_samples += n_samples
+        with span(
+            "sampling", phase="normalisation", n_samples=n_samples, pooled=True
+        ):
+            base_seed = int(self.rng.integers(0, 2**63))
+            n_roots = min(self.n_roots, self.train_nodes.size)
+            n_chunks = min(n_samples, max(1, pool.max_workers))
+            bounds = np.linspace(0, n_samples, n_chunks + 1).astype(int)
+            jobs = [
+                (
+                    self.adjacency.indptr,
+                    self.adjacency.indices,
+                    self.train_nodes,
+                    n_roots,
+                    self.walk_length,
+                    base_seed,
+                    int(start),
+                    int(stop),
+                )
+                for start, stop in zip(bounds[:-1], bounds[1:])
+                if stop > start
+            ]
+            for nodes, counts in pool.map(_normalisation_chunk, jobs):
+                self._inclusion_counts[nodes] += counts
+            self._norm_samples += n_samples
 
     # ------------------------------------------------------------------
     def sample(self) -> SampledSubgraph:
@@ -195,12 +200,14 @@ class RandomWalkSampler:
         normalisation was pooled — and identical under batch prefetching,
         which preserves generation order.
         """
-        nodes = self._walk_nodes()
-        self._inclusion_counts[nodes] += 1
-        self._norm_samples += 1
-        data = self.graph.subgraph(nodes)
-        probs = self._inclusion_counts[nodes] / max(self._norm_samples, 1)
-        probs = np.clip(probs, 1e-3, None)
-        weights = 1.0 / probs
-        weights = weights / weights.mean()
-        return SampledSubgraph(data=data, node_indices=nodes, loss_weights=weights)
+        with span("sampling", phase="batch") as handle:
+            nodes = self._walk_nodes()
+            self._inclusion_counts[nodes] += 1
+            self._norm_samples += 1
+            data = self.graph.subgraph(nodes)
+            probs = self._inclusion_counts[nodes] / max(self._norm_samples, 1)
+            probs = np.clip(probs, 1e-3, None)
+            weights = 1.0 / probs
+            weights = weights / weights.mean()
+            handle.tag(n_nodes=int(nodes.size))
+            return SampledSubgraph(data=data, node_indices=nodes, loss_weights=weights)

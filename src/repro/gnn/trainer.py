@@ -30,6 +30,7 @@ from typing import List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs import span
 from ..parallel import WorkerPool
 from .data import GraphData
 from .model import GnnConfig, GraphSageClassifier, cross_entropy_loss
@@ -217,24 +218,42 @@ class Trainer:
             self._prefetcher = _BatchPrefetcher(self._sampler, self.prefetch)
 
         try:
-            for epoch in range(config.epochs):
-                loss = self._train_step()
-                self.history.loss.append(loss)
-                self.history.epochs_run = epoch + 1
+            with span("train", epochs=config.epochs) as train_handle:
+                for epoch in range(config.epochs):
+                    wait_before = self.history.sample_wait_s
+                    with span("train_epoch", epoch=epoch + 1) as epoch_handle:
+                        loss = self._train_step()
+                        # Absorb the existing sample_wait_s accounting: each
+                        # epoch span carries its own share of the wait.
+                        epoch_handle.tag(
+                            loss=float(loss),
+                            sample_wait_s=round(
+                                self.history.sample_wait_s - wait_before, 6
+                            ),
+                        )
+                    self.history.loss.append(loss)
+                    self.history.epochs_run = epoch + 1
 
-                if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
-                    val_acc = self.evaluate(self.graph.val_mask)
-                    self.history.val_accuracy.append(val_acc)
-                    if val_acc > best_val:
-                        best_val = val_acc
-                        best_weights = self.model.get_weights()
-                        self.history.best_val_accuracy = val_acc
-                        self.history.best_epoch = epoch + 1
-                        epochs_without_improvement = 0
-                    else:
-                        epochs_without_improvement += config.eval_every
-                    if epochs_without_improvement >= config.patience:
-                        break
+                    if (
+                        (epoch + 1) % config.eval_every == 0
+                        or epoch == config.epochs - 1
+                    ):
+                        val_acc = self.evaluate(self.graph.val_mask)
+                        self.history.val_accuracy.append(val_acc)
+                        if val_acc > best_val:
+                            best_val = val_acc
+                            best_weights = self.model.get_weights()
+                            self.history.best_val_accuracy = val_acc
+                            self.history.best_epoch = epoch + 1
+                            epochs_without_improvement = 0
+                        else:
+                            epochs_without_improvement += config.eval_every
+                        if epochs_without_improvement >= config.patience:
+                            break
+                train_handle.tag(
+                    epochs_run=self.history.epochs_run,
+                    sample_wait_s=round(self.history.sample_wait_s, 6),
+                )
         finally:
             if self._prefetcher is not None:
                 self._prefetcher.close()

@@ -1,0 +1,82 @@
+"""repro.obs — zero-dependency telemetry: metrics, spans, rollups, logs.
+
+Three pieces (see ISSUE 6 / the README "Observability" section):
+
+* :mod:`repro.obs.metrics` — process-local :class:`MetricsRegistry`
+  (counters/gauges/histograms) with snapshot/merge for crossing process
+  boundaries and a Prometheus text renderer for ``/metricsz``;
+* :mod:`repro.obs.trace`   — ``with obs.span("train"):`` JSONL span tracer
+  gated behind ``REPRO_OBS=1``, exportable to Chrome trace-event format;
+* :mod:`repro.obs.rollup`  — per-task sidecars merged into campaign-level
+  ``rollup.json`` / ``trace.jsonl`` next to the result store;
+* :mod:`repro.obs.logs`    — structured JSON log lines behind
+  ``REPRO_LOG=json``.
+
+Telemetry never enters result records, fingerprints, goldens or rendered
+reports: with ``REPRO_OBS`` unset every span is a no-op and runs stay
+byte-identical to historic output.
+"""
+
+# Import order matters: rollup imports metrics and trace, and runner.cache
+# imports obs.metrics — keep the leaf modules first.
+from .metrics import (  # noqa: F401
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus,
+    scoped_registry,
+)
+from .trace import (  # noqa: F401
+    OBS_ENV,
+    SPAN_SECONDS_METRIC,
+    Tracer,
+    emit_span,
+    get_tracer,
+    obs_enabled,
+    read_events_jsonl,
+    scoped_tracer,
+    span,
+    tag_context,
+    to_chrome_trace,
+    write_events_jsonl,
+)
+from .logs import LOG_ENV, emit, log_json_enabled  # noqa: F401
+from .rollup import (  # noqa: F401
+    load_rollup,
+    merge_sidecars,
+    obs_dir_for_store,
+    rollup_path,
+    span_summary_table,
+    trace_path,
+    write_sidecar,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LOG_ENV",
+    "MetricsRegistry",
+    "OBS_ENV",
+    "SPAN_SECONDS_METRIC",
+    "Tracer",
+    "emit",
+    "emit_span",
+    "get_registry",
+    "get_tracer",
+    "load_rollup",
+    "log_json_enabled",
+    "merge_sidecars",
+    "obs_dir_for_store",
+    "obs_enabled",
+    "parse_prometheus",
+    "read_events_jsonl",
+    "rollup_path",
+    "scoped_registry",
+    "scoped_tracer",
+    "span",
+    "span_summary_table",
+    "tag_context",
+    "to_chrome_trace",
+    "trace_path",
+    "write_events_jsonl",
+    "write_sidecar",
+]

@@ -1,0 +1,55 @@
+"""Structured logging: JSON lines behind ``REPRO_LOG=json``.
+
+The service and its workers already funnel every message through an ``echo``
+callable; :func:`emit` is the formatting layer in front of it.  In the
+default (plain) mode the human-readable message passes through *unchanged*,
+so existing output, tests and smoke scripts see exactly the historic lines.
+With ``REPRO_LOG=json`` each message becomes one JSON object carrying a
+timestamp, level, component and whatever ids the call site threads through
+(``job_id=...``, ``task_id=...``), which is what log aggregators want.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable
+
+__all__ = ["LOG_ENV", "emit", "log_json_enabled"]
+
+#: Set to ``json`` to switch every echo line to structured JSON.
+LOG_ENV = "REPRO_LOG"
+
+
+def log_json_enabled() -> bool:
+    """Whether structured JSON logging is on (read live, like ``REPRO_OBS``)."""
+    return os.environ.get(LOG_ENV, "").strip().lower() == "json"
+
+
+def emit(
+    echo: Callable[[str], None],
+    message: str,
+    *,
+    component: str = "repro",
+    level: str = "info",
+    **fields: object,
+) -> None:
+    """Send one log line through ``echo``, structured when configured.
+
+    Plain mode emits ``message`` verbatim; JSON mode wraps it with ``ts``,
+    ``level``, ``component`` and the extra ``fields`` (None values dropped).
+    """
+    if not log_json_enabled():
+        echo(message)
+        return
+    payload = {
+        "ts": round(time.time(), 6),
+        "level": level,
+        "component": component,
+        "msg": message,
+    }
+    for key, value in fields.items():
+        if value is not None:
+            payload[key] = value
+    echo(json.dumps(payload, sort_keys=True, default=str))

@@ -1,0 +1,211 @@
+"""Per-task telemetry sidecars and campaign-level rollups.
+
+Task workers run in separate processes, so their metrics and spans cannot
+reach the campaign driver through shared memory.  Instead, each
+``execute_task`` invocation (with ``REPRO_OBS=1``) snapshots its scoped
+registry and drains its scoped tracer into a *sidecar* JSON file under
+``<store stem>.obs/pending/``; after the campaign the driver folds every
+pending sidecar into two durable artifacts next to the result store:
+
+* ``<store stem>.obs/rollup.json`` — merged metrics snapshot plus per-span
+  summaries (count/total/mean/max seconds), accumulated across runs so a
+  resumed campaign keeps its history;
+* ``<store stem>.obs/trace.jsonl``  — the concatenated trace events, which
+  ``repro trace`` exports to Chrome trace-event format.
+
+Telemetry lives strictly *next to* the store — never inside records — so
+fingerprints, goldens and the byte-identical service/offline reports are
+untouched by any of this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .trace import write_events_jsonl
+
+__all__ = [
+    "ROLLUP_FILENAME",
+    "SIDECAR_DIRNAME",
+    "TRACE_FILENAME",
+    "load_rollup",
+    "merge_sidecars",
+    "obs_dir_for_store",
+    "rollup_path",
+    "span_summary_table",
+    "trace_path",
+    "write_sidecar",
+]
+
+ROLLUP_FILENAME = "rollup.json"
+TRACE_FILENAME = "trace.jsonl"
+SIDECAR_DIRNAME = "pending"
+
+
+def obs_dir_for_store(store_path: os.PathLike) -> Path:
+    """Telemetry directory for a result store: ``runs/x.jsonl -> runs/x.obs``."""
+    path = Path(store_path)
+    return path.parent / (path.stem + ".obs")
+
+
+def rollup_path(obs_dir: os.PathLike) -> Path:
+    return Path(obs_dir) / ROLLUP_FILENAME
+
+
+def trace_path(obs_dir: os.PathLike) -> Path:
+    return Path(obs_dir) / TRACE_FILENAME
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    # Local twin of runner.cache.atomic_write, kept here so the obs package
+    # stays free of runner imports (runner.cache imports obs.metrics).
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_sidecar(
+    obs_dir: os.PathLike,
+    fingerprint: str,
+    metrics_snapshot: Mapping[str, object],
+    events: Sequence[Mapping[str, object]],
+) -> Path:
+    """Persist one task's telemetry delta for the driver to merge.
+
+    Named by task fingerprint, so a re-executed task overwrites its own
+    pending sidecar instead of double counting.
+    """
+    path = Path(obs_dir) / SIDECAR_DIRNAME / f"task-{fingerprint[:16]}.json"
+    payload = {
+        "fingerprint": str(fingerprint),
+        "metrics": dict(metrics_snapshot),
+        "events": [dict(e) for e in events],
+    }
+    _atomic_write_text(path, json.dumps(payload, sort_keys=True, default=str))
+    return path
+
+
+def load_rollup(obs_dir: os.PathLike) -> Optional[Dict[str, object]]:
+    path = rollup_path(obs_dir)
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def merge_sidecars(
+    obs_dir: os.PathLike,
+    extra_events: Optional[Sequence[Mapping[str, object]]] = None,
+) -> Dict[str, object]:
+    """Fold pending sidecars (plus driver-side events) into the rollup.
+
+    Consumed sidecars are deleted; the rollup accumulates across calls so an
+    interrupted-and-resumed campaign ends with the same totals as an
+    uninterrupted one.  Returns the updated rollup dictionary.
+    """
+    obs_dir = Path(obs_dir)
+    existing = load_rollup(obs_dir) or {}
+    registry = MetricsRegistry()
+    if existing.get("metrics"):
+        registry.merge(existing["metrics"])  # type: ignore[arg-type]
+    spans: Dict[str, Dict[str, float]] = {
+        str(name): dict(stats)
+        for name, stats in (existing.get("spans") or {}).items()  # type: ignore[union-attr]
+    }
+
+    events: List[Dict[str, object]] = []
+    merged = int(existing.get("merged_sidecars", 0))
+    pending = obs_dir / SIDECAR_DIRNAME
+    if pending.is_dir():
+        for path in sorted(pending.glob("task-*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                payload = None
+            if payload is not None:
+                registry.merge(payload.get("metrics") or {})
+                events.extend(payload.get("events") or [])
+                merged += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    if extra_events:
+        events.extend(dict(e) for e in extra_events)
+
+    for event in events:
+        name = str(event.get("name", "span"))
+        dur = float(event.get("dur", 0.0))
+        bucket = spans.setdefault(
+            name, {"count": 0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0}
+        )
+        bucket["count"] = int(bucket["count"]) + 1
+        bucket["total_s"] = float(bucket["total_s"]) + dur
+        bucket["max_s"] = max(float(bucket["max_s"]), dur)
+    for bucket in spans.values():
+        count = max(1, int(bucket["count"]))
+        bucket["total_s"] = round(float(bucket["total_s"]), 6)
+        bucket["mean_s"] = round(float(bucket["total_s"]) / count, 6)
+        bucket["max_s"] = round(float(bucket["max_s"]), 6)
+
+    if events:
+        events.sort(key=lambda e: float(e.get("ts", 0.0)))
+        write_events_jsonl(trace_path(obs_dir), events, append=True)
+
+    rollup: Dict[str, object] = {
+        "updated_at": time.time(),
+        "merged_sidecars": merged,
+        "spans": spans,
+        "metrics": registry.snapshot(),
+    }
+    _atomic_write_text(
+        rollup_path(obs_dir), json.dumps(rollup, sort_keys=True, default=str)
+    )
+    return rollup
+
+
+def span_summary_table(rollup: Mapping[str, object]) -> List[List[str]]:
+    """Rows for the ``repro report --timings`` phase-breakdown table.
+
+    ``[phase, count, total_s, mean_s, max_s, share_pct]``, sorted by total
+    descending; the share is of the sum over phases (phases nest, so it is a
+    where-does-time-go signal, not a partition of wall clock).
+    """
+    spans: Mapping[str, Mapping[str, float]] = (
+        rollup.get("spans") or {}  # type: ignore[assignment]
+    )
+    total = sum(float(stats.get("total_s", 0.0)) for stats in spans.values())
+    rows: List[List[str]] = []
+    ordered = sorted(
+        spans.items(), key=lambda item: -float(item[1].get("total_s", 0.0))
+    )
+    for name, stats in ordered:
+        total_s = float(stats.get("total_s", 0.0))
+        rows.append(
+            [
+                str(name),
+                str(int(stats.get("count", 0))),
+                f"{total_s:.3f}",
+                f"{float(stats.get('mean_s', 0.0)):.4f}",
+                f"{float(stats.get('max_s', 0.0)):.3f}",
+                f"{(100.0 * total_s / total) if total else 0.0:.1f}",
+            ]
+        )
+    return rows

@@ -38,6 +38,16 @@ from concurrent.futures import (
 )
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    obs_enabled,
+    scoped_registry,
+    scoped_tracer,
+)
+
 __all__ = ["BACKENDS", "SerialFuture", "WorkerPool"]
 
 #: Recognised backend names, in "least to most isolation" order.
@@ -100,6 +110,73 @@ class SerialFuture:
         return self._error
 
 
+def _instrumented_call(fn: Callable, args: tuple, kwargs: dict):
+    """Run one pool job under a fresh telemetry scope (in a worker process).
+
+    Returns ``(value, metrics_snapshot, trace_events)`` so the parent can
+    merge the worker's delta into its own ambient registry/tracer — process
+    workers cannot reach the parent's in-memory telemetry directly.  Must
+    stay module-level: the process backend pickles it.
+    """
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    with scoped_registry(registry), scoped_tracer(tracer):
+        value = fn(*args, **kwargs)
+    return value, registry.snapshot(), tracer.drain()
+
+
+class _ShippingFuture:
+    """Future wrapper that merges a worker's telemetry delta on first access.
+
+    Wraps a process-backend future whose job ran under
+    :func:`_instrumented_call`; ``result()`` unpacks the payload and folds
+    the metrics/events into the calling process's current registry and
+    tracer exactly once.  The full future surface used by consumers
+    (``cancel``/``cancelled``/``done``/``exception``) is preserved, and
+    :meth:`WorkerPool.as_completed` keeps wrapper identity stable so
+    ``{future: index}`` bookkeeping (the sharded SAT path) still works.
+    """
+
+    __slots__ = ("_inner", "_merged", "_value")
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._merged = False
+        self._value = None
+
+    def cancel(self) -> bool:
+        return self._inner.cancel()
+
+    def cancelled(self) -> bool:
+        return self._inner.cancelled()
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def running(self) -> bool:
+        return self._inner.running()
+
+    def result(self, timeout=None):
+        if not self._merged:
+            # May raise (timeout, cancellation, the job's own error); the
+            # job's telemetry only ships with a successful payload.
+            value, snapshot, events = self._inner.result(timeout)
+            self._value = value
+            self._merged = True
+            try:
+                get_registry().merge(snapshot)
+                get_tracer().extend(events)
+            except Exception:  # noqa: BLE001 - telemetry is best-effort
+                pass
+        return self._value
+
+    def exception(self, timeout=None) -> Optional[BaseException]:
+        error = self._inner.exception(timeout)
+        if error is None:
+            self.result()
+        return error
+
+
 class WorkerPool:
     """A backend-agnostic pool of intra-task workers.
 
@@ -136,16 +213,29 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def submit(self, fn: Callable, *args, **kwargs):
-        """Schedule one job; returns a future (lazy for the serial backend)."""
+        """Schedule one job; returns a future (lazy for the serial backend).
+
+        With ``REPRO_OBS=1`` a process-backend job runs under
+        :func:`_instrumented_call` and its telemetry delta is merged into
+        the caller's ambient registry/tracer on result access (serial and
+        thread jobs already share the caller's process, so their increments
+        land directly).
+        """
         if self.backend == "serial":
             return SerialFuture(fn, args, kwargs)
-        return self._ensure_executor().submit(fn, *args, **kwargs)
+        executor = self._ensure_executor()
+        if self.backend == "process" and obs_enabled():
+            return _ShippingFuture(executor.submit(_instrumented_call, fn, args, kwargs))
+        return executor.submit(fn, *args, **kwargs)
 
     def map(self, fn: Callable, items: Iterable) -> List:
         """Run ``fn`` over ``items``; results come back in item order."""
         items = list(items)
         if self.backend == "serial" or len(items) <= 1:
             return [fn(item) for item in items]
+        if self.backend == "process" and obs_enabled():
+            futures = [self.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
         return list(self._ensure_executor().map(fn, items))
 
     def as_completed(self, futures: Sequence) -> Iterator:
@@ -153,14 +243,20 @@ class WorkerPool:
 
         The serial backend executes (and yields) in submission order, which
         is also a valid completion order; futures cancelled while iterating
-        are skipped by callers exactly as with real executors.
+        are skipped by callers exactly as with real executors.  Shipping
+        wrappers are yielded as themselves (not their inner futures) so
+        ``{future: index}`` maps built at submit time stay valid.
         """
         if self.backend == "serial":
             for future in futures:
                 future._run()
                 yield future
             return
-        yield from _futures_as_completed(futures)
+        wrapper_of = {
+            getattr(future, "_inner", future): future for future in futures
+        }
+        for inner in _futures_as_completed(list(wrapper_of)):
+            yield wrapper_of[inner]
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

@@ -31,6 +31,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from ..obs import get_registry, span
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 __all__ = [
     "ArtifactCache",
     "CacheEntry",
@@ -38,6 +45,7 @@ __all__ = [
     "CACHE_MAX_AGE_ENV",
     "CACHE_MAX_BYTES_ENV",
     "CACHE_VERSION",
+    "COUNTERS_FILENAME",
     "atomic_write",
     "cache_budget_from_env",
     "canonical_json",
@@ -175,17 +183,33 @@ class CacheEntry:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`ArtifactCache` handle."""
+    """Hit/miss/write/eviction counters of one :class:`ArtifactCache` handle."""
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    evictions: int = 0
     per_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def count(self, kind: str, event: str) -> None:
         setattr(self, event, getattr(self, event) + 1)
-        bucket = self.per_kind.setdefault(kind, {"hits": 0, "misses": 0, "writes": 0})
+        bucket = self.per_kind.setdefault(
+            kind, {"hits": 0, "misses": 0, "writes": 0, "evictions": 0}
+        )
         bucket[event] += 1
+
+
+#: Cache event -> :class:`CacheStats` counter field.
+_EVENT_FIELDS = {
+    "hit": "hits",
+    "miss": "misses",
+    "write": "writes",
+    "evict": "evictions",
+}
+
+#: Lifetime counters persisted at the cache root for ``repro cache stats``.
+COUNTERS_FILENAME = "counters.json"
+_COUNTERS_LOCKNAME = "counters.lock"
 
 
 class ArtifactCache:
@@ -199,6 +223,21 @@ class ArtifactCache:
         self.root: Optional[Path] = Path(root) if root is not None else None
         self.enabled = enabled and self.root is not None
         self.stats = CacheStats()
+        # hit/miss/write/evict counts not yet folded into counters.json.
+        self._pending: Dict[str, int] = {}
+
+    def _count(self, kind: str, event: str) -> None:
+        """Record one cache event in all three sinks.
+
+        The handle's :class:`CacheStats` (campaign summaries), the current
+        metrics registry (rollups, ``/metricsz``), and the pending lifetime
+        counters flushed to ``counters.json`` for ``repro cache stats``.
+        """
+        self.stats.count(kind, _EVENT_FIELDS[event])
+        get_registry().inc("repro_cache_events_total", kind=kind, event=event)
+        if self.enabled:
+            key = f"{kind}.{event}"
+            self._pending[key] = self._pending.get(key, 0) + 1
 
     # ------------------------------------------------------------------
     def path_for(self, kind: str, key: str) -> Optional[Path]:
@@ -212,12 +251,15 @@ class ArtifactCache:
         An unreadable entry (truncated write from a killed process, version
         skew) counts as a miss and is deleted so it regenerates cleanly.
         """
-        value = self._load(kind, key)
-        if value is _MISSING:
-            self.stats.count(kind, "misses")
-            return default
-        self.stats.count(kind, "hits")
-        return value
+        with span("cache", op="get", kind=kind) as handle:
+            value = self._load(kind, key)
+            if value is _MISSING:
+                self._count(kind, "miss")
+                handle.tag(event="miss")
+                return default
+            self._count(kind, "hit")
+            handle.tag(event="hit")
+            return value
 
     def has(self, kind: str, key: str) -> bool:
         """Whether an artifact exists, without loading it or counting stats."""
@@ -229,11 +271,14 @@ class ArtifactCache:
         path = self.path_for(kind, key)
         if not self.enabled or path is None:
             return None
-        atomic_write(
-            path,
-            lambda handle: pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL),
-        )
-        self.stats.count(kind, "writes")
+        with span("cache", op="put", kind=kind):
+            atomic_write(
+                path,
+                lambda handle: pickle.dump(
+                    value, handle, protocol=pickle.HIGHEST_PROTOCOL
+                ),
+            )
+        self._count(kind, "write")
         return path
 
     def _load(self, kind: str, key: str) -> object:
@@ -255,6 +300,62 @@ class ArtifactCache:
         except OSError:
             pass
         return value
+
+    # ------------------------------------------------------------------
+    def flush_counters(self) -> None:
+        """Fold pending event counts into ``<root>/counters.json``.
+
+        Lifetime counters survive processes and campaigns so ``repro cache
+        stats`` can report hit/miss/evict history, not just current sizes.
+        An ``fcntl`` lock (where available) serialises concurrent task
+        workers so no increment is lost; persistence is best-effort — on
+        failure the pending counts are kept for a later flush.
+        """
+        if not self.enabled or self.root is None or not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        path = self.root / COUNTERS_FILENAME
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with (self.root / _COUNTERS_LOCKNAME).open("a+") as lock_handle:
+                if fcntl is not None:
+                    fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    try:
+                        totals = json.loads(path.read_text(encoding="utf-8"))
+                    except (OSError, json.JSONDecodeError):
+                        totals = {}
+                    for key, value in pending.items():
+                        totals[key] = int(totals.get(key, 0)) + int(value)
+                    text = json.dumps(totals, sort_keys=True)
+                    atomic_write(path, lambda handle: handle.write(text.encode()))
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            for key, value in pending.items():
+                self._pending[key] = self._pending.get(key, 0) + value
+
+    def persistent_counters(self) -> Dict[str, Dict[str, int]]:
+        """Lifetime per-kind counters: ``{kind: {hit, miss, write, evict}}``."""
+        if self.root is None:
+            return {}
+        try:
+            totals = json.loads(
+                (self.root / COUNTERS_FILENAME).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            return {}
+        counters: Dict[str, Dict[str, int]] = {}
+        for key, value in sorted(totals.items()):
+            kind, _, event = str(key).partition(".")
+            if not event:
+                continue
+            try:
+                counters.setdefault(kind, {})[event] = int(value)
+            except (TypeError, ValueError):
+                continue
+        return counters
 
     # ------------------------------------------------------------------
     def scan(self, kind: Optional[str] = None) -> List[CacheEntry]:
@@ -349,6 +450,9 @@ class ArtifactCache:
                     entry.path.parent.rmdir()  # prune the shard dir if now empty
                 except OSError:
                     pass
+                self._count(entry.kind, "evict")
             evicted.append(entry)
             remaining -= entry.size_bytes
+        if not dry_run and evicted:
+            self.flush_counters()
         return evicted

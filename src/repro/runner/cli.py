@@ -5,6 +5,7 @@ Subcommands::
     repro run      expand a campaign grid and execute it (parallel by default)
     repro list     show the expanded tasks and their cache status
     repro report   aggregate a JSONL result store into paper-style tables
+    repro trace    export a store's telemetry trace to Chrome trace format
     repro cache    artifact-cache maintenance (stats, gc)
     repro serve    start the long-lived campaign service (HTTP JSON API)
     repro submit   submit a campaign grid to a running service
@@ -55,6 +56,15 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 from urllib.error import URLError
 
+from ..obs import (
+    emit,
+    load_rollup,
+    obs_dir_for_store,
+    read_events_jsonl,
+    span_summary_table,
+    to_chrome_trace,
+    trace_path,
+)
 from ..service.client import (
     DEFAULT_SERVICE_URL,
     SERVICE_TOKEN_ENV,
@@ -287,6 +297,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--service-style", action="store_true",
         help="print exactly the deterministic report a service job serves "
         "(status counts + paper table, no wall-clock columns)",
+    )
+    report.add_argument(
+        "--timings", action="store_true",
+        help="also print the per-phase span breakdown from the store's "
+        "telemetry rollup (requires a campaign run with REPRO_OBS=1)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="export a store's span trace to Chrome trace-event JSON"
+    )
+    trace.add_argument(
+        "--store", type=Path, required=True,
+        help="JSONL store path whose <store>.obs/trace.jsonl to export",
+    )
+    trace.add_argument(
+        "--out", type=Path, default=None,
+        help="output path for the Chrome trace JSON "
+        "(default: <store>.obs/trace.chrome.json; '-' for stdout)",
     )
 
     serve = sub.add_parser(
@@ -537,7 +565,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ArtifactCache(cache_dir)
     if args.cache_command == "stats":
         stats = cache.kind_stats()
-        if not stats:
+        counters = cache.persistent_counters()
+        if not stats and not counters:
             print(f"cache at {cache.root} is empty")
             return 0
         now = time.time()
@@ -555,6 +584,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"{_format_size(bucket['bytes']):>10s}  "
                 f"last used {idle_s / 3600:.1f}h ago"
             )
+        if counters:
+            print("lifetime counters:")
+            for kind in sorted(counters):
+                events = counters[kind]
+                hits = int(events.get("hit", 0))
+                misses = int(events.get("miss", 0))
+                lookups = hits + misses
+                rate = f"{hits / lookups:.1%}" if lookups else "n/a"
+                print(
+                    f"  {kind:10s} {hits} hit(s), {misses} miss(es) "
+                    f"({rate} hit rate), {int(events.get('write', 0))} write(s), "
+                    f"{int(events.get('evict', 0))} eviction(s)"
+                )
         return 0
     # gc
     if args.max_bytes is None and args.max_age is None:
@@ -614,6 +656,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.paper:
         print()
         print(paper_table(records))
+    if args.timings:
+        print()
+        exit_code = _print_timings(args.store)
+        if exit_code:
+            return exit_code
+    return 0
+
+
+def _print_timings(store_path: Path) -> int:
+    from ..core.reporting import format_table
+
+    rollup = load_rollup(obs_dir_for_store(store_path))
+    rows = span_summary_table(rollup) if rollup else []
+    if not rows:
+        print(
+            f"no telemetry rollup next to {store_path} "
+            "(run the campaign with REPRO_OBS=1)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        format_table(
+            ["Phase", "Count", "Total (s)", "Mean (s)", "Max (s)", "Share (%)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    obs_dir = obs_dir_for_store(args.store)
+    events = read_events_jsonl(trace_path(obs_dir))
+    if not events:
+        print(
+            f"no trace events next to {args.store} "
+            "(run the campaign with REPRO_OBS=1)",
+            file=sys.stderr,
+        )
+        return 1
+    payload = json.dumps(to_chrome_trace(events), sort_keys=True)
+    if args.out is not None and str(args.out) == "-":
+        print(payload)
+        return 0
+    out_path = args.out if args.out is not None else obs_dir / "trace.chrome.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(payload + "\n", encoding="utf-8")
+    print(
+        f"wrote {len(events)} span(s) to {out_path} "
+        "(load via chrome://tracing or https://ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -655,13 +747,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         echo=print,
     )
     service.start()
-    print(f"repro service listening on {service.url} (state: {args.state_dir})")
-    print("press Ctrl-C to stop")
+    emit(
+        print,
+        f"repro service listening on {service.url} (state: {args.state_dir})",
+        component="cli",
+        url=service.url,
+    )
+    emit(print, "press Ctrl-C to stop", component="cli")
     try:
         while True:
             time.sleep(1.0)
     except KeyboardInterrupt:
-        print("shutting down")
+        emit(print, "shutting down", component="cli")
     finally:
         service.stop()
     return 0
@@ -788,6 +885,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "list": _cmd_list,
         "report": _cmd_report,
+        "trace": _cmd_trace,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

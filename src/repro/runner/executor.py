@@ -31,11 +31,27 @@ import os
 import time
 import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from importlib import import_module
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..core.attack import AttackOutcome, attack_design, train_attack_model
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    emit_span,
+    get_registry,
+    get_tracer,
+    merge_sidecars,
+    obs_dir_for_store,
+    obs_enabled,
+    scoped_registry,
+    scoped_tracer,
+    span,
+    tag_context,
+    write_sidecar,
+)
 from ..parallel import intra_budget, intra_worker_budget, pool_from_budget
 from .cache import (
     ArtifactCache,
@@ -62,6 +78,9 @@ class TaskResult:
     fingerprint: str
     status: str  # "ok" | "failed" | "timeout"
     wall_time_s: float = 0.0
+    #: Seconds the task spent queued between campaign submission and its
+    #: actual start (0.0 when it ran immediately or the wait is unknowable).
+    queue_wait_s: float = 0.0
     record: Optional[Dict[str, object]] = None
     error: Optional[str] = None
     traceback: Optional[str] = None
@@ -151,10 +170,71 @@ def _resolve_baseline(name: str) -> Callable:
     return getattr(import_module(module_name), attr)
 
 
+@contextmanager
+def _task_telemetry(
+    task: AttackTask,
+    cache: ArtifactCache,
+    queue_wait_s: float,
+    submitted_at: Optional[float],
+    obs_dir: Optional[str],
+) -> Iterator[None]:
+    """Scope one task's telemetry and ship its delta on exit.
+
+    With ``REPRO_OBS`` off this only flushes the cache's persistent
+    hit/miss counters (those are always on — ``repro cache stats`` must
+    work without telemetry).  With it on, the task runs under a fresh
+    scoped registry + tracer tagged with its ids; on exit the delta is
+    written to a sidecar (pool workers and driver-side campaign tasks —
+    the campaign merges it into the rollup) or, when no ``obs_dir`` was
+    provided (direct :func:`execute_task` calls), merged into the caller's
+    ambient registry/tracer.  Best-effort throughout: telemetry failures
+    must never turn a healthy task into a failed one.
+    """
+    if not obs_enabled():
+        try:
+            yield
+        finally:
+            try:
+                cache.flush_counters()
+            except Exception:  # noqa: BLE001 - telemetry is best-effort
+                pass
+        return
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    try:
+        with scoped_registry(registry), scoped_tracer(tracer):
+            with tag_context(task=task.task_id, target=task.target_benchmark):
+                if submitted_at is not None:
+                    emit_span(
+                        "queue_wait",
+                        ts=submitted_at,
+                        dur=queue_wait_s,
+                        scope="task",
+                    )
+                yield
+    finally:
+        try:
+            cache.flush_counters()
+        except Exception:  # noqa: BLE001 - telemetry is best-effort
+            pass
+        try:
+            snapshot = registry.snapshot()
+            events = tracer.drain()
+            if obs_dir is not None:
+                write_sidecar(obs_dir, task.fingerprint(), snapshot, events)
+            else:
+                get_registry().merge(snapshot)
+                get_tracer().extend(events)
+        except Exception:  # noqa: BLE001 - telemetry is best-effort
+            pass
+
+
 def execute_task(
     task: AttackTask,
     cache_dir: Optional[str] = None,
     intra_workers: Optional[int] = None,
+    submitted_at: Optional[float] = None,
+    obs_dir: Optional[str] = None,
 ) -> TaskResult:
     """Run one task, consulting/filling the artifact cache.
 
@@ -164,59 +244,73 @@ def execute_task(
     equivalence checks, and is pinned into the environment for the task's
     duration so nested stages see the share, not the campaign-wide value.
 
+    ``submitted_at`` is the wall-clock (``time.time()``) instant the campaign
+    submitted the task; the gap to now is reported as ``queue_wait_s`` so
+    ``wall_time_s`` can mean *runtime* alone.  ``obs_dir`` is where the
+    task's telemetry sidecar lands when ``REPRO_OBS=1`` (see
+    :mod:`repro.obs.rollup`).
+
     Never raises: any failure is captured as a ``failed`` result.  This is
     the function the process pool ships to workers, so it must stay
     module-level and picklable-argument-only.
     """
     started = time.perf_counter()
+    queue_wait_s = (
+        max(0.0, time.time() - submitted_at) if submitted_at is not None else 0.0
+    )
     cache = ArtifactCache(cache_dir)
     events: Dict[str, str] = {}
-    try:
-        with intra_budget(intra_workers):
-            budget = intra_worker_budget() if intra_workers is None else intra_workers
-            pooled = budget > 1
-            pool = pool_from_budget(budget)
-            instances = _load_or_generate_dataset(task, cache, events)
-            if task.attack == "gnnunlock":
-                record = _run_gnnunlock(task, instances, cache, events, pool=pool)
-            elif task.attack == "dataset-summary":
-                record = _run_dataset_summary(task, instances)
-            elif task.attack in BASELINE_ATTACKS:
-                record = _run_baseline(task, instances, pool=pool)
-                events["model"] = "off"
-            else:
-                raise ValueError(
-                    f"unknown attack {task.attack!r}; choose 'gnnunlock', "
-                    f"'dataset-summary' or one of {sorted(BASELINE_ATTACKS)}"
+    with _task_telemetry(task, cache, queue_wait_s, submitted_at, obs_dir):
+        try:
+            with intra_budget(intra_workers):
+                budget = (
+                    intra_worker_budget() if intra_workers is None else intra_workers
                 )
-        record.update(_task_metadata(task, pooled=pooled))
-        if pooled:
-            # Pooled runs use identity-seeded parallel streams; keep that
-            # visible in the record (legacy serial records stay byte-stable).
-            record["intra_workers"] = int(budget)
-        record["cache"] = dict(events)
-        return TaskResult(
-            task_id=task.task_id,
-            fingerprint=task.fingerprint(pooled=pooled),
-            status="ok",
-            wall_time_s=time.perf_counter() - started,
-            record=record,
-            cache_events=events,
-            pid=os.getpid(),
-        )
-    except Exception as exc:  # noqa: BLE001 - crash isolation is the contract
-        return TaskResult(
-            task_id=task.task_id,
-            fingerprint=task.fingerprint(
-                pooled=(intra_workers or intra_worker_budget()) > 1
-            ),
-            status="failed",
-            wall_time_s=time.perf_counter() - started,
-            error=f"{type(exc).__name__}: {exc}",
-            traceback=traceback_module.format_exc(),
-            cache_events=events,
-            pid=os.getpid(),
-        )
+                pooled = budget > 1
+                pool = pool_from_budget(budget)
+                instances = _load_or_generate_dataset(task, cache, events)
+                if task.attack == "gnnunlock":
+                    record = _run_gnnunlock(task, instances, cache, events, pool=pool)
+                elif task.attack == "dataset-summary":
+                    record = _run_dataset_summary(task, instances)
+                elif task.attack in BASELINE_ATTACKS:
+                    record = _run_baseline(task, instances, pool=pool)
+                    events["model"] = "off"
+                else:
+                    raise ValueError(
+                        f"unknown attack {task.attack!r}; choose 'gnnunlock', "
+                        f"'dataset-summary' or one of {sorted(BASELINE_ATTACKS)}"
+                    )
+            record.update(_task_metadata(task, pooled=pooled))
+            if pooled:
+                # Pooled runs use identity-seeded parallel streams; keep that
+                # visible in the record (legacy serial records stay byte-stable).
+                record["intra_workers"] = int(budget)
+            record["cache"] = dict(events)
+            return TaskResult(
+                task_id=task.task_id,
+                fingerprint=task.fingerprint(pooled=pooled),
+                status="ok",
+                wall_time_s=time.perf_counter() - started,
+                queue_wait_s=queue_wait_s,
+                record=record,
+                cache_events=events,
+                pid=os.getpid(),
+            )
+        except Exception as exc:  # noqa: BLE001 - crash isolation is the contract
+            return TaskResult(
+                task_id=task.task_id,
+                fingerprint=task.fingerprint(
+                    pooled=(intra_workers or intra_worker_budget()) > 1
+                ),
+                status="failed",
+                wall_time_s=time.perf_counter() - started,
+                queue_wait_s=queue_wait_s,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback_module.format_exc(),
+                cache_events=events,
+                pid=os.getpid(),
+            )
 
 
 def _load_or_generate_dataset(
@@ -224,14 +318,16 @@ def _load_or_generate_dataset(
 ) -> list:
     if not cache.enabled:
         events["dataset"] = "off"
-        return task.dataset.generate()
+        with span("dataset_generate", scheme=task.dataset.scheme):
+            return task.dataset.generate()
     key = task.dataset.fingerprint()
     instances = cache.get("dataset", key)
     if instances is not None:
         events["dataset"] = "hit"
         return instances
     events["dataset"] = "miss"
-    instances = task.dataset.generate()
+    with span("dataset_generate", scheme=task.dataset.scheme):
+        instances = task.dataset.generate()
     cache.put("dataset", key, instances)
     return instances
 
@@ -395,6 +491,19 @@ def run_campaign(
     pool shuts down.  Serial mode cannot interrupt an in-flight task — the
     budget is only checked between tasks.
 
+    Timing: each result's ``wall_time_s`` is the task's true runtime
+    (measured inside the worker) and ``queue_wait_s`` the gap between
+    campaign submission and task start; both are stored on the record but
+    excluded from rendered reports.  A task stopped before it ever started
+    reports ``wall_time_s=0`` with the whole elapsed window as queue wait;
+    one abandoned mid-run keeps the elapsed window as a wall-clock upper
+    bound, since its true runtime is unobservable from outside.
+
+    With ``REPRO_OBS=1`` and a ``store``, per-task telemetry sidecars are
+    merged after the campaign into ``<store stem>.obs/rollup.json`` and
+    ``trace.jsonl`` next to the store (see :mod:`repro.obs`) — records,
+    fingerprints and reports are untouched.
+
     ``on_result`` is a progress hook called once per task, in task order, as
     each result is finalised: ``on_result(index, total, result)``.  Skipped
     (resumed) tasks fire it too, so ``index + 1`` out of ``total`` is always
@@ -451,6 +560,9 @@ def run_campaign(
             f"resume: {len(tasks) - len(pending)} task(s) already complete, "
             f"{len(pending)} to run"
         )
+    obs_dir: Optional[str] = None
+    if store is not None and obs_enabled():
+        obs_dir = str(obs_dir_for_store(store.path))
     executed = _run_pending(
         pending,
         workers=workers,
@@ -460,6 +572,7 @@ def run_campaign(
         intra_workers=intra_share,
         echo=echo,
         cancel=cancel,
+        obs_dir=obs_dir,
     )
     results: List[TaskResult] = []
     try:
@@ -480,6 +593,13 @@ def run_campaign(
         # Deterministic pool shutdown: the generator's cleanup must not wait
         # for garbage collection (and must run even if on_result raised).
         executed.close()
+    if obs_dir is not None:
+        # Fold the task sidecars (plus any driver-side spans, e.g. a service
+        # job's queue wait) into the campaign rollup next to the store.
+        try:
+            merge_sidecars(obs_dir, extra_events=get_tracer().drain())
+        except Exception:  # noqa: BLE001 - telemetry is best-effort
+            pass
     _auto_cache_gc(cache_path, echo)
     return results
 
@@ -545,6 +665,7 @@ def _run_pending(
     intra_workers: int = 1,
     echo: Callable[[str], None],
     cancel: Optional[Callable[[], bool]] = None,
+    obs_dir: Optional[str] = None,
 ) -> Iterator[TaskResult]:
     """Execute tasks (serially or over a process pool), yielding in task order.
 
@@ -554,15 +675,23 @@ def _run_pending(
     campaign-level division already happened in :func:`run_campaign`).
     """
     submitted = time.perf_counter()
+    submitted_wall = time.time()
     pooled = intra_workers > 1
     cancelled = cancel if cancel is not None else (lambda: False)
 
-    def stopped_result(task: AttackTask, status: str, error: str) -> TaskResult:
+    def stopped_result(
+        task: AttackTask, status: str, error: str, *, started: bool = False
+    ) -> TaskResult:
+        # A task stopped before it ever ran spent the whole window queued
+        # (wall_time_s=0); one abandoned mid-run keeps the elapsed window as
+        # a runtime upper bound — its true split is unobservable from here.
+        elapsed = time.perf_counter() - submitted
         return TaskResult(
             task_id=task.task_id,
             fingerprint=task.fingerprint(pooled=pooled),
             status=status,
-            wall_time_s=time.perf_counter() - submitted,
+            wall_time_s=elapsed if started else 0.0,
+            queue_wait_s=0.0 if started else elapsed,
             error=error,
         )
 
@@ -581,7 +710,9 @@ def _run_pending(
                     "the task started",
                 )
             else:
-                result = execute_task(task, cache_path, intra_workers)
+                result = execute_task(
+                    task, cache_path, intra_workers, submitted_wall, obs_dir
+                )
             _report(echo, index, len(tasks), result)
             _append(store, task, result, pooled=pooled)
             yield result
@@ -593,7 +724,9 @@ def _run_pending(
     produced = 0
     try:
         futures = [
-            pool.submit(execute_task, task, cache_path, intra_workers)
+            pool.submit(
+                execute_task, task, cache_path, intra_workers, submitted_wall, obs_dir
+            )
             for task in tasks
         ]
         for index, (task, future) in enumerate(zip(tasks, futures)):
@@ -610,6 +743,7 @@ def _run_pending(
                         task,
                         "cancelled",
                         "campaign cancelled mid-task; worker terminated",
+                        started=True,
                     )
                 _report(echo, index, len(tasks), result)
                 _append(store, task, result, pooled=pooled)
@@ -626,6 +760,7 @@ def _run_pending(
                     task,
                     "cancelled",
                     "campaign cancelled mid-task; worker terminated",
+                    started=True,
                 )
             except FutureTimeout:
                 if future.cancel():
@@ -641,6 +776,7 @@ def _run_pending(
                         task,
                         "timeout",
                         f"exceeded {task.timeout_s}s budget; worker abandoned",
+                        started=True,
                     )
             except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
                 result = TaskResult(
@@ -694,6 +830,7 @@ def _append(store, task: AttackTask, result: TaskResult, *, pooled: bool = False
     record = dict(result.record or _task_metadata(task, pooled=pooled))
     record["status"] = result.status
     record["wall_time_s"] = result.wall_time_s
+    record["queue_wait_s"] = result.queue_wait_s
     record["cache"] = dict(result.cache_events)
     if result.error:
         record["error"] = result.error

@@ -32,6 +32,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.circuit import Circuit, CircuitError
+from ..obs import span
 from ..netlist.simulate import exhaustive_patterns, simulate_patterns
 from ..netlist.traversal import fanin_cone, transitive_inputs
 from ..parallel import WorkerPool, resolve_pool
@@ -253,16 +254,21 @@ def _solve_shard(shard: Tuple) -> Tuple[bool, Optional[Dict[str, bool]], int]:
     shards.  Returns ``(outputs_equal, counterexample, conflicts)``.
     """
     sub_a, sub_b, key_assignment, max_conflicts = shard
-    if not key_assignment and (
-        structurally_identical(sub_a, sub_b) or structurally_equivalent(sub_a, sub_b)
-    ):
-        return True, None, 0
-    cnf, shared_vars = miter_cnf(sub_a, sub_b, key_assignment=key_assignment)
-    result = solve(cnf, max_conflicts=max_conflicts)
-    if not result.satisfiable:
-        return True, None, result.conflicts
-    assignment = {net: result.value(var) for net, var in shared_vars.items()}
-    return False, assignment, result.conflicts
+    with span("equivalence_shard", output=next(iter(sub_a.outputs), None)) as handle:
+        if not key_assignment and (
+            structurally_identical(sub_a, sub_b)
+            or structurally_equivalent(sub_a, sub_b)
+        ):
+            handle.tag(structural=True, equal=True)
+            return True, None, 0
+        cnf, shared_vars = miter_cnf(sub_a, sub_b, key_assignment=key_assignment)
+        result = solve(cnf, max_conflicts=max_conflicts)
+        if not result.satisfiable:
+            handle.tag(structural=False, equal=True)
+            return True, None, result.conflicts
+        assignment = {net: result.value(var) for net, var in shared_vars.items()}
+        handle.tag(structural=False, equal=False)
+        return False, assignment, result.conflicts
 
 
 def _check_sat_sharded(

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import span
 from .cnf import CNF
 
 __all__ = ["SatResult", "SatSolver", "solve"]
@@ -355,6 +356,11 @@ def solve(
     phase_seed: Optional[int] = None,
 ) -> SatResult:
     """Solve ``cnf`` (optionally under assumption literals) with a fresh solver."""
-    return SatSolver(cnf, assumptions, phase_seed=phase_seed).solve(
-        max_conflicts=max_conflicts
-    )
+    with span("sat_solve", n_vars=cnf.n_vars, n_clauses=len(cnf.clauses)) as handle:
+        result = SatSolver(cnf, assumptions, phase_seed=phase_seed).solve(
+            max_conflicts=max_conflicts
+        )
+        handle.tag(
+            satisfiable=bool(result.satisfiable), conflicts=int(result.conflicts)
+        )
+        return result

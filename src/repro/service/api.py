@@ -1,9 +1,11 @@
 """HTTP JSON API of the campaign service (stdlib ``http.server`` only).
 
-Endpoints (all JSON)::
+Endpoints (JSON unless noted)::
 
     GET    /healthz                  liveness (always open; job counts are
                                      included only when auth is off)
+    GET    /metricsz                 Prometheus text format telemetry
+                                     (admin token required when auth is on)
     GET    /v1/jobs                  known jobs, oldest first (admins see all,
                                      submit-role tokens see their own)
     POST   /v1/jobs                  submit {"spec": {...CampaignSpec...}}
@@ -49,6 +51,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs
 
+from ..obs import MetricsRegistry, emit
 from ..runner.campaign import CampaignSpec
 from ..runner.store import ResultStore, render_report
 from . import status as codes
@@ -97,7 +100,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
-        self.service.echo(f"http: {format % args}")
+        emit(self.service.echo, f"http: {format % args}", component="http")
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
@@ -111,13 +114,20 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _handle(self, method: str) -> None:
         headers: Dict[str, str] = {}
+        content_type = "application/json"
         try:
             # Always drain the request body, even on routes that ignore it:
             # leaving unread bytes in rfile desynchronises HTTP/1.1
             # keep-alive connections (the next request would be parsed from
             # the middle of this one's body).
             self._body = self._read_body()
-            status, payload = self._route(method)
+            # Routes return (status, payload) or, for non-JSON responses
+            # such as /metricsz, (status, text, content_type).
+            routed = self._route(method)
+            if len(routed) == 3:
+                status, payload, content_type = routed  # type: ignore[misc]
+            else:
+                status, payload = routed  # type: ignore[misc]
         except _ApiError as exc:
             status = exc.status
             payload = {"error": {"code": exc.code, "message": str(exc)}}
@@ -131,10 +141,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     "message": f"{type(exc).__name__}: {exc}",
                 }
             }
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = json.dumps(payload).encode("utf-8")
+        self.service.metrics.inc(
+            "repro_service_http_requests_total", method=method, status=status
+        )
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             for name, value in headers.items():
                 self.send_header(name, value)
@@ -199,7 +215,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         }
 
     # ------------------------------------------------------------------
-    def _route(self, method: str) -> Tuple[int, Dict[str, object]]:
+    def _route(self, method: str) -> Tuple:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/healthz" and method == "GET":
             payload: Dict[str, object] = {
@@ -211,6 +227,20 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             if self.service.auth is None:
                 payload["jobs"] = self.service.queue.counts()
             return 200, payload
+        if path == "/metricsz" and method == "GET":
+            # Operational counters reveal workload shape (job counts,
+            # per-principal quota rejections); behind auth, only admins see
+            # them — the same visibility rule as the full job listing.
+            identity = self._identity()
+            if not identity.is_admin:
+                raise _ApiError(
+                    403, codes.ERR_FORBIDDEN, "metrics require an admin token"
+                )
+            return (
+                200,
+                self.service.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         if path == "/v1/jobs":
             identity = self._identity()
             if method == "GET":
@@ -309,6 +339,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _submit(self, identity: TokenInfo) -> Tuple[int, Dict[str, object]]:
         retry_after = self.service.throttle_submit(identity)
         if retry_after is not None:
+            self.service.metrics.inc(
+                "repro_service_throttled_total",
+                reason="rate",
+                principal=identity.name,
+            )
             raise _ApiError(
                 429,
                 codes.ERR_RATE_LIMITED,
@@ -354,6 +389,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 max_active=max_active,
             )
         except QuotaError as exc:
+            self.service.metrics.inc(
+                "repro_service_throttled_total",
+                reason="quota",
+                principal=identity.name,
+            )
             raise _ApiError(
                 429,
                 codes.ERR_QUOTA_EXCEEDED,
@@ -448,7 +488,10 @@ class CampaignService:
             Tuple[str, float, Optional[int]], TokenBucket
         ] = {}
         self._buckets_lock = threading.Lock()
-        self.queue = JobQueue(state_dir)
+        #: One registry shared by queue, workers and HTTP handlers; the
+        #: ``/metricsz`` endpoint renders it (see :meth:`render_metrics`).
+        self.metrics = MetricsRegistry()
+        self.queue = JobQueue(state_dir, metrics=self.metrics)
         self.recovered: List[str] = self.queue.recover()
         self.worker = JobWorker(
             self.queue,
@@ -460,6 +503,7 @@ class CampaignService:
             cache_max_bytes=cache_max_bytes,
             cache_max_age_s=cache_max_age_s,
             echo=self.echo,
+            metrics=self.metrics,
         )
         self._httpd: Optional[_ServiceServer] = None
         self._http_thread: Optional[threading.Thread] = None
@@ -524,6 +568,31 @@ class CampaignService:
         return bucket.acquire()
 
     # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        """Prometheus text rendering of the service telemetry plane.
+
+        Counters and histograms accumulate live (submits, claims, finishes,
+        throttles, HTTP requests, queue-wait/run-time); point-in-time gauges
+        (jobs by state — every state, so absent ones scrape as 0 — and the
+        event-feed depth) are refreshed at scrape time.
+        """
+        counts = self.queue.counts()
+        for state in ("queued", "running", "done", "failed", "cancelled"):
+            self.metrics.set_gauge(
+                "repro_service_jobs", float(counts.get(state, 0)), state=state
+            )
+        self.metrics.set_gauge(
+            "repro_service_event_feed_depth", float(self.queue.feed_depth())
+        )
+        # Worker utilisation: busy is maintained live by the worker loop
+        # (the +0 materialises the series so an idle service scrapes 0).
+        self.metrics.add_gauge("repro_service_workers_busy", 0.0)
+        self.metrics.set_gauge(
+            "repro_service_worker_slots", float(self.worker.job_slots)
+        )
+        return self.metrics.render_prometheus()
+
+    # ------------------------------------------------------------------
     @property
     def port(self) -> int:
         if self._httpd is None:
@@ -546,10 +615,19 @@ class CampaignService:
         )
         self._http_thread.start()
         if self.recovered:
-            self.echo(f"recovered {len(self.recovered)} unfinished job(s)")
+            emit(
+                self.echo,
+                f"recovered {len(self.recovered)} unfinished job(s)",
+                component="service",
+                recovered=len(self.recovered),
+            )
         if self.auth is not None:
-            self.echo(f"auth: {len(self.auth)} token(s) loaded")
-        self.echo(f"serving on {self.url}")
+            emit(
+                self.echo,
+                f"auth: {len(self.auth)} token(s) loaded",
+                component="service",
+            )
+        emit(self.echo, f"serving on {self.url}", component="service", url=self.url)
         return self
 
     def stop(self, timeout: Optional[float] = 10.0) -> None:

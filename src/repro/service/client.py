@@ -154,6 +154,20 @@ class ServiceClient:
     def health(self) -> Dict[str, object]:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """Raw Prometheus text from ``/metricsz`` (admin-only under auth)."""
+        headers = {}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        req = urllib_request.Request(
+            self.url + "/metricsz", method="GET", headers=headers
+        )
+        try:
+            with urllib_request.urlopen(req, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib_error.HTTPError as exc:
+            raise _error_from_http(exc) from None
+
     def jobs(self) -> List[Dict[str, object]]:
         return list(self._request("GET", "/v1/jobs")["jobs"])
 

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..obs import MetricsRegistry
 from ..runner.cache import atomic_write
 from ..runner.campaign import CampaignSpec
 from .status import ACTIVE_STATUSES, TERMINAL_STATUSES
@@ -109,6 +110,10 @@ class Job:
     tasks_ok: int = 0
     tasks_skipped: int = 0
     tasks_failed: int = 0
+    #: Accumulated task runtime / queue wait (seconds) reported by the
+    #: campaign's :class:`~repro.runner.executor.TaskResult`s.
+    tasks_wall_s: float = 0.0
+    tasks_queue_wait_s: float = 0.0
     error: Optional[str] = None
     #: Status transitions in order, e.g. ``["queued", "running", "done"]``.
     history: List[str] = field(default_factory=lambda: ["queued"])
@@ -134,6 +139,30 @@ class Job:
     def owned_by(self, name: Optional[str]) -> bool:
         return name is not None and name in self.owners
 
+    def timings(self) -> Dict[str, object]:
+        """Wall-clock summary of the job so far (served in status payloads).
+
+        ``queue_wait_s`` is submission→claim (live for a job still queued),
+        ``run_s`` claim→finish (live for a running job); the ``tasks_*``
+        accumulators sum what the campaign's task results reported.
+        """
+        now = time.time()
+        queue_wait: Optional[float] = None
+        if self.started_at is not None:
+            queue_wait = max(0.0, self.started_at - self.submitted_at)
+        elif self.status == "queued":
+            queue_wait = max(0.0, now - self.submitted_at)
+        run_s: Optional[float] = None
+        if self.started_at is not None:
+            end = self.finished_at if self.finished_at is not None else now
+            run_s = max(0.0, end - self.started_at)
+        return {
+            "queue_wait_s": None if queue_wait is None else round(queue_wait, 6),
+            "run_s": None if run_s is None else round(run_s, 6),
+            "tasks_wall_s": round(self.tasks_wall_s, 6),
+            "tasks_queue_wait_s": round(self.tasks_queue_wait_s, 6),
+        }
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-safe view of the job served by the status endpoints."""
         return {
@@ -155,6 +184,7 @@ class Job:
                 "tasks_skipped": self.tasks_skipped,
                 "tasks_failed": self.tasks_failed,
             },
+            "timings": self.timings(),
         }
 
 
@@ -166,8 +196,14 @@ class JobQueue:
     lock, so callers never need their own synchronisation.
     """
 
-    def __init__(self, state_dir: os.PathLike):
+    def __init__(
+        self, state_dir: os.PathLike, *, metrics: Optional[MetricsRegistry] = None
+    ):
         self.state_dir = Path(state_dir)
+        #: Service-level counters/histograms (rendered by ``/metricsz``); a
+        #: fresh registry when the queue runs standalone, the service's
+        #: shared one in production.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.jobs_dir = self.state_dir / "jobs"
         self.stores_dir = self.state_dir / "stores"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
@@ -242,6 +278,7 @@ class JobQueue:
                             existing, "priority", priority=existing.priority
                         )
                         self._persist(existing)
+                    self._count_submit_locked(owner, "deduped")
                     return existing, False
                 # failed / cancelled: re-enqueue for a resumed re-run.
                 self._check_quota_locked(owner, max_queued, max_active)
@@ -262,6 +299,7 @@ class JobQueue:
                 self._enqueue_locked(existing)
                 self._emit_locked(existing, "status", status="queued")
                 self._persist(existing)
+                self._count_submit_locked(owner, "requeued")
                 return existing, False
             self._check_quota_locked(owner, max_queued, max_active)
             job = Job(
@@ -278,7 +316,15 @@ class JobQueue:
             self._enqueue_locked(job)
             self._emit_locked(job, "status", status="queued")
             self._persist(job)
+            self._count_submit_locked(owner, "created")
             return job, True
+
+    def _count_submit_locked(self, owner: Optional[str], outcome: str) -> None:
+        self.metrics.inc(
+            "repro_service_submits_total",
+            outcome=outcome,
+            principal=owner if owner is not None else "anonymous",
+        )
 
     def _take_seq_locked(self) -> int:
         seq = self._next_seq
@@ -344,6 +390,11 @@ class JobQueue:
             job.status = "running"
             job.history.append("running")
             job.started_at = time.time()
+            self.metrics.inc("repro_service_claims_total")
+            self.metrics.observe(
+                "repro_service_job_queue_wait_seconds",
+                max(0.0, job.started_at - job.submitted_at),
+            )
             self._emit_locked(job, "status", status="running")
             self._persist(job)
             return job
@@ -373,6 +424,11 @@ class JobQueue:
             for job in self._jobs.values():
                 counts[job.status] = counts.get(job.status, 0) + 1
             return counts
+
+    def feed_depth(self) -> int:
+        """Total events currently retained across all job feeds."""
+        with self._lock:
+            return sum(len(job.events) for job in self._jobs.values())
 
     # ------------------------------------------------------------------
     # Event feed (the stream endpoint's source).
@@ -457,6 +513,13 @@ class JobQueue:
                 # cancelled tasks never ran and stay out of the done count.
                 job.tasks_done += 1
                 job.tasks_failed += 1
+            job.tasks_wall_s += float(getattr(result, "wall_time_s", 0.0) or 0.0)
+            job.tasks_queue_wait_s += float(
+                getattr(result, "queue_wait_s", 0.0) or 0.0
+            )
+            self.metrics.inc(
+                "repro_service_tasks_total", status=str(result.status)
+            )
             event: Dict[str, object] = {
                 "task_id": getattr(result, "task_id", None),
                 "status": result.status,
@@ -483,6 +546,12 @@ class JobQueue:
         job.history.append(status)
         job.finished_at = time.time()
         job.error = error
+        self.metrics.inc("repro_service_jobs_finished_total", status=status)
+        if job.started_at is not None:
+            self.metrics.observe(
+                "repro_service_job_run_seconds",
+                max(0.0, job.finished_at - job.started_at),
+            )
         self._emit_locked(job, "status", status=status, error=error)
         # The feed stops growing here; shrink what a finished job pins in
         # memory while keeping the tail replayable for late watchers (the
@@ -553,6 +622,10 @@ class JobQueue:
                     tasks_ok=int(payload.get("tasks_ok", 0)),
                     tasks_skipped=int(payload.get("tasks_skipped", 0)),
                     tasks_failed=int(payload.get("tasks_failed", 0)),
+                    tasks_wall_s=float(payload.get("tasks_wall_s", 0.0)),
+                    tasks_queue_wait_s=float(
+                        payload.get("tasks_queue_wait_s", 0.0)
+                    ),
                     error=payload.get("error"),
                     history=[str(s) for s in payload.get("history", ["queued"])],
                 )
@@ -571,6 +644,8 @@ class JobQueue:
                     job.tasks_ok = 0
                     job.tasks_skipped = 0
                     job.tasks_failed = 0
+                    job.tasks_wall_s = 0.0
+                    job.tasks_queue_wait_s = 0.0
                     job.history.append("queued")
                     self._pending[job_id] = (-job.priority, job.seq)
                     self._emit_locked(job, "status", status="queued", recovered=True)
@@ -587,6 +662,11 @@ class JobQueue:
         # seq must survive so recovery keeps the original submission order.
         payload = dict(job.snapshot())
         payload.update(payload.pop("progress"))  # flatten counters
+        # timings are derived (partly from the live clock); persist the raw
+        # accumulators instead so recovery rebuilds them exactly.
+        payload.pop("timings", None)
+        payload["tasks_wall_s"] = job.tasks_wall_s
+        payload["tasks_queue_wait_s"] = job.tasks_queue_wait_s
         payload["seq"] = job.seq
         payload["spec"] = job.spec.to_json_dict()
         atomic_write(

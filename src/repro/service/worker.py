@@ -25,6 +25,7 @@ import os
 import threading
 from typing import Callable, List, Optional
 
+from ..obs import MetricsRegistry, emit, emit_span, tag_context
 from ..parallel import intra_worker_budget
 from ..runner.cache import ArtifactCache, default_cache_dir
 from ..runner.executor import run_campaign
@@ -49,8 +50,12 @@ class JobWorker:
         cache_max_bytes: Optional[int] = None,
         cache_max_age_s: Optional[float] = None,
         echo: Optional[Callable[[str], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.queue = queue
+        #: Shared with the queue/service in production; ``/metricsz`` renders
+        #: the busy-slot gauge from here.
+        self.metrics = metrics if metrics is not None else queue.metrics
         self.job_slots = max(1, int(job_slots))
         cpus = os.cpu_count() or 2
         if task_workers is not None:
@@ -103,12 +108,39 @@ class JobWorker:
         while not self._stop.is_set():
             job = self.queue.claim(timeout=0.2)
             if job is not None:
-                self.run_job(job)
+                self.metrics.add_gauge("repro_service_workers_busy", 1.0)
+                try:
+                    self.run_job(job)
+                finally:
+                    self.metrics.add_gauge("repro_service_workers_busy", -1.0)
+
+    def _log(self, message: str, *, job: Optional[Job] = None, **fields) -> None:
+        emit(
+            self.echo,
+            message,
+            component="worker",
+            job_id=job.job_id if job is not None else None,
+            **fields,
+        )
 
     # ------------------------------------------------------------------
     def run_job(self, job: Job) -> None:
         """Execute one claimed job to a terminal status.  Never raises."""
-        self.echo(f"job {job.job_id} ({job.spec.name}): starting")
+        self._log(
+            f"job {job.job_id} ({job.spec.name}): starting",
+            job=job,
+            name=job.spec.name,
+        )
+        if job.started_at is not None:
+            # The job-scope queue wait (submission -> claim); the campaign
+            # merges it into the job store's telemetry rollup.
+            emit_span(
+                "queue_wait",
+                ts=job.submitted_at,
+                dur=job.started_at - job.submitted_at,
+                scope="job",
+                job=job.job_id,
+            )
         try:
             tasks = job.spec.expand()
         except Exception as exc:  # noqa: BLE001 - job isolation is the contract
@@ -120,23 +152,28 @@ class JobWorker:
         self.queue.set_total(job, len(tasks))
         store = ResultStore(job.store_path)
         try:
-            results = run_campaign(
-                tasks,
-                workers=self.task_workers,
-                serial=self.task_workers <= 1,
-                cache_dir=self.cache_dir,
-                use_cache=self.use_cache,
-                store=store,
-                resume=True,
-                intra_workers=self.intra_share,
-                echo=self.echo,
-                cancel=job.cancel_event.is_set,
-                # index/total flow into the job's event feed so stream
-                # clients can render "k/n" progress without re-deriving it.
-                on_result=lambda index, total, result: self.queue.record_progress(
-                    job, result, index=index, total=total
-                ),
-            )
+            with tag_context(job=job.job_id):
+                results = run_campaign(
+                    tasks,
+                    workers=self.task_workers,
+                    serial=self.task_workers <= 1,
+                    cache_dir=self.cache_dir,
+                    use_cache=self.use_cache,
+                    store=store,
+                    resume=True,
+                    intra_workers=self.intra_share,
+                    # Campaign progress lines inherit the job id and honour
+                    # REPRO_LOG=json like every other service log line.
+                    echo=lambda message: emit(
+                        self.echo, message, component="campaign", job_id=job.job_id
+                    ),
+                    cancel=job.cancel_event.is_set,
+                    # index/total flow into the job's event feed so stream
+                    # clients can render "k/n" progress without re-deriving it.
+                    on_result=lambda index, total, result: self.queue.record_progress(
+                        job, result, index=index, total=total
+                    ),
+                )
         except Exception as exc:  # noqa: BLE001 - job isolation is the contract
             self.queue.finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
             return
@@ -157,7 +194,11 @@ class JobWorker:
             )
         else:
             self.queue.finish(job, "done")
-        self.echo(f"job {job.job_id} ({job.spec.name}): {job.status}")
+        self._log(
+            f"job {job.job_id} ({job.spec.name}): {job.status}",
+            job=job,
+            status=job.status,
+        )
         self._gc_between_jobs()
 
     def _gc_between_jobs(self) -> None:
@@ -172,4 +213,8 @@ class JobWorker:
         )
         if evicted:
             freed = sum(entry.size_bytes for entry in evicted)
-            self.echo(f"cache gc: evicted {len(evicted)} artifact(s), {freed} bytes")
+            self._log(
+                f"cache gc: evicted {len(evicted)} artifact(s), {freed} bytes",
+                evicted=len(evicted),
+                freed_bytes=freed,
+            )

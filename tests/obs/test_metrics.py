@@ -1,0 +1,162 @@
+"""Unit tests for the metrics registry: series types, merge, Prometheus text."""
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus,
+    scoped_registry,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("events_total", kind="dataset", event="hit")
+        registry.inc("events_total", kind="dataset", event="hit")
+        registry.inc("events_total", kind="model", event="miss")
+        assert registry.value("events_total", kind="dataset", event="hit") == 2.0
+        assert registry.value("events_total", kind="model", event="miss") == 1.0
+        assert registry.value("events_total", kind="model", event="hit") == 0.0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc("c", a="1", b="2")
+        registry.inc("c", b="2", a="1")
+        assert registry.value("c", b="2", a="1") == 2.0
+
+    def test_inc_with_explicit_value(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 5.0)
+        registry.inc("c", 2.5)
+        assert registry.value("c") == 7.5
+
+
+class TestGauges:
+    def test_set_overwrites_add_accumulates(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("busy", 3.0)
+        registry.set_gauge("busy", 1.0)
+        assert registry.gauge_value("busy") == 1.0
+        registry.add_gauge("busy", 2.0)
+        registry.add_gauge("busy", -1.0)
+        assert registry.gauge_value("busy") == 2.0
+
+
+class TestHistograms:
+    def test_observe_tracks_count_and_sum(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.002, span="x")
+        registry.observe("lat", 0.3, span="x")
+        stats = registry.histogram_stats("lat", span="x")
+        assert stats["count"] == 2
+        assert abs(stats["sum"] - 0.302) < 1e-9
+
+    def test_overflow_bucket_catches_large_values(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", max(DEFAULT_BUCKETS) + 1.0)
+        snapshot = registry.snapshot()
+        _, cell = snapshot["histograms"]["lat"]["series"][0]
+        assert cell["counts"][-1] == 1
+        assert sum(cell["counts"]) == 1
+
+    def test_bounds_fix_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.5, buckets=(1.0, 2.0))
+        registry.observe("lat", 1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["lat"]["bounds"] == [1.0, 2.0]
+        _, cell = snapshot["histograms"]["lat"]["series"][0]
+        assert cell["counts"] == [1, 1, 0]
+
+
+class TestSnapshotMerge:
+    def _delta(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs_total", status="ok")
+        registry.set_gauge("depth", 4.0)
+        registry.observe("lat", 0.01, span="train")
+        return registry.snapshot()
+
+    def test_merge_adds_counters_and_histograms(self):
+        target = MetricsRegistry()
+        target.merge(self._delta())
+        target.merge(self._delta())
+        assert target.value("jobs_total", status="ok") == 2.0
+        assert target.histogram_stats("lat", span="train")["count"] == 2
+
+    def test_merge_gauges_last_write_wins(self):
+        target = MetricsRegistry()
+        target.set_gauge("depth", 9.0)
+        target.merge(self._delta())
+        assert target.gauge_value("depth") == 4.0
+
+    def test_merge_empty_snapshot_is_noop(self):
+        target = MetricsRegistry()
+        target.merge({})
+        target.merge({"counters": {}, "gauges": {}, "histograms": {}})
+        assert target.snapshot()["counters"] == {}
+
+    def test_snapshot_is_json_safe_roundtrip(self):
+        import json
+
+        snapshot = self._delta()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_clear_empties_every_series(self):
+        registry = MetricsRegistry()
+        registry.merge(self._delta())
+        registry.clear()
+        assert registry.value("jobs_total", status="ok") == 0.0
+        assert registry.snapshot()["histograms"] == {}
+
+
+class TestPrometheusText:
+    def test_render_and_parse_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_jobs_total", status="done")
+        registry.inc("repro_jobs_total", status="done")
+        registry.set_gauge("repro_depth", 3.0)
+        registry.observe("repro_lat", 0.004, buckets=(0.001, 0.01, 1.0))
+        text = registry.render_prometheus()
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "# TYPE repro_lat histogram" in text
+        parsed = parse_prometheus(text)
+        assert parsed['repro_jobs_total{status="done"}'] == 2.0
+        assert parsed["repro_depth"] == 3.0
+        assert parsed["repro_lat_count"] == 1.0
+        # Bucket counts are cumulative and end at the total count.
+        assert parsed['repro_lat_bucket{le="0.001"}'] == 0.0
+        assert parsed['repro_lat_bucket{le="0.01"}'] == 1.0
+        assert parsed['repro_lat_bucket{le="+Inf"}'] == 1.0
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("c", msg='say "hi"\nplease')
+        text = registry.render_prometheus()
+        assert '\\"hi\\"' in text and "\\n" in text
+
+    def test_parse_skips_comments_and_garbage(self):
+        parsed = parse_prometheus("# HELP x y\n\nnot-a-number abc\nok 1\n")
+        assert parsed == {"ok": 1.0}
+
+
+class TestRegistryStack:
+    def test_scoped_registry_shadows_and_restores(self):
+        ambient = get_registry()
+        with scoped_registry() as inner:
+            assert get_registry() is inner
+            get_registry().inc("scoped_total")
+            with scoped_registry() as nested:
+                assert get_registry() is nested
+            assert get_registry() is inner
+        assert get_registry() is ambient
+        assert inner.value("scoped_total") == 1.0
+        assert ambient.value("scoped_total") == 0.0
+
+    def test_scoped_registry_accepts_existing_instance(self):
+        mine = MetricsRegistry()
+        with scoped_registry(mine) as scoped:
+            assert scoped is mine
+            get_registry().inc("hits")
+        assert mine.value("hits") == 1.0

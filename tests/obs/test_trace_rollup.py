@@ -1,0 +1,255 @@
+"""Span tracer, Chrome export, sidecar/rollup merge and structured logs."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    OBS_ENV,
+    SPAN_SECONDS_METRIC,
+    MetricsRegistry,
+    Tracer,
+    emit,
+    emit_span,
+    get_tracer,
+    load_rollup,
+    log_json_enabled,
+    merge_sidecars,
+    obs_dir_for_store,
+    obs_enabled,
+    read_events_jsonl,
+    rollup_path,
+    scoped_registry,
+    scoped_tracer,
+    span,
+    span_summary_table,
+    tag_context,
+    to_chrome_trace,
+    trace_path,
+    write_events_jsonl,
+    write_sidecar,
+)
+
+
+@pytest.fixture
+def obs_on(monkeypatch):
+    monkeypatch.setenv(OBS_ENV, "1")
+
+
+@pytest.fixture
+def obs_off(monkeypatch):
+    monkeypatch.delenv(OBS_ENV, raising=False)
+
+
+class TestEnablement:
+    def test_truthy_values(self, monkeypatch):
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv(OBS_ENV, value)
+            assert obs_enabled()
+        for value in ("", "0", "off", "no"):
+            monkeypatch.setenv(OBS_ENV, value)
+            assert not obs_enabled()
+
+    def test_disabled_span_records_nothing(self, obs_off):
+        with scoped_registry() as registry, scoped_tracer() as tracer:
+            with span("train", epoch=1) as handle:
+                handle.tag(loss=0.5)  # null handle: must not raise
+        assert tracer.events() == []
+        assert registry.histogram_stats(SPAN_SECONDS_METRIC, span="train")["count"] == 0
+
+    def test_disabled_emit_span_is_noop(self, obs_off):
+        with scoped_tracer() as tracer:
+            emit_span("queue_wait", ts=0.0, dur=1.0)
+        assert tracer.events() == []
+
+
+class TestSpans:
+    def test_span_emits_event_and_observes_histogram(self, obs_on):
+        with scoped_registry() as registry, scoped_tracer() as tracer:
+            with span("sat_solve", n_vars=10) as handle:
+                handle.tag(satisfiable=True)
+        (event,) = tracer.events()
+        assert event["name"] == "sat_solve"
+        assert event["n_vars"] == 10
+        assert event["satisfiable"] is True
+        assert event["dur"] >= 0.0 and "ts" in event and "pid" in event
+        stats = registry.histogram_stats(SPAN_SECONDS_METRIC, span="sat_solve")
+        assert stats["count"] == 1
+
+    def test_span_records_even_when_body_raises(self, obs_on):
+        with scoped_tracer() as tracer:
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("x")
+        assert [e["name"] for e in tracer.events()] == ["boom"]
+
+    def test_tag_context_attaches_and_restores(self, obs_on):
+        with scoped_tracer() as tracer:
+            with tag_context(task="t1", job=None):
+                with span("cache"):
+                    pass
+            with span("cache"):
+                pass
+        first, second = tracer.events()
+        assert first["task"] == "t1"
+        assert "job" not in first  # None tags are dropped
+        assert "task" not in second  # context restored on exit
+
+    def test_emit_span_clamps_negative_duration(self, obs_on):
+        with scoped_tracer() as tracer:
+            emit_span("queue_wait", ts=123.0, dur=-5.0, scope="job")
+        (event,) = tracer.events()
+        assert event["dur"] == 0.0
+        assert event["scope"] == "job"
+
+    def test_reserved_keys_cannot_be_overridden_by_context(self, obs_on):
+        with scoped_tracer() as tracer:
+            with tag_context(name="evil", ts="evil"):
+                with span("real"):
+                    pass
+        (event,) = tracer.events()
+        assert event["name"] == "real"
+        assert isinstance(event["ts"], float)
+
+    def test_tracer_drain_clears_buffer(self):
+        tracer = Tracer()
+        tracer.append({"name": "a"})
+        tracer.extend([{"name": "b"}])
+        assert [e["name"] for e in tracer.drain()] == ["a", "b"]
+        assert tracer.events() == []
+
+    def test_scoped_tracer_shadows_ambient(self, obs_on):
+        ambient = get_tracer()
+        with scoped_tracer() as inner:
+            assert get_tracer() is inner
+            with span("scoped"):
+                pass
+        assert get_tracer() is ambient
+        assert [e["name"] for e in inner.events()] == ["scoped"]
+
+
+class TestChromeExport:
+    def test_conversion_units_and_args(self):
+        events = [
+            {"name": "train", "ts": 2.0, "dur": 0.5, "pid": 7, "tid": 9, "loss": 0.1}
+        ]
+        chrome = to_chrome_trace(events)
+        (entry,) = chrome["traceEvents"]
+        assert entry["ph"] == "X" and entry["cat"] == "repro"
+        assert entry["ts"] == 2.0e6 and entry["dur"] == 0.5e6
+        assert entry["pid"] == 7 and entry["tid"] == 9
+        assert entry["args"] == {"loss": 0.1}
+        assert json.loads(json.dumps(chrome)) == chrome
+
+    def test_jsonl_roundtrip_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_events_jsonl(path, [{"name": "a", "ts": 1.0}])
+        write_events_jsonl(path, [{"name": "b", "ts": 2.0}])
+        events = read_events_jsonl(path)
+        assert [e["name"] for e in events] == ["a", "b"]
+
+    def test_read_missing_file_and_garbage_lines(self, tmp_path):
+        assert read_events_jsonl(tmp_path / "absent.jsonl") == []
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "ok"}\nnot json\n\n', encoding="utf-8")
+        assert [e["name"] for e in read_events_jsonl(path)] == ["ok"]
+
+
+class TestRollup:
+    def _sidecar_payload(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_cache_events_total", kind="dataset", event="miss")
+        registry.observe(SPAN_SECONDS_METRIC, 0.25, span="train")
+        events = [{"name": "train", "ts": 10.0, "dur": 0.25, "pid": 1, "tid": 1}]
+        return registry.snapshot(), events
+
+    def test_obs_dir_sits_next_to_store(self, tmp_path):
+        store = tmp_path / "runs" / "quick.jsonl"
+        assert obs_dir_for_store(store) == tmp_path / "runs" / "quick.obs"
+
+    def test_sidecars_merge_and_are_consumed(self, tmp_path):
+        obs_dir = tmp_path / "c.obs"
+        snapshot, events = self._sidecar_payload()
+        sidecar = write_sidecar(obs_dir, "f" * 64, snapshot, events)
+        assert sidecar.is_file()
+        rollup = merge_sidecars(obs_dir)
+        assert not sidecar.exists()
+        assert rollup["merged_sidecars"] == 1
+        assert rollup["spans"]["train"]["count"] == 1
+        assert rollup["spans"]["train"]["total_s"] == pytest.approx(0.25)
+        assert load_rollup(obs_dir) == json.loads(
+            rollup_path(obs_dir).read_text(encoding="utf-8")
+        )
+        assert [e["name"] for e in read_events_jsonl(trace_path(obs_dir))] == ["train"]
+
+    def test_rollup_accumulates_across_merges(self, tmp_path):
+        obs_dir = tmp_path / "c.obs"
+        for fingerprint in ("a" * 64, "b" * 64):
+            snapshot, events = self._sidecar_payload()
+            write_sidecar(obs_dir, fingerprint, snapshot, events)
+            merge_sidecars(obs_dir)
+        rollup = load_rollup(obs_dir)
+        assert rollup["merged_sidecars"] == 2
+        assert rollup["spans"]["train"]["count"] == 2
+        assert rollup["spans"]["train"]["total_s"] == pytest.approx(0.5)
+        registry = MetricsRegistry()
+        registry.merge(rollup["metrics"])
+        assert registry.value(
+            "repro_cache_events_total", kind="dataset", event="miss"
+        ) == 2.0
+        assert len(read_events_jsonl(trace_path(obs_dir))) == 2
+
+    def test_same_fingerprint_overwrites_pending_sidecar(self, tmp_path):
+        obs_dir = tmp_path / "c.obs"
+        snapshot, events = self._sidecar_payload()
+        write_sidecar(obs_dir, "a" * 64, snapshot, events)
+        write_sidecar(obs_dir, "a" * 64, snapshot, events)
+        rollup = merge_sidecars(obs_dir)
+        assert rollup["merged_sidecars"] == 1
+        assert rollup["spans"]["train"]["count"] == 1
+
+    def test_extra_events_fold_in_without_sidecars(self, tmp_path):
+        obs_dir = tmp_path / "c.obs"
+        rollup = merge_sidecars(
+            obs_dir,
+            extra_events=[{"name": "queue_wait", "ts": 1.0, "dur": 2.0}],
+        )
+        assert rollup["spans"]["queue_wait"]["total_s"] == pytest.approx(2.0)
+
+    def test_span_summary_table_orders_by_total(self, tmp_path):
+        rollup = {
+            "spans": {
+                "fast": {"count": 2, "total_s": 0.1, "mean_s": 0.05, "max_s": 0.08},
+                "slow": {"count": 1, "total_s": 0.9, "mean_s": 0.9, "max_s": 0.9},
+            }
+        }
+        rows = span_summary_table(rollup)
+        assert [row[0] for row in rows] == ["slow", "fast"]
+        assert rows[0][5] == "90.0"  # share of total
+
+
+class TestStructuredLogs:
+    def test_plain_mode_passes_message_verbatim(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        lines = []
+        emit(lines.append, "job 1: starting", component="worker", job_id="1")
+        assert lines == ["job 1: starting"]
+        assert not log_json_enabled()
+
+    def test_json_mode_emits_structured_object(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "json")
+        lines = []
+        emit(
+            lines.append,
+            "job 1: starting",
+            component="worker",
+            job_id="1",
+            skipped=None,
+        )
+        assert log_json_enabled()
+        payload = json.loads(lines[0])
+        assert payload["msg"] == "job 1: starting"
+        assert payload["component"] == "worker"
+        assert payload["job_id"] == "1"
+        assert "skipped" not in payload  # None fields dropped
+        assert "ts" in payload and payload["level"] == "info"

@@ -1,0 +1,103 @@
+"""Telemetry across pool backends: one job's metrics land exactly once.
+
+Serial and thread jobs share the caller's process, so their increments hit
+the ambient scoped registry directly; process jobs run under a fresh scope in
+the worker and ship their delta back with the result.  The invariant under
+test: *whatever the backend, N jobs leave identical telemetry in the
+caller's registry/tracer*.
+"""
+
+import pytest
+
+from repro.obs import (
+    OBS_ENV,
+    SPAN_SECONDS_METRIC,
+    scoped_registry,
+    scoped_tracer,
+    span,
+)
+from repro.parallel import WorkerPool
+
+
+def _observed_job(x):
+    from repro.obs import get_registry
+
+    with span("pool_job", index=x):
+        get_registry().inc("pool_jobs_total", backend="any")
+    return x * x
+
+
+@pytest.fixture
+def obs_on(monkeypatch):
+    monkeypatch.setenv(OBS_ENV, "1")
+
+
+class TestPoolTelemetryMerge:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_submit_merges_identically_across_backends(self, backend, obs_on):
+        with scoped_registry() as registry, scoped_tracer() as tracer:
+            with WorkerPool(backend, max_workers=2) as pool:
+                futures = [pool.submit(_observed_job, x) for x in range(4)]
+                assert sorted(f.result() for f in futures) == [0, 1, 4, 9]
+        assert registry.value("pool_jobs_total", backend="any") == 4.0
+        stats = registry.histogram_stats(SPAN_SECONDS_METRIC, span="pool_job")
+        assert stats["count"] == 4
+        events = [e for e in tracer.events() if e["name"] == "pool_job"]
+        assert sorted(e["index"] for e in events) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_map_merges_identically_across_backends(self, backend, obs_on):
+        with scoped_registry() as registry, scoped_tracer() as tracer:
+            with WorkerPool(backend, max_workers=2) as pool:
+                assert pool.map(_observed_job, range(3)) == [0, 1, 4]
+        assert registry.value("pool_jobs_total", backend="any") == 3.0
+        assert len(tracer.events()) == 3
+
+    def test_as_completed_yields_shipping_wrappers(self, obs_on):
+        """{future: index} maps built at submit time stay valid (SAT shards)."""
+        with scoped_registry() as registry, scoped_tracer():
+            with WorkerPool("process", max_workers=2) as pool:
+                futures = [pool.submit(_observed_job, x) for x in range(3)]
+                index_of = {future: i for i, future in enumerate(futures)}
+                seen = set()
+                for future in pool.as_completed(futures):
+                    seen.add(index_of[future])  # KeyError if identity broke
+                    future.result()
+                assert seen == {0, 1, 2}
+        assert registry.value("pool_jobs_total", backend="any") == 3.0
+
+    def test_result_merges_exactly_once(self, obs_on):
+        with scoped_registry() as registry, scoped_tracer() as tracer:
+            with WorkerPool("process", max_workers=1) as pool:
+                future = pool.submit(_observed_job, 2)
+                assert future.result() == 4
+                assert future.result() == 4  # second access: no re-merge
+                assert future.exception() is None
+        assert registry.value("pool_jobs_total", backend="any") == 1.0
+        assert len(tracer.events()) == 1
+
+    def test_disabled_obs_keeps_plain_futures(self, monkeypatch):
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        with scoped_registry() as registry:
+            with WorkerPool("process", max_workers=1) as pool:
+                future = pool.submit(_observed_job, 3)
+                assert not hasattr(future, "_inner")
+                assert future.result() == 9
+        # Span disabled and the worker's registry is not shipped back.
+        assert registry.value("pool_jobs_total", backend="any") == 0.0
+
+    def test_failed_job_ships_no_telemetry(self, obs_on):
+        with scoped_registry() as registry:
+            with WorkerPool("process", max_workers=1) as pool:
+                future = pool.submit(_failing_job, 1)
+                with pytest.raises(RuntimeError, match="job failed"):
+                    future.result()
+                assert isinstance(future.exception(), RuntimeError)
+        assert registry.value("pool_jobs_total", backend="any") == 0.0
+
+
+def _failing_job(_x):
+    from repro.obs import get_registry
+
+    get_registry().inc("pool_jobs_total", backend="any")
+    raise RuntimeError("job failed")

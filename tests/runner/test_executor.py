@@ -447,7 +447,7 @@ class TestWorkerCrash:
         assert all(r["status"] == "failed" for r in store.load())
 
 
-def _die_hard(task, cache_path=None, intra_workers=None):
+def _die_hard(task, *args, **kwargs):
     """Simulates a hard worker death (no Python-level exception to catch)."""
     os._exit(3)
 
