@@ -1,0 +1,250 @@
+"""Microbenchmark for the attack hot paths: simulation, SAT, CNF encoding.
+
+Three raw-speed workloads, each checked for correctness before timing is
+reported:
+
+* **packed simulation** — bit-parallel (uint64-lane) vs dense engine on the
+  largest benchgen profile (b17_C), asserting bit-identical outputs.  This
+  is the oracle-query / signal-probability / labeling hot loop.
+* **incremental SAT** — model enumeration with blocking clauses on one live
+  solver (watches + learned clauses retained) vs a fresh solver per query,
+  asserting both enumerate the same solution count to exhaustion.
+* **encode cache** — memoised Tseitin template replay vs the direct netlist
+  walk, in the miter shape real callers use (same circuit encoded twice),
+  asserting byte-identical clause streams.
+
+Emits ``BENCH_hot_paths.json`` next to the repository root so successive PRs
+can track the perf trajectory, and prints a human-readable summary.
+
+The speedup floors (5x packed simulation, 1.5x incremental enumeration) are
+recorded in the JSON either way; the exit code only enforces them under
+``REPRO_BENCH_STRICT=1`` — CI runs report-only because wall-clock ratios on
+shared runners are noisy (the bit-identical asserts are the correctness
+gate and always enforced).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py                  # report
+    REPRO_BENCH_STRICT=1 PYTHONPATH=src python benchmarks/bench_hot_paths.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen import RandomLogicSpec, generate_random_circuit, get_benchmark  # noqa: E402
+from repro.netlist import random_patterns, simulate_patterns  # noqa: E402
+from repro.sat import CNF, SatSolver, solve  # noqa: E402
+from repro.sat.tseitin import CircuitEncoder, clear_encoding_cache  # noqa: E402
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hot_paths.json"
+
+SIM_PROFILE = "b17_C"  # largest benchgen profile
+SIM_PATTERNS_LOG2 = 17
+REPEATS = 3
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Phase 1: packed vs dense simulation
+# ----------------------------------------------------------------------
+def bench_packed_sim() -> dict:
+    circuit = get_benchmark(SIM_PROFILE)
+    n_patterns = 1 << SIM_PATTERNS_LOG2
+    patterns = random_patterns(
+        len(circuit.all_inputs), n_patterns, np.random.default_rng(1)
+    )
+    # Warm both engines (cell safety proofs, simulator plan) outside timing.
+    simulate_patterns(circuit, patterns[:256], engine="dense")
+    simulate_patterns(circuit, patterns[:256], engine="packed")
+
+    dense_s, dense_out = _best_of(
+        REPEATS, lambda: simulate_patterns(circuit, patterns, engine="dense")
+    )
+    packed_s, packed_out = _best_of(
+        REPEATS, lambda: simulate_patterns(circuit, patterns, engine="packed")
+    )
+    assert np.array_equal(dense_out, packed_out), "engines disagree"
+
+    return {
+        "profile": SIM_PROFILE,
+        "gates": len(circuit.gates),
+        "inputs": len(circuit.all_inputs),
+        "n_patterns": n_patterns,
+        "dense_s": dense_s,
+        "packed_s": packed_s,
+        "dense_patterns_per_s": n_patterns / dense_s,
+        "packed_patterns_per_s": n_patterns / packed_s,
+        "speedup": dense_s / packed_s,
+        "bit_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 2: incremental vs fresh-solver enumeration
+# ----------------------------------------------------------------------
+def _enumeration_instance():
+    spec = RandomLogicSpec(
+        name="enum", n_inputs=16, n_outputs=1, n_gates=1500, seed=11
+    )
+    circuit = generate_random_circuit(spec)
+    encoder = CircuitEncoder()
+    var_of = encoder.encode(circuit)
+    cnf = encoder.cnf
+    # Enumerate every projection onto the first 6 inputs (exactly 64): each
+    # query must extend the projection through the full circuit formula, and
+    # the final query proves exhaustion (UNSAT).
+    block_vars = [var_of[net] for net in list(circuit.inputs)[:6]]
+    return cnf, block_vars
+
+
+def _enumerate(cnf: CNF, block_vars, *, incremental: bool) -> tuple[int, float]:
+    count = 0
+    started = time.perf_counter()
+    solver = SatSolver(cnf) if incremental else None
+    while True:
+        result = solver.solve() if incremental else solve(cnf)
+        if not result.satisfiable:
+            break
+        count += 1
+        blocking = [
+            -v if result.value(v) else v for v in block_vars
+        ]
+        cnf.add_clause(blocking)
+        if incremental:
+            solver.add_clause(blocking)
+    return count, time.perf_counter() - started
+
+
+def bench_incremental_sat() -> dict:
+    cnf_fresh, blocks_fresh = _enumeration_instance()
+    fresh_count, fresh_s = _enumerate(cnf_fresh, blocks_fresh, incremental=False)
+
+    cnf_inc, blocks_inc = _enumeration_instance()
+    inc_count, inc_s = _enumerate(cnf_inc, blocks_inc, incremental=True)
+
+    # Enumeration to exhaustion counts every distinct projected assignment:
+    # both strategies must agree regardless of which models they visit first.
+    assert fresh_count == inc_count, (fresh_count, inc_count)
+
+    return {
+        "cnf_vars": cnf_fresh.n_vars,
+        "cnf_clauses": cnf_fresh.n_clauses,
+        "projected_vars": len(blocks_fresh),
+        "solutions": inc_count,
+        "fresh_total_s": fresh_s,
+        "incremental_total_s": inc_s,
+        "fresh_s_per_query": fresh_s / (fresh_count + 1),
+        "incremental_s_per_query": inc_s / (inc_count + 1),
+        "speedup": fresh_s / inc_s,
+        "counts_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 3: memoised encode vs direct walk (miter shape)
+# ----------------------------------------------------------------------
+def _encode_miter(circuit, *, memo: bool):
+    cnf = CNF()
+    encoder = CircuitEncoder(cnf)
+    encode = encoder.encode if memo else encoder._encode_direct
+    left = encode(circuit, prefix="l_")
+    encode(
+        circuit,
+        prefix="r_",
+        share_nets={net: left[net] for net in circuit.inputs},
+    )
+    return cnf
+
+
+def bench_encode_cache() -> dict:
+    circuit = get_benchmark(SIM_PROFILE)
+
+    direct_s, direct_cnf = _best_of(
+        REPEATS, lambda: _encode_miter(circuit, memo=False)
+    )
+    clear_encoding_cache()
+    cold_s, _ = _best_of(1, lambda: _encode_miter(circuit, memo=True))
+    warm_s, warm_cnf = _best_of(
+        REPEATS, lambda: _encode_miter(circuit, memo=True)
+    )
+    assert warm_cnf.clauses == direct_cnf.clauses, "cached encode diverged"
+    assert warm_cnf.names == direct_cnf.names
+
+    return {
+        "profile": SIM_PROFILE,
+        "gates": len(circuit.gates),
+        "miter_clauses": direct_cnf.n_clauses,
+        "direct_s": direct_s,
+        "cold_cached_s": cold_s,
+        "warm_cached_s": warm_s,
+        "speedup_warm": direct_s / warm_s,
+        "byte_identical": True,
+    }
+
+
+def main() -> int:
+    report = {
+        "bench": "hot_paths",
+        "packed_sim": bench_packed_sim(),
+        "incremental_sat": bench_incremental_sat(),
+        "encode_cache": bench_encode_cache(),
+    }
+    sim = report["packed_sim"]
+    inc = report["incremental_sat"]
+    enc = report["encode_cache"]
+    report["acceptance"] = {
+        "packed_sim_speedup": sim["speedup"],
+        "packed_sim_target": 5.0,
+        "incremental_sat_speedup": inc["speedup"],
+        "incremental_sat_target": 1.5,
+        "pass": bool(sim["speedup"] >= 5.0 and inc["speedup"] >= 1.5),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"== packed simulation ({sim['profile']}, {sim['gates']} gates, "
+        f"2^{SIM_PATTERNS_LOG2} patterns) =="
+    )
+    print(f"  dense engine  : {sim['dense_s']:.3f} s "
+          f"({sim['dense_patterns_per_s']:.0f} patterns/s)")
+    print(f"  packed engine : {sim['packed_s']:.3f} s "
+          f"({sim['packed_patterns_per_s']:.0f} patterns/s)")
+    print(f"  speedup       : {sim['speedup']:.1f}x (target 5x), bit-identical")
+    print(
+        f"== incremental SAT enumeration ({inc['cnf_clauses']} clauses, "
+        f"{inc['solutions']} solutions) =="
+    )
+    print(f"  fresh solver per query : {inc['fresh_total_s']:.3f} s total")
+    print(f"  one incremental solver : {inc['incremental_total_s']:.3f} s total")
+    print(f"  speedup                : {inc['speedup']:.1f}x (target 1.5x)")
+    print(f"== encode cache (miter over {enc['profile']}) ==")
+    print(f"  direct walk   : {enc['direct_s']*1e3:.1f} ms")
+    print(f"  cold (build)  : {enc['cold_cached_s']*1e3:.1f} ms")
+    print(f"  warm (replay) : {enc['warm_cached_s']*1e3:.1f} ms "
+          f"({enc['speedup_warm']:.1f}x vs direct), byte-identical")
+    print(f"\nwrote {RESULT_PATH}")
+    if os.environ.get("REPRO_BENCH_STRICT", "").strip() in ("1", "true", "yes"):
+        return 0 if report["acceptance"]["pass"] else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

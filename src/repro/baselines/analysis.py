@@ -21,7 +21,7 @@ from ..netlist.traversal import (
     key_inputs_in_fanin,
     primary_inputs_in_fanin,
     )
-from ..sat.solver import solve
+from ..sat.solver import ConflictBudgetExceeded, SatSolver
 from ..sat.tseitin import CircuitEncoder
 
 __all__ = ["SfllStructure", "trace_sfll_structure", "enumerate_activating_patterns"]
@@ -172,11 +172,16 @@ def enumerate_activating_patterns(
     cnf = encoder.cnf
     cnf.add_clause([var_of[flip_root]])
 
+    # One incremental solver enumerates all patterns: blocking clauses are
+    # pushed into the live solver, which keeps its watches and learned
+    # clauses across queries instead of rebuilding the formula per pattern.
+    solver = SatSolver(cnf)
     patterns: List[Dict[str, bool]] = []
     for attempt in range(max_patterns):
+        solver.set_phase_seed(attempt)
         try:
-            result = solve(cnf, max_conflicts=max_conflicts, phase_seed=attempt)
-        except RuntimeError:
+            result = solver.solve(max_conflicts=max_conflicts)
+        except ConflictBudgetExceeded:
             break
         if not result.satisfiable:
             break
@@ -196,4 +201,5 @@ def enumerate_activating_patterns(
         if not blocking:
             break
         cnf.add_clause(blocking)
+        solver.add_clause(blocking)
     return patterns

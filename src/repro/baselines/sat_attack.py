@@ -20,7 +20,7 @@ from ..parallel import WorkerPool
 from ..netlist.circuit import Circuit
 from ..netlist.simulate import simulate
 from ..sat.cnf import CNF
-from ..sat.solver import solve
+from ..sat.solver import ConflictBudgetExceeded, SatSolver
 from ..sat.tseitin import CircuitEncoder
 from ..sat.equivalence import check_equivalence
 from .base import BaselineResult
@@ -58,7 +58,11 @@ def sat_attack(
     vars_a = encoder.encode(locked, prefix="A::", share_nets={**shared_pi, **key_a})
     vars_b = encoder.encode(locked, prefix="B::", share_nets={**shared_pi, **key_b})
 
-    # Difference miter: the two keyed copies disagree on some output.
+    # Difference miter: the two keyed copies disagree on some output.  The
+    # miter clause carries an activation literal so one incremental solver
+    # serves both query shapes: DIP search solves under ``[act]``; the final
+    # key extraction solves under ``[-act]``, which satisfies (disables) the
+    # miter clause without rebuilding the formula.
     xor_vars = []
     for po in outputs:
         x = cnf.new_var()
@@ -68,14 +72,18 @@ def sat_attack(
         cnf.add_clause([x, -va, vb])
         cnf.add_clause([x, va, -vb])
         xor_vars.append(x)
-    cnf.add_clause(xor_vars)
+    act = cnf.new_var()
+    cnf.add_clause(xor_vars + [-act])
 
+    solver = SatSolver(cnf)
     iterations = 0
     dips: List[Dict[str, bool]] = []
     for iterations in range(1, max_iterations + 1):
         try:
-            model = solve(cnf, max_conflicts=max_conflicts_per_call)
-        except RuntimeError:
+            model = solver.solve(
+                assumptions=[act], max_conflicts=max_conflicts_per_call
+            )
+        except ConflictBudgetExceeded:
             return BaselineResult(
                 attack="SAT",
                 scheme=result.scheme,
@@ -102,6 +110,7 @@ def sat_attack(
             for po in outputs:
                 var = copy_vars[po]
                 cnf.add_clause([var] if oracle_values[po] else [-var])
+        solver.attach_new_clauses(cnf)
     else:
         return BaselineResult(
             attack="SAT",
@@ -111,9 +120,10 @@ def sat_attack(
             statistics={"iterations": max_iterations, "dips": len(dips)},
         )
 
-    # UNSAT: any key satisfying the accumulated constraints is functionally
-    # correct.  Solve the constraint set alone for key copy A.
-    final = solve(_strip_miter(cnf, xor_vars))
+    # UNSAT under [act]: any key satisfying the accumulated constraints is
+    # functionally correct.  Retract the miter via [-act] and solve for key
+    # copy A on the same solver, keeping everything it has learned.
+    final = solver.solve(assumptions=[-act])
     if not final.satisfiable:
         return BaselineResult(
             attack="SAT",
@@ -149,21 +159,3 @@ def _constant_var(cnf: CNF, value: bool) -> int:
     var = cnf.new_var()
     cnf.add_clause([var] if value else [-var])
     return var
-
-
-def _strip_miter(cnf: CNF, xor_vars: List[int]) -> CNF:
-    """Copy of the formula without the output-difference clause.
-
-    The difference clause is the single clause consisting exactly of the
-    XOR-flag variables; every other clause (circuit encodings and oracle
-    constraints) is kept.
-    """
-    target = tuple(xor_vars)
-    stripped = CNF()
-    for _ in range(cnf.n_vars):
-        stripped.new_var()
-    for clause in cnf.clauses:
-        if tuple(clause) == target:
-            continue
-        stripped.add_clause(clause)
-    return stripped

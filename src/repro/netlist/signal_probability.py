@@ -18,8 +18,9 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from .circuit import Circuit
-from .simulate import random_patterns, simulate
+from .circuit import Circuit, CircuitError
+from .packed_sim import PackedSimulator, pack_rows, popcount
+from .simulate import _resolve_engine, random_patterns, simulate
 
 __all__ = [
     "estimate_probabilities_simulation",
@@ -37,18 +38,46 @@ def estimate_probabilities_simulation(
 ) -> Dict[str, float]:
     """Estimate P(net = 1) for every net via random simulation.
 
-    Key inputs are randomised unless ``key_assignment`` pins them.
+    Key inputs are randomised unless ``key_assignment`` pins them; a
+    ``key_assignment`` naming a net that is not one of the circuit's key
+    inputs raises :class:`~repro.netlist.circuit.CircuitError` — a misspelled
+    key net must not silently degrade into a random-key simulation.
+
+    On packed-safe circuits the probabilities come straight from popcounts of
+    the bit-parallel engine's words (no per-net bool materialisation);
+    results are bit-identical to the dense path.
     """
     rng = rng or np.random.default_rng(0)
+    if key_assignment:
+        unknown = set(key_assignment) - set(circuit.key_inputs)
+        if unknown:
+            raise CircuitError(
+                f"key_assignment names nets that are not key inputs: "
+                f"{sorted(unknown)[:5]}"
+            )
     all_inputs = circuit.all_inputs
     patterns = random_patterns(len(all_inputs), n_patterns, rng)
-    assignments = {net: patterns[:, i] for i, net in enumerate(all_inputs)}
+    assignments: Dict[str, np.ndarray] = {
+        net: patterns[:, i] for i, net in enumerate(all_inputs)
+    }
     if key_assignment:
         for net, value in key_assignment.items():
             assignments[net] = np.full(n_patterns, bool(value))
     every_net = list(circuit.gate_names())
-    values = simulate(circuit, assignments, outputs=every_net)
+
     probs: Dict[str, float] = {}
+    if _resolve_engine("auto", circuit, n_patterns) == "packed":
+        order = list(assignments)
+        words = pack_rows([assignments[net] for net in order], n_patterns)
+        packed = {net: words[i] for i, net in enumerate(order)}
+        values = PackedSimulator(circuit).run(packed, every_net)
+        for net in all_inputs:
+            probs[net] = popcount(packed[net]) / n_patterns
+        for net in every_net:
+            probs[net] = popcount(values[net]) / n_patterns
+        return probs
+
+    values = simulate(circuit, assignments, outputs=every_net, engine="dense")
     for net in all_inputs:
         probs[net] = float(assignments[net].mean())
     for net in every_net:

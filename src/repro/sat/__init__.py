@@ -1,7 +1,7 @@
 """SAT substrate: CNF, CDCL solver, Tseitin encoding, equivalence checking."""
 
 from .cnf import CNF
-from .solver import SatResult, SatSolver, solve
+from .solver import ConflictBudgetExceeded, SatResult, SatSolver, solve
 from .tseitin import CircuitEncoder, encode_circuit
 from .equivalence import (
     structurally_identical,
@@ -15,6 +15,7 @@ from .equivalence import (
 
 __all__ = [
     "CNF",
+    "ConflictBudgetExceeded",
     "SatResult",
     "SatSolver",
     "solve",

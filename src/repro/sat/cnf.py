@@ -58,6 +58,15 @@ class CNF:
     def clauses(self) -> List[Tuple[int, ...]]:
         return list(self._clauses)
 
+    def clauses_from(self, start: int) -> List[Tuple[int, ...]]:
+        """Clauses appended since index ``start`` (cheap incremental tail).
+
+        Incremental consumers (a live :class:`~repro.sat.solver.SatSolver`
+        fed by ``attach_new_clauses``) read only the tail instead of copying
+        the whole clause list per query.
+        """
+        return self._clauses[start:]
+
     # ------------------------------------------------------------------
     # Clause management
     # ------------------------------------------------------------------

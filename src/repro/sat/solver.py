@@ -1,4 +1,4 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver with an incremental assumption interface.
 
 This replaces the external SAT engines the paper's toolchain relies on
 (equivalence checking with Synopsys Formality, the SAT queries inside the FALL
@@ -14,8 +14,23 @@ baseline).  It implements the standard conflict-driven clause-learning loop:
 
 It is not competitive with MiniSat, but it is exact, dependency-free and fast
 enough for the miters produced by the scaled benchmark circuits used here.
-Assumption literals are handled by adding them as unit clauses to a fresh
-solver (every public entry point builds a fresh solver).
+
+Incremental use
+---------------
+A :class:`SatSolver` instance can be queried repeatedly.  ``solve`` accepts
+*assumptions* — literals treated as decisions at the first decision levels
+(the MiniSat interface) — which are retracted automatically when the call
+returns, and :meth:`SatSolver.add_clause` strengthens the live formula between
+calls.  Learned clauses, variable activities and saved phases survive across
+calls, so a query sequence over one growing formula (the SAT attack's DIP
+loop, FALL's pattern enumeration) avoids rebuilding CNF and watch lists per
+query and reuses everything learned so far.  Verdicts are always identical to
+a fresh solver on the same formula + assumptions; models may legitimately
+differ (both are satisfying assignments).
+
+The legacy entry points are unchanged: the module-level :func:`solve` builds a
+fresh solver per call, and constructor ``assumptions`` are baked in as unit
+clauses (irrevocably — use per-call assumptions for retractable ones).
 """
 
 from __future__ import annotations
@@ -26,7 +41,24 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..obs import span
 from .cnf import CNF
 
-__all__ = ["SatResult", "SatSolver", "solve"]
+__all__ = ["ConflictBudgetExceeded", "SatResult", "SatSolver", "solve"]
+
+
+class ConflictBudgetExceeded(RuntimeError):
+    """A ``solve(max_conflicts=...)`` call ran out of its conflict budget.
+
+    Budgeted callers (the SAT attack's per-DIP queries, FALL's pattern
+    enumeration) catch this specific type instead of a bare ``RuntimeError``,
+    so unrelated failures propagate instead of being swallowed as "budget
+    exhausted".
+    """
+
+    def __init__(self, budget: int, conflicts: int):
+        super().__init__(
+            f"SAT conflict budget of {budget} exceeded after {conflicts} conflicts"
+        )
+        self.budget = budget
+        self.conflicts = conflicts
 
 
 @dataclass
@@ -39,9 +71,28 @@ class SatResult:
     decisions: int
     propagations: int
 
+    def is_assigned(self, var: int) -> bool:
+        """True when the variable has a value in the satisfying assignment."""
+        return var in self.assignment
+
     def value(self, var: int) -> bool:
-        """Value of a variable in the satisfying assignment (False if free)."""
-        return self.assignment.get(var, False)
+        """Value of a variable in the satisfying assignment.
+
+        Raises :class:`ValueError` for a variable the model leaves free (or on
+        an UNSAT result, where every variable is free) — callers decoding key
+        bits must not mistake a free variable for a 0 bit.  Use
+        :meth:`is_assigned` / :meth:`value_or` when a free variable is an
+        expected outcome.
+        """
+        try:
+            return self.assignment[var]
+        except KeyError:
+            state = "free in this model" if self.satisfiable else "unassigned (UNSAT result)"
+            raise ValueError(f"variable {var} is {state}") from None
+
+    def value_or(self, var: int, default: bool = False) -> bool:
+        """Value of a variable, or ``default`` when the model leaves it free."""
+        return self.assignment.get(var, default)
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -63,6 +114,10 @@ class SatSolver:
     ``phase_seed`` randomises the initial decision phases, which diversifies
     the models returned by repeated enumeration queries (used by the baseline
     attacks when collecting protected-pattern samples).
+
+    The solver snapshots the clauses of ``cnf`` at construction time; clauses
+    added to the CNF object afterwards must be fed in explicitly through
+    :meth:`add_clause` (or :meth:`attach_new_clauses`).
     """
 
     def __init__(
@@ -78,6 +133,8 @@ class SatSolver:
         self.clauses: List[List[int]] = []
         self._unsat_on_input = False
         self._pending_units: List[int] = []
+        #: Number of CNF clauses already ingested (for attach_new_clauses).
+        self._cnf_clauses_seen = cnf.n_clauses
 
         for clause in list(cnf.clauses) + [(int(l),) for l in assumptions]:
             clause = list(dict.fromkeys(clause))  # dedupe, keep order
@@ -103,15 +160,13 @@ class SatSolver:
         self.var_inc = 1.0
         self.var_decay = 0.95
         if phase_seed is not None:
-            import random
-
-            rng = random.Random(phase_seed)
-            self.phase = [rng.random() < 0.5 for _ in range(size)]
+            self.set_phase_seed(phase_seed)
 
         self.watches: Dict[int, List[int]] = {}
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.solve_calls = 0
 
         for idx, clause in enumerate(self.clauses):
             self._watch(clause[0], idx)
@@ -143,6 +198,84 @@ class SatSolver:
 
     def _decision_level(self) -> int:
         return len(self.trail_lim)
+
+    def _ensure_var(self, var: int) -> None:
+        """Grow the per-variable arrays so ``var`` is addressable."""
+        if var < len(self.assignment):
+            self.n_vars = max(self.n_vars, var)
+            return
+        grow = var + 1 - len(self.assignment)
+        self.assignment.extend([None] * grow)
+        self.level.extend([0] * grow)
+        self.reason.extend([None] * grow)
+        self.activity.extend([0.0] * grow)
+        self.phase.extend([False] * grow)
+        self.n_vars = max(self.n_vars, var)
+
+    def set_phase_seed(self, seed: int) -> None:
+        """Re-randomise the decision phases (model diversification knob).
+
+        Enumeration loops that previously built a fresh solver per query with
+        a different ``phase_seed`` call this between incremental queries to
+        keep drawing diverse models.
+        """
+        import random
+
+        rng = random.Random(seed)
+        self.phase = [rng.random() < 0.5 for _ in range(len(self.assignment))]
+
+    # ------------------------------------------------------------------
+    # Incremental clause interface
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Strengthen the live formula with one clause.
+
+        Sound between ``solve`` calls: the trail is unwound to decision level
+        0 first, literals already false at level 0 are dropped (they are
+        permanently false) and a clause containing a literal true at level 0
+        is permanently satisfied and skipped.
+        """
+        self._cancel_until(0)
+        clause = list(dict.fromkeys(int(l) for l in literals))
+        if not clause:
+            self._unsat_on_input = True
+            return
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        for lit in clause:
+            self._ensure_var(abs(lit))
+        reduced: List[int] = []
+        for lit in clause:
+            val = self._lit_value(lit)
+            if val is True:
+                return  # satisfied at level 0 forever
+            if val is False:
+                continue  # permanently false literal
+            reduced.append(lit)
+        if not reduced:
+            self._unsat_on_input = True
+            return
+        if len(reduced) == 1:
+            if not self._enqueue(reduced[0], None):
+                self._unsat_on_input = True
+            return
+        idx = len(self.clauses)
+        self.clauses.append(reduced)
+        self._watch(reduced[0], idx)
+        self._watch(reduced[1], idx)
+
+    def attach_new_clauses(self, cnf: CNF) -> int:
+        """Ingest clauses appended to ``cnf`` since the last snapshot.
+
+        Callers that keep encoding into the CNF the solver was built from
+        (the SAT attack adds oracle constraints per DIP) call this after each
+        encoding burst; returns the number of clauses ingested.
+        """
+        fresh = cnf.clauses_from(self._cnf_clauses_seen)
+        self._cnf_clauses_seen = cnf.n_clauses
+        for clause in fresh:
+            self.add_clause(clause)
+        return len(fresh)
 
     # ------------------------------------------------------------------
     # Unit propagation (two watched literals)
@@ -289,18 +422,52 @@ class SatSolver:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(self, *, max_conflicts: Optional[int] = None) -> SatResult:
-        """Run the CDCL loop to completion.
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        max_conflicts: Optional[int] = None,
+    ) -> SatResult:
+        """Run the CDCL loop to completion, optionally under assumptions.
 
-        Raises ``RuntimeError`` if ``max_conflicts`` is exceeded, so callers
-        can budget expensive queries (e.g. the FALL SlidingWindow algorithm).
+        ``assumptions`` are literals decided (in order) at the first decision
+        levels and retracted before the call returns, so the solver can be
+        re-queried under different assumptions while keeping every clause it
+        has learned.  Raises :class:`ConflictBudgetExceeded` if this call
+        exceeds ``max_conflicts`` conflicts (the budget is per call, not per
+        solver lifetime).
         """
+        with span(
+            "sat_solve",
+            n_vars=self.n_vars,
+            n_clauses=len(self.clauses),
+            incremental=self.solve_calls > 0,
+        ) as handle:
+            result = self._solve(list(assumptions), max_conflicts)
+            handle.tag(
+                satisfiable=bool(result.satisfiable), conflicts=int(result.conflicts)
+            )
+            return result
+
+    def _solve(
+        self, assume: List[int], max_conflicts: Optional[int]
+    ) -> SatResult:
+        self.solve_calls += 1
+        for lit in assume:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed as an assumption")
+            self._ensure_var(abs(lit))
+        self._cancel_until(0)
         if self._unsat_on_input:
             return self._result(False)
-        for lit in self._pending_units:
-            if not self._enqueue(lit, None):
-                return self._result(False)
+        if self._pending_units:
+            for lit in self._pending_units:
+                if not self._enqueue(lit, None):
+                    self._unsat_on_input = True
+                    return self._result(False)
+            self._pending_units = []
 
+        start_conflicts = self.conflicts
         restart_idx = 1
         restart_budget = 64 * _luby(restart_idx)
         conflicts_since_restart = 0
@@ -310,9 +477,18 @@ class SatSolver:
             if conflict_idx is not None:
                 self.conflicts += 1
                 conflicts_since_restart += 1
-                if max_conflicts is not None and self.conflicts > max_conflicts:
-                    raise RuntimeError("SAT conflict budget exceeded")
+                if (
+                    max_conflicts is not None
+                    and self.conflicts - start_conflicts > max_conflicts
+                ):
+                    self._cancel_until(0)
+                    raise ConflictBudgetExceeded(
+                        max_conflicts, self.conflicts - start_conflicts
+                    )
                 if self._decision_level() == 0:
+                    # Conflict independent of any decision or assumption: the
+                    # formula itself is unsatisfiable, now and forever.
+                    self._unsat_on_input = True
                     return self._result(False)
                 learned, back_level = self._analyze(conflict_idx)
                 self._cancel_until(back_level)
@@ -327,12 +503,35 @@ class SatSolver:
                 self._cancel_until(0)
                 continue
 
-            var = self._pick_branch_var()
-            if var is None:
-                return self._result(True)
+            # Decide the next unassigned assumption first (in order); fall
+            # back to the activity heuristic once all assumptions hold.
+            next_lit: Optional[int] = None
+            while self._decision_level() < len(assume):
+                lit = assume[self._decision_level()]
+                val = self._lit_value(lit)
+                if val is True:
+                    # Already implied: open an empty level so assumption i
+                    # stays pinned to decision level i+1.
+                    self.trail_lim.append(len(self.trail))
+                elif val is False:
+                    # The formula (plus earlier assumptions) forces the
+                    # negation of this assumption: UNSAT under assumptions.
+                    result = self._result(False)
+                    self._cancel_until(0)
+                    return result
+                else:
+                    next_lit = lit
+                    break
+            if next_lit is None:
+                var = self._pick_branch_var()
+                if var is None:
+                    result = self._result(True)
+                    self._cancel_until(0)
+                    return result
+                next_lit = var if self.phase[var] else -var
             self.decisions += 1
             self.trail_lim.append(len(self.trail))
-            self._enqueue(var if self.phase[var] else -var, None)
+            self._enqueue(next_lit, None)
 
     def _result(self, satisfiable: bool) -> SatResult:
         assignment: Dict[int, bool] = {}
@@ -356,11 +555,6 @@ def solve(
     phase_seed: Optional[int] = None,
 ) -> SatResult:
     """Solve ``cnf`` (optionally under assumption literals) with a fresh solver."""
-    with span("sat_solve", n_vars=cnf.n_vars, n_clauses=len(cnf.clauses)) as handle:
-        result = SatSolver(cnf, assumptions, phase_seed=phase_seed).solve(
-            max_conflicts=max_conflicts
-        )
-        handle.tag(
-            satisfiable=bool(result.satisfiable), conflicts=int(result.conflicts)
-        )
-        return result
+    return SatSolver(cnf, assumptions, phase_seed=phase_seed).solve(
+        max_conflicts=max_conflicts
+    )

@@ -1,0 +1,150 @@
+"""Property tests for the bit-parallel (packed) simulation engine.
+
+The packed engine must be bit-identical to the dense reference on every
+circuit it admits — these tests sweep random circuits, random pattern
+batches, mixed scalar/vector assignments and the pack/unpack round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import RandomLogicSpec, generate_random_circuit, get_benchmark
+from repro.netlist import (
+    PACKED_MIN_PATTERNS,
+    CircuitError,
+    PackedSimulator,
+    circuit_supports_packed,
+    pack_bits,
+    pack_rows,
+    popcount,
+    random_patterns,
+    simulate,
+    simulate_patterns,
+    unpack_bits,
+)
+
+
+def _random_circuit(seed, n_gates=60):
+    spec = RandomLogicSpec(
+        name=f"pk{seed}",
+        n_inputs=6 + seed % 7,
+        n_outputs=1 + seed % 4,
+        n_gates=n_gates,
+        seed=seed,
+    )
+    return generate_random_circuit(spec)
+
+
+class TestPackRoundTrip:
+    @pytest.mark.parametrize("n", [1, 63, 64, 65, 128, 1000])
+    def test_pack_unpack_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        bits = rng.integers(0, 2, size=n).astype(bool)
+        words = pack_bits(bits)
+        assert words.dtype == np.uint64
+        assert words.shape[0] == (n + 63) // 64
+        assert np.array_equal(unpack_bits(words, n), bits)
+
+    def test_pad_bits_are_zero(self):
+        bits = np.ones(70, dtype=bool)
+        words = pack_bits(bits)
+        # Bits 70..127 of the second word must be zero padding.
+        assert int(words[1]) == (1 << 6) - 1
+
+    def test_popcount_matches_sum(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=977).astype(bool)
+        assert popcount(pack_bits(bits)) == int(bits.sum())
+
+    def test_pack_rows_matches_pack_bits(self):
+        rng = np.random.default_rng(5)
+        mat = rng.integers(0, 2, size=(300, 11)).astype(bool)
+        # Strided columns, exactly like the simulate hot path hands them over.
+        vectors = [mat[:, i] for i in range(mat.shape[1])]
+        rows = pack_rows(vectors, mat.shape[0])
+        for i, vec in enumerate(vectors):
+            assert np.array_equal(rows[i], pack_bits(vec))
+
+    def test_pack_bits_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((4, 4), dtype=bool))
+
+
+class TestPackedMatchesDense:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits_bit_identical(self, seed):
+        circuit = _random_circuit(seed)
+        assert circuit_supports_packed(circuit)
+        rng = np.random.default_rng(seed + 100)
+        n = int(rng.integers(PACKED_MIN_PATTERNS, 700))
+        patterns = random_patterns(len(circuit.all_inputs), n, rng)
+        dense = simulate_patterns(circuit, patterns, engine="dense")
+        packed = simulate_patterns(circuit, patterns, engine="packed")
+        assert np.array_equal(dense, packed)
+
+    def test_internal_nets_bit_identical(self):
+        circuit = _random_circuit(11)
+        rng = np.random.default_rng(2)
+        patterns = random_patterns(len(circuit.all_inputs), 256, rng)
+        assignments = {
+            net: patterns[:, i] for i, net in enumerate(circuit.all_inputs)
+        }
+        every_net = list(circuit.gate_names())
+        dense = simulate(circuit, assignments, outputs=every_net, engine="dense")
+        packed = simulate(circuit, assignments, outputs=every_net, engine="packed")
+        for net in every_net:
+            assert np.array_equal(dense[net], packed[net]), net
+
+    def test_mixed_scalar_vector_assignments(self, tiny_circuit):
+        rng = np.random.default_rng(9)
+        n = 320
+        assignments = {
+            "a": rng.integers(0, 2, size=n).astype(bool),
+            "b": True,  # scalar broadcasts across all patterns
+            "c": rng.integers(0, 2, size=n).astype(bool),
+        }
+        dense = simulate(tiny_circuit, assignments, engine="dense")
+        packed = simulate(tiny_circuit, assignments, engine="packed")
+        for net in tiny_circuit.outputs:
+            assert np.array_equal(dense[net], packed[net])
+
+    def test_benchmark_circuit_bit_identical(self):
+        circuit = get_benchmark("c2670")
+        patterns = random_patterns(
+            len(circuit.all_inputs), 512, np.random.default_rng(4)
+        )
+        dense = simulate_patterns(circuit, patterns, engine="dense")
+        packed = simulate_patterns(circuit, patterns, engine="packed")
+        assert np.array_equal(dense, packed)
+
+
+class TestEngineSelection:
+    def test_auto_is_identical_to_dense_above_threshold(self, tiny_circuit):
+        rng = np.random.default_rng(1)
+        n = PACKED_MIN_PATTERNS
+        patterns = random_patterns(len(tiny_circuit.all_inputs), n, rng)
+        auto = simulate_patterns(tiny_circuit, patterns)  # engine="auto"
+        dense = simulate_patterns(tiny_circuit, patterns, engine="dense")
+        assert np.array_equal(auto, dense)
+
+    def test_env_override_forces_dense(self, tiny_circuit, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "dense")
+        patterns = random_patterns(
+            len(tiny_circuit.all_inputs), 256, np.random.default_rng(0)
+        )
+        out = simulate_patterns(tiny_circuit, patterns)
+        assert out.shape == (256, len(tiny_circuit.outputs))
+
+    def test_unknown_engine_rejected(self, tiny_circuit):
+        with pytest.raises(ValueError):
+            simulate(tiny_circuit, {"a": 1, "b": 1, "c": 1}, engine="simd")
+
+    def test_packed_simulator_rejects_undriven_net(self):
+        circuit = _random_circuit(2)
+        sim = PackedSimulator(circuit)
+        patterns = random_patterns(
+            len(circuit.all_inputs), 128, np.random.default_rng(0)
+        )
+        values = {net: patterns[:, i] for i, net in enumerate(circuit.all_inputs)}
+        with pytest.raises(CircuitError):
+            sim.run_dense(values, 128, outputs=["no_such_net"])

@@ -6,6 +6,7 @@ import pytest
 from repro.netlist import (
     BENCH8,
     Circuit,
+    CircuitError,
     estimate_probabilities_independent,
     estimate_probabilities_simulation,
     signal_probability_skew,
@@ -64,3 +65,24 @@ class TestSimulationEstimate:
             c, n_patterns=512, key_assignment={"keyinput0": False}
         )
         assert probs["y"] == 0.0
+
+    def test_misspelled_key_net_raises(self):
+        # Regression: a typo'd key net used to be silently ignored, turning a
+        # pinned-key estimate into a random-key one.
+        c = Circuit("k", BENCH8)
+        c.add_input("a")
+        c.add_key_input("keyinput0")
+        c.add_gate("y", "AND", ["a", "keyinput0"])
+        c.add_output("y")
+        with pytest.raises(CircuitError):
+            estimate_probabilities_simulation(
+                c, n_patterns=64, key_assignment={"keyinput_0": False}
+            )
+
+    def test_packed_and_dense_estimates_identical(self, skewed, monkeypatch):
+        kwargs = dict(n_patterns=2048, rng=np.random.default_rng(7))
+        packed = estimate_probabilities_simulation(skewed, **kwargs)
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "dense")
+        kwargs["rng"] = np.random.default_rng(7)
+        dense = estimate_probabilities_simulation(skewed, **kwargs)
+        assert packed == dense

@@ -76,3 +76,11 @@ class TestPatternHelpers:
         a = random_patterns(5, 10, np.random.default_rng(3))
         b = random_patterns(5, 10, np.random.default_rng(3))
         assert np.array_equal(a, b)
+
+    def test_random_patterns_default_is_seeded(self):
+        # Regression: the rng-less default once drew from an unseeded
+        # generator, silently breaking the bit-identical-replay contract.
+        a = random_patterns(7, 33)
+        b = random_patterns(7, 33)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, random_patterns(7, 33, np.random.default_rng(0)))

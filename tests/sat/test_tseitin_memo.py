@@ -1,0 +1,115 @@
+"""Memoised Tseitin templates must be byte-identical to direct encoding."""
+
+import random
+
+import pytest
+
+from repro.benchgen import RandomLogicSpec, generate_random_circuit
+from repro.sat import CNF
+from repro.sat.tseitin import CircuitEncoder, clear_encoding_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_encoding_cache()
+    yield
+    clear_encoding_cache()
+
+
+def _circuit(seed, n_gates=80):
+    spec = RandomLogicSpec(
+        name=f"memo{seed}",
+        n_inputs=8,
+        n_outputs=3,
+        n_gates=n_gates,
+        seed=seed,
+    )
+    return generate_random_circuit(spec)
+
+
+def _snapshot(cnf):
+    return (cnf.clauses, cnf.names, cnf.n_vars)
+
+
+class TestTemplateIdentity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cached_encode_is_byte_identical(self, seed):
+        circuit = _circuit(seed)
+        rng = random.Random(seed)
+        prefix = rng.choice(["", "X::", "cp_"])
+
+        direct_cnf = CNF()
+        direct_vars = CircuitEncoder(direct_cnf)._encode_direct(
+            circuit, prefix=prefix
+        )
+        cold_cnf = CNF()
+        cold_vars = CircuitEncoder(cold_cnf).encode(circuit, prefix=prefix)
+        warm_cnf = CNF()
+        warm_vars = CircuitEncoder(warm_cnf).encode(circuit, prefix=prefix)
+
+        assert _snapshot(cold_cnf) == _snapshot(direct_cnf)
+        assert _snapshot(warm_cnf) == _snapshot(direct_cnf)
+        assert cold_vars == direct_vars == warm_vars
+
+    def test_miter_double_encode_identical(self):
+        circuit = _circuit(17)
+
+        ref_cnf = CNF()
+        ref_enc = CircuitEncoder(ref_cnf)
+        ref_left = ref_enc._encode_direct(circuit, prefix="l_")
+        ref_right = ref_enc._encode_direct(
+            circuit,
+            prefix="r_",
+            share_nets={net: ref_left[net] for net in circuit.inputs},
+        )
+
+        cnf = CNF()
+        enc = CircuitEncoder(cnf)
+        left = enc.encode(circuit, prefix="l_")
+        right = enc.encode(
+            circuit,
+            prefix="r_",
+            share_nets={net: left[net] for net in circuit.inputs},
+        )
+
+        assert _snapshot(cnf) == _snapshot(ref_cnf)
+        assert (left, right) == (ref_left, ref_right)
+
+    def test_high_water_share_vars_fall_back_identically(self):
+        # A share variable above the target CNF's allocation high-water mark
+        # makes the direct path grow n_vars mid-stream; encode() must still
+        # reproduce it exactly (by falling back to the direct walk).
+        circuit = _circuit(23, n_gates=30)
+        share = {list(circuit.inputs)[0]: 900}
+
+        direct_cnf = CNF()
+        direct_vars = CircuitEncoder(direct_cnf)._encode_direct(
+            circuit, share_nets=dict(share)
+        )
+        cached_cnf = CNF()
+        cached_vars = CircuitEncoder(cached_cnf).encode(
+            circuit, share_nets=dict(share)
+        )
+        assert _snapshot(cached_cnf) == _snapshot(direct_cnf)
+        assert cached_vars == direct_vars
+
+    def test_memo_disable_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CNF_MEMO", "0")
+        circuit = _circuit(5)
+        direct_cnf = CNF()
+        CircuitEncoder(direct_cnf)._encode_direct(circuit)
+        cnf = CNF()
+        CircuitEncoder(cnf).encode(circuit)
+        assert _snapshot(cnf) == _snapshot(direct_cnf)
+
+    def test_structural_change_misses_cache(self):
+        base = _circuit(31, n_gates=25)
+        cnf1 = CNF()
+        CircuitEncoder(cnf1).encode(base)
+        # A different circuit must not replay the first one's template.
+        other = _circuit(32, n_gates=25)
+        cnf2 = CNF()
+        CircuitEncoder(cnf2).encode(other)
+        ref = CNF()
+        CircuitEncoder(ref)._encode_direct(other)
+        assert _snapshot(cnf2) == _snapshot(ref)
