@@ -1,0 +1,99 @@
+"""Write-through artifact cache backed by the service's object store.
+
+A fleet drainer keeps the ordinary on-disk :class:`ArtifactCache` as its
+first tier and falls back to the coordinator's HTTP object store
+(``GET/PUT /v1/artifacts/<kind>/<key>``) on a local miss: fetched bytes
+are digest-verified, unpickled, and written through to the local tier so
+the next task on this host hits locally.  Freshly built artifacts are
+pushed back (best-effort) so other drainers — and the coordinator's own
+``JobWorker``, if any — skip the work entirely.
+
+Remote failures never fail a task: a fetch error is a miss (the artifact
+regenerates locally, determinism makes that safe) and a push error only
+costs other workers a cache hit.  Per-direction transfer counters feed
+the ``repro_fleet_artifact_transfers_total`` metric.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, Optional
+from urllib.error import URLError
+
+from ..obs import get_registry
+from ..runner.cache import _MISSING, ArtifactCache, atomic_write
+from ..service.client import ServiceError
+
+__all__ = ["FleetArtifactCache"]
+
+
+class FleetArtifactCache(ArtifactCache):
+    """Two-tier cache: local disk in front of the service object store."""
+
+    def __init__(
+        self,
+        root=None,
+        *,
+        remote=None,
+        enabled: bool = True,
+        push: bool = True,
+    ):
+        super().__init__(root, enabled=enabled)
+        #: A :class:`~repro.service.client.ServiceClient` (or anything with
+        #: ``get_artifact``/``put_artifact``); None = purely local.
+        self.remote = remote
+        self.push = push
+        #: Lifetime transfer outcomes, mirrored into the metrics registry.
+        self.transfers: Dict[str, int] = {
+            "fetch_hit": 0,
+            "fetch_miss": 0,
+            "fetch_error": 0,
+            "push_ok": 0,
+            "push_error": 0,
+        }
+
+    def _transfer(self, direction: str, outcome: str) -> None:
+        self.transfers[f"{direction}_{outcome}"] += 1
+        get_registry().inc(
+            "repro_fleet_artifact_transfers_total",
+            direction=direction,
+            outcome=outcome,
+        )
+
+    # ------------------------------------------------------------------
+    def _load(self, kind: str, key: str) -> object:
+        value = super()._load(kind, key)
+        if value is not _MISSING or self.remote is None:
+            return value
+        try:
+            data = self.remote.get_artifact(kind, key)
+        except (ServiceError, URLError, OSError):
+            self._transfer("fetch", "error")
+            return _MISSING
+        if data is None:
+            self._transfer("fetch", "miss")
+            return _MISSING
+        try:
+            value = pickle.loads(data)
+        except Exception:  # noqa: BLE001 - corrupt remote bytes are a miss
+            self._transfer("fetch", "error")
+            return _MISSING
+        self._transfer("fetch", "hit")
+        # Write through: next task on this host hits the local tier.  The
+        # raw fetched bytes land verbatim so local and remote stay
+        # byte-identical for a given key.
+        path = self.path_for(kind, key)
+        if self.enabled and path is not None:
+            atomic_write(path, lambda handle: handle.write(data))
+        return value
+
+    def put(self, kind: str, key: str, value: object) -> Optional[object]:
+        path = super().put(kind, key, value)
+        if self.remote is not None and self.push:
+            try:
+                data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                self.remote.put_artifact(kind, key, data)
+                self._transfer("push", "ok")
+            except (ServiceError, URLError, OSError, pickle.PicklingError):
+                self._transfer("push", "error")
+        return path

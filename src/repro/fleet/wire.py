@@ -1,0 +1,84 @@
+"""JSON wire format for shipping :class:`TaskResult` values over HTTP.
+
+The drainer executes a task locally and POSTs the outcome back to the
+coordinator, which folds it into the job's result store and event feed.
+Both directions validate strictly: a malformed completion must 400 at the
+API boundary rather than corrupt a store that the report renderer treats
+as append-only ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..runner.executor import TaskResult
+
+__all__ = ["VALID_STATUSES", "result_from_wire", "result_to_wire"]
+
+VALID_STATUSES = ("ok", "failed", "timeout", "skipped", "cancelled")
+
+
+def result_to_wire(result: TaskResult) -> Dict[str, object]:
+    """Flatten a task result into the JSON payload of ``/complete``."""
+    return {
+        "task_id": result.task_id,
+        "fingerprint": result.fingerprint,
+        "status": result.status,
+        "wall_time_s": float(result.wall_time_s),
+        "queue_wait_s": float(result.queue_wait_s),
+        "record": result.record,
+        "error": result.error,
+        "traceback": result.traceback,
+        "cache_events": dict(result.cache_events),
+    }
+
+
+def _require_str(payload: Mapping, key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"result.{key} must be a non-empty string")
+    return value
+
+
+def _optional_str(payload: Mapping, key: str) -> Optional[str]:
+    value = payload.get(key)
+    if value is not None and not isinstance(value, str):
+        raise ValueError(f"result.{key} must be a string or null")
+    return value
+
+
+def _float(payload: Mapping, key: str) -> float:
+    value = payload.get(key, 0.0)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"result.{key} must be a number")
+    return float(value)
+
+
+def result_from_wire(payload: Mapping) -> TaskResult:
+    """Parse and validate a ``/complete`` payload back into a TaskResult."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("result must be a JSON object")
+    status = _require_str(payload, "status")
+    if status not in VALID_STATUSES:
+        raise ValueError(
+            f"result.status must be one of {VALID_STATUSES}, got {status!r}"
+        )
+    record = payload.get("record")
+    if record is not None and not isinstance(record, dict):
+        raise ValueError("result.record must be an object or null")
+    cache_events = payload.get("cache_events", {})
+    if not isinstance(cache_events, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in cache_events.items()
+    ):
+        raise ValueError("result.cache_events must map strings to strings")
+    return TaskResult(
+        task_id=_require_str(payload, "task_id"),
+        fingerprint=_require_str(payload, "fingerprint"),
+        status=status,
+        wall_time_s=_float(payload, "wall_time_s"),
+        queue_wait_s=_float(payload, "queue_wait_s"),
+        record=record,
+        error=_optional_str(payload, "error"),
+        traceback=_optional_str(payload, "traceback"),
+        cache_events=dict(cache_events),
+    )

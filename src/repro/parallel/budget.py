@@ -131,7 +131,12 @@ def shared_pool(backend: Optional[str] = None, max_workers: Optional[int] = None
     with _POOLS_LOCK:
         pool = _POOLS.get(key)
         if pool is None:
-            pool = WorkerPool(backend=key[0], max_workers=key[1])
+            # Budget-derived pools auto-degrade: on a 1-core box the
+            # concurrent backends only add dispatch overhead (see
+            # BENCH_intra_parallel.json), and the determinism contract
+            # guarantees identical results either way.  Explicitly
+            # constructed WorkerPools keep their requested backend.
+            pool = WorkerPool(backend=key[0], max_workers=key[1], auto_degrade=True)
             _POOLS[key] = pool
         return pool
 

@@ -29,6 +29,7 @@ thread and process backends reproduce it exactly.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 from concurrent.futures import (
     CancelledError,
@@ -48,10 +49,14 @@ from ..obs import (
     scoped_tracer,
 )
 
-__all__ = ["BACKENDS", "SerialFuture", "WorkerPool"]
+__all__ = ["BACKENDS", "MIN_PARALLEL_ITEMS", "SerialFuture", "WorkerPool"]
 
 #: Recognised backend names, in "least to most isolation" order.
 BACKENDS = ("serial", "thread", "process")
+
+#: Below this many items, ``map`` runs inline: dispatch overhead beats any
+#: parallel win for one- or two-element batches on every backend.
+MIN_PARALLEL_ITEMS = 2
 
 
 class SerialFuture:
@@ -185,7 +190,13 @@ class WorkerPool:
     usable as context managers; :meth:`shutdown` is idempotent.
     """
 
-    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        *,
+        auto_degrade: bool = False,
+    ):
         if backend not in BACKENDS:
             raise ValueError(f"unknown pool backend {backend!r}; choose from {BACKENDS}")
         if backend == "process" and multiprocessing.current_process().daemon:
@@ -193,8 +204,17 @@ class WorkerPool:
             # have children; threads keep the decomposition — and, under the
             # determinism contract, the results — exactly the same.
             backend = "thread"
+        requested = 1 if backend == "serial" else max(1, int(max_workers or 1))
+        if auto_degrade and backend != "serial" and (os.cpu_count() or 1) <= 1:
+            # On a 1-core box a concurrent backend is pure overhead: the
+            # intra-parallel bench showed sharded equivalence *slowing down*
+            # as workers rose (0.023s @1 -> 0.049s @4).  Degrade to serial
+            # but keep the requested max_workers — decompositions that size
+            # chunks off it stay identical, and the determinism contract
+            # makes the serial execution bit-identical anyway.
+            backend = "serial"
         self.backend = backend
-        self.max_workers = 1 if backend == "serial" else max(1, int(max_workers or 1))
+        self.max_workers = requested
         self._executor = None
         self._lock = threading.Lock()
 
@@ -229,9 +249,13 @@ class WorkerPool:
         return executor.submit(fn, *args, **kwargs)
 
     def map(self, fn: Callable, items: Iterable) -> List:
-        """Run ``fn`` over ``items``; results come back in item order."""
+        """Run ``fn`` over ``items``; results come back in item order.
+
+        Batches below :data:`MIN_PARALLEL_ITEMS` run inline on every
+        backend — the dispatch overhead cannot pay for itself.
+        """
         items = list(items)
-        if self.backend == "serial" or len(items) <= 1:
+        if self.backend == "serial" or len(items) < MIN_PARALLEL_ITEMS:
             return [fn(item) for item in items]
         if self.backend == "process" and obs_enabled():
             futures = [self.submit(fn, item) for item in items]

@@ -27,6 +27,7 @@ import os
 import pickle
 import tempfile
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
@@ -210,6 +211,11 @@ _EVENT_FIELDS = {
 #: Lifetime counters persisted at the cache root for ``repro cache stats``.
 COUNTERS_FILENAME = "counters.json"
 _COUNTERS_LOCKNAME = "counters.lock"
+#: Cross-process eviction lock: gc takes it exclusively, readers that must
+#: not see an artifact vanish mid-read (the fleet artifact endpoints) take
+#: it shared.  Distinct from ``counters.lock`` — gc itself flushes counters
+#: under that lock, so sharing one file would self-deadlock.
+_GC_LOCKNAME = "gc.lock"
 
 
 class ArtifactCache:
@@ -414,6 +420,28 @@ class ArtifactCache:
         return stats
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def lock_guard(self, *, shared: bool = False):
+        """``flock`` the cache's eviction lock for the duration of the block.
+
+        :meth:`gc` holds it exclusively across its scan+evict pass so two
+        drainers sharing one cache dir cannot double-evict; readers that
+        stream an artifact off disk (the service's ``/v1/artifacts``
+        endpoints) hold it ``shared=True`` so gc cannot unlink the file
+        under them mid-transfer.  No-op when the cache is disabled or the
+        platform lacks ``fcntl``.
+        """
+        if not self.enabled or self.root is None or fcntl is None:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with (self.root / _GC_LOCKNAME).open("a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def gc(
         self,
         *,
@@ -429,9 +457,26 @@ class ArtifactCache:
         cache fits the budget.  A hit refreshes an artifact's mtime, so
         "oldest" means least recently *used*, not least recently written.
         ``dry_run`` reports the eviction set without deleting anything.
+
+        The scan+evict pass runs under the exclusive cross-process
+        :meth:`lock_guard` (shared for ``dry_run``), so concurrent drainers
+        gc-ing one cache dir serialize instead of double-evicting.
         """
         if not self.enabled:
             return []
+        with self.lock_guard(shared=dry_run):
+            return self._gc_locked(
+                max_bytes=max_bytes, max_age_s=max_age_s, dry_run=dry_run, now=now
+            )
+
+    def _gc_locked(
+        self,
+        *,
+        max_bytes: Optional[int],
+        max_age_s: Optional[float],
+        dry_run: bool,
+        now: Optional[float],
+    ) -> List[CacheEntry]:
         now = time.time() if now is None else now
         entries = sorted(self.scan(), key=lambda e: (e.mtime, e.kind, e.key))
         remaining = sum(e.size_bytes for e in entries)

@@ -8,6 +8,7 @@ Subcommands::
     repro trace    export a store's telemetry trace to Chrome trace format
     repro cache    artifact-cache maintenance (stats, gc)
     repro serve    start the long-lived campaign service (HTTP JSON API)
+    repro work     run a fleet drainer against a `repro serve --fleet` service
     repro submit   submit a campaign grid to a running service
     repro status   poll a service job (or list every job)
     repro watch    stream a job's live progress events (long-poll, no busy-poll)
@@ -378,7 +379,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="default cap on the job priority non-admin principals may "
         "request (token entries may override; default: uncapped)",
     )
+    fleet = serve.add_argument_group("fleet")
+    fleet.add_argument(
+        "--fleet", action="store_true",
+        help="run no in-process workers; expose tasks as HTTP leases for "
+        "`repro work` drainer processes",
+    )
+    fleet.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="seconds a drainer may go without heartbeating before its "
+        "task is reclaimed (default: 30)",
+    )
     _add_cache_arguments(serve)
+
+    work = sub.add_parser(
+        "work", help="run a fleet drainer against a `repro serve --fleet` service"
+    )
+    _add_service_arguments(work)
+    work.add_argument(
+        "--name", default=None,
+        help="worker name reported to the coordinator (default: <host>-<pid>)",
+    )
+    work.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="tasks to lease per request (default: 1)",
+    )
+    work.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle delay between lease requests (default: 0.5)",
+    )
+    work.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="requested lease TTL (default: the service's)",
+    )
+    work.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with no work (default: run until signalled)",
+    )
+    _add_cache_arguments(work)
 
     submit = sub.add_parser(
         "submit", help="submit a campaign grid to a running service"
@@ -744,6 +782,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queued_per_owner=args.max_queued,
         max_active_per_owner=args.max_active,
         max_priority_per_owner=args.max_priority,
+        fleet=args.fleet,
+        lease_ttl_s=args.lease_ttl,
         echo=print,
     )
     service.start()
@@ -761,6 +801,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         emit(print, "shutting down", component="cli")
     finally:
         service.stop()
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from ..fleet import FleetWorker
+
+    url = args.url or os.environ.get(SERVICE_URL_ENV) or DEFAULT_SERVICE_URL
+    token = args.token or os.environ.get(SERVICE_TOKEN_ENV) or None
+    worker = FleetWorker(
+        url,
+        token=token,
+        name=args.name,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        batch=args.batch,
+        poll_s=args.poll,
+        lease_ttl_s=args.lease_ttl,
+        max_idle_s=args.max_idle,
+        echo=print,
+    )
+    worker.install_signal_handlers()
+    executed = worker.run()
+    if args.as_json:
+        print(json.dumps({"worker": worker.name, "tasks_executed": executed}))
     return 0
 
 
@@ -888,6 +952,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "work": _cmd_work,
         "submit": _cmd_submit,
         "status": _cmd_status,
         "watch": _cmd_watch,

@@ -63,6 +63,7 @@ from .campaign import BASELINE_ATTACKS, AttackTask
 
 __all__ = [
     "TaskResult",
+    "append_result",
     "campaign_cache_stats",
     "execute_task",
     "outcome_record",
@@ -235,6 +236,8 @@ def execute_task(
     intra_workers: Optional[int] = None,
     submitted_at: Optional[float] = None,
     obs_dir: Optional[str] = None,
+    *,
+    cache: Optional[ArtifactCache] = None,
 ) -> TaskResult:
     """Run one task, consulting/filling the artifact cache.
 
@@ -250,6 +253,12 @@ def execute_task(
     task's telemetry sidecar lands when ``REPRO_OBS=1`` (see
     :mod:`repro.obs.rollup`).
 
+    ``cache`` substitutes a ready-made :class:`ArtifactCache` (e.g. the
+    fleet's remote-backed write-through cache) for the one this function
+    would build from ``cache_dir``.  Keyword-only and unpicklable-friendly:
+    pool call sites keep shipping positional picklable args and never set
+    it; in-process callers (the fleet drainer) may.
+
     Never raises: any failure is captured as a ``failed`` result.  This is
     the function the process pool ships to workers, so it must stay
     module-level and picklable-argument-only.
@@ -258,7 +267,8 @@ def execute_task(
     queue_wait_s = (
         max(0.0, time.time() - submitted_at) if submitted_at is not None else 0.0
     )
-    cache = ArtifactCache(cache_dir)
+    if cache is None:
+        cache = ArtifactCache(cache_dir)
     events: Dict[str, str] = {}
     with _task_telemetry(task, cache, queue_wait_s, submitted_at, obs_dir):
         try:
@@ -835,3 +845,15 @@ def _append(store, task: AttackTask, result: TaskResult, *, pooled: bool = False
     if result.error:
         record["error"] = result.error
     store.append(record)
+
+
+def append_result(
+    store, task: AttackTask, result: TaskResult, *, pooled: bool = False
+) -> None:
+    """Append one finished task's record to ``store``.
+
+    Public seam for out-of-band executors (the fleet coordinator) that
+    must write records with exactly the shape ``run_campaign`` writes —
+    the report renderer's byte-identity guarantee depends on it.
+    """
+    _append(store, task, result, pooled=pooled)

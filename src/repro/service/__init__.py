@@ -17,7 +17,12 @@ into an on-demand one:
   roles, per-token limits, live-reload revocation) and the token bucket.
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the stdlib HTTP
   client behind ``repro submit / status / watch / fetch / cancel``, with
-  typed errors (:class:`AuthError`, :class:`ThrottledError`, ...).
+  typed errors (:class:`AuthError`, :class:`ThrottledError`, ...) and
+  opt-in transient-failure retries for the fleet worker loop.
+
+Scaling out: ``repro serve --fleet`` swaps the in-process worker for the
+:mod:`repro.fleet` coordinator, whose task leases and artifact object
+store let N ``repro work`` drainer processes share the queue.
 
 Restart safety: job state persists under the service's state directory and
 every job's results live in its own JSONL store, so a killed service picks

@@ -17,6 +17,18 @@ Endpoints (JSON unless noted)::
     POST   /v1/jobs/<id>/cancel      request cancellation
     DELETE /v1/jobs/<id>             alias for cancel
 
+Fleet endpoints (worker or admin token; ``/v1/tasks`` requires the service
+to run with ``--fleet``)::
+
+    GET    /v1/jobs/<id>/spec        campaign spec for task re-expansion
+    POST   /v1/tasks/lease           {"worker", "limit", "ttl_s"} -> leases
+    POST   /v1/tasks/<lease>/heartbeat  renew before the deadline
+    POST   /v1/tasks/<lease>/complete   {"worker", "result": {...}}
+    POST   /v1/tasks/<lease>/release    give the task back unfinished
+    GET    /v1/artifacts/<kind>/<key>   raw artifact bytes (X-Repro-Digest)
+    PUT    /v1/artifacts/<kind>/<key>   upload (digest-checked, 422 on
+                                        mismatch; streamed, own size cap)
+
 Error contract: every non-2xx response body is
 ``{"error": {"code": <machine-readable>, "message": <human-readable>}}``
 (codes in :mod:`repro.service.status`).  400 for malformed JSON or an
@@ -43,15 +55,19 @@ streams are served while jobs run; campaign execution itself happens on the
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
+import tempfile
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs
 
+from ..fleet.leases import LeaseError
 from ..obs import MetricsRegistry, emit
+from ..runner.cache import ArtifactCache, default_cache_dir, parse_size
 from ..runner.campaign import CampaignSpec
 from ..runner.store import ResultStore, render_report
 from . import status as codes
@@ -63,6 +79,14 @@ __all__ = ["CampaignService"]
 
 #: Cap on the server-side long-poll wait; clients re-issue to wait longer.
 STREAM_MAX_WAIT_S = 30.0
+
+#: Cap on artifact uploads (bodies are streamed to disk, never buffered, so
+#: this can be far above MAX_BODY_BYTES).  Override with the env var.
+ARTIFACT_MAX_BYTES_ENV = "REPRO_ARTIFACT_MAX_BYTES"
+DEFAULT_ARTIFACT_MAX_BYTES = 1024 * 1024 * 1024
+
+#: Streaming chunk for artifact transfers.
+_ARTIFACT_CHUNK = 1024 * 1024
 
 #: Cap on request bodies, enforced *before* buffering: campaign specs are a
 #: few KB, so anything near this is hostile.  Without the cap a tokenless
@@ -112,15 +136,24 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:  # noqa: N802
         self._handle("DELETE")
 
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
     def _handle(self, method: str) -> None:
         headers: Dict[str, str] = {}
         content_type = "application/json"
+        self._extra_headers: Dict[str, str] = {}
         try:
             # Always drain the request body, even on routes that ignore it:
             # leaving unread bytes in rfile desynchronises HTTP/1.1
             # keep-alive connections (the next request would be parsed from
-            # the middle of this one's body).
-            self._body = self._read_body()
+            # the middle of this one's body).  Artifact uploads are the one
+            # exception: their bodies can dwarf MAX_BODY_BYTES, so the
+            # route streams rfile straight to disk instead of buffering.
+            if method == "PUT" and self.path.startswith("/v1/artifacts/"):
+                self._body = b""
+            else:
+                self._body = self._read_body()
             # Routes return (status, payload) or, for non-JSON responses
             # such as /metricsz, (status, text, content_type).
             routed = self._route(method)
@@ -141,13 +174,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     "message": f"{type(exc).__name__}: {exc}",
                 }
             }
-        if isinstance(payload, str):
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+        elif isinstance(payload, str):
             body = payload.encode("utf-8")
         else:
             body = json.dumps(payload).encode("utf-8")
         self.service.metrics.inc(
             "repro_service_http_requests_total", method=method, status=status
         )
+        headers.update(self._extra_headers)
         try:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
@@ -258,13 +294,270 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
         if path.startswith("/v1/jobs/"):
             return self._job_route(method, path[len("/v1/jobs/"):])
+        if path == "/v1/tasks/lease" or path.startswith("/v1/tasks/"):
+            return self._task_route(method, path[len("/v1/tasks/"):])
+        if path.startswith("/v1/artifacts/"):
+            return self._artifact_route(method, path[len("/v1/artifacts/"):])
         raise _ApiError(404, codes.ERR_NOT_FOUND, f"no route {method} {path}")
+
+    # ------------------------------------------------------------------
+    # Fleet: lease lifecycle
+    def _require_worker(self, identity: TokenInfo) -> None:
+        if not identity.is_worker:
+            raise _ApiError(
+                403,
+                codes.ERR_FORBIDDEN,
+                "fleet endpoints require a worker or admin token",
+            )
+
+    def _fleet(self):
+        fleet = self.service.fleet
+        if fleet is None:
+            raise _ApiError(
+                404,
+                codes.ERR_NOT_FOUND,
+                "fleet mode is disabled (start the service with --fleet)",
+            )
+        return fleet
+
+    def _json_body(self) -> Dict[str, object]:
+        try:
+            payload = json.loads(self._body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _ApiError(
+                400,
+                codes.ERR_INVALID_REQUEST,
+                f"request body is not valid JSON: {exc}",
+            ) from None
+        if not isinstance(payload, dict):
+            raise _ApiError(
+                400, codes.ERR_INVALID_REQUEST, "request body must be a JSON object"
+            )
+        return payload
+
+    def _task_route(self, method: str, tail: str) -> Tuple[int, Dict[str, object]]:
+        identity = self._identity()
+        self._require_worker(identity)
+        fleet = self._fleet()
+        if method != "POST":
+            raise _ApiError(
+                405,
+                codes.ERR_METHOD_NOT_ALLOWED,
+                f"{method} not allowed on /v1/tasks/{tail}",
+            )
+        payload = self._json_body()
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise _ApiError(
+                400, codes.ERR_INVALID_REQUEST, "'worker' must be a non-empty string"
+            )
+        if tail == "lease":
+            limit = payload.get("limit", 1)
+            if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+                raise _ApiError(
+                    400, codes.ERR_INVALID_REQUEST, "'limit' must be a positive integer"
+                )
+            ttl_s = payload.get("ttl_s")
+            if ttl_s is not None and (
+                isinstance(ttl_s, bool)
+                or not isinstance(ttl_s, (int, float))
+                or ttl_s <= 0
+            ):
+                raise _ApiError(
+                    400, codes.ERR_INVALID_REQUEST, "'ttl_s' must be a positive number"
+                )
+            leases = fleet.claim_leases(worker, limit=limit, ttl_s=ttl_s)
+            return 200, {"leases": leases}
+        parts = tail.split("/")
+        if len(parts) != 2 or parts[1] not in ("heartbeat", "complete", "release"):
+            raise _ApiError(
+                404, codes.ERR_NOT_FOUND, f"no route {method} /v1/tasks/{tail}"
+            )
+        lease_id, action = parts
+        try:
+            if action == "heartbeat":
+                return 200, {"lease": fleet.heartbeat(lease_id, worker)}
+            if action == "release":
+                return 200, {"lease": fleet.release(lease_id, worker)}
+            result = payload.get("result")
+            if not isinstance(result, dict):
+                raise _ApiError(
+                    400, codes.ERR_INVALID_REQUEST, "'result' must be a JSON object"
+                )
+            try:
+                return 200, fleet.complete(lease_id, worker, result)
+            except ValueError as exc:
+                raise _ApiError(
+                    400, codes.ERR_INVALID_REQUEST, str(exc)
+                ) from None
+        except LeaseError as exc:
+            raise _ApiError(*self._lease_error(exc)) from None
+
+    @staticmethod
+    def _lease_error(exc: LeaseError) -> Tuple[int, str, str]:
+        if exc.code == "not_owner":
+            return 403, codes.ERR_FORBIDDEN, str(exc)
+        if exc.code == "lease_expired":
+            return 410, codes.ERR_LEASE_EXPIRED, str(exc)
+        return 404, codes.ERR_NOT_FOUND, str(exc)
+
+    # ------------------------------------------------------------------
+    # Fleet: artifact object store
+    @staticmethod
+    def _artifact_coords(tail: str) -> Tuple[str, str]:
+        parts = tail.split("/")
+        if len(parts) != 2:
+            raise _ApiError(
+                404, codes.ERR_NOT_FOUND, "artifact routes are /v1/artifacts/<kind>/<key>"
+            )
+        kind, key = parts
+        if not (0 < len(kind) <= 64) or not all(
+            c.isalnum() or c in "_-" for c in kind
+        ):
+            raise _ApiError(400, codes.ERR_INVALID_REQUEST, f"invalid kind {kind!r}")
+        if not (8 <= len(key) <= 128) or not all(
+            c in "0123456789abcdef" for c in key
+        ):
+            raise _ApiError(
+                400, codes.ERR_INVALID_REQUEST, "key must be a lowercase hex digest"
+            )
+        return kind, key
+
+    def _artifact_route(self, method: str, tail: str) -> Tuple:
+        identity = self._identity()
+        self._require_worker(identity)
+        kind, key = self._artifact_coords(tail)
+        cache = self.service.artifact_cache
+        path = cache.path_for(kind, key) if cache.enabled else None
+        if path is None:
+            raise _ApiError(
+                404, codes.ERR_NOT_FOUND, "artifact store disabled (--no-cache)"
+            )
+        if method == "GET":
+            return self._artifact_get(cache, kind, key, path)
+        if method == "PUT":
+            return self._artifact_put(cache, kind, key, path)
+        raise _ApiError(
+            405,
+            codes.ERR_METHOD_NOT_ALLOWED,
+            f"{method} not allowed on /v1/artifacts/{tail}",
+        )
+
+    def _artifact_get(self, cache, kind: str, key: str, path) -> Tuple:
+        # Shared lock: gc's exclusive scan cannot unlink the file while we
+        # read it, so the digest always matches the bytes we ship.
+        with cache.lock_guard(shared=True):
+            try:
+                data = path.read_bytes()
+            except OSError:
+                self.service.metrics.inc(
+                    "repro_fleet_artifact_transfers_total",
+                    direction="download",
+                    outcome="miss",
+                )
+                raise _ApiError(
+                    404, codes.ERR_NOT_FOUND, f"no {kind} artifact {key[:16]}..."
+                ) from None
+        self._extra_headers["X-Repro-Digest"] = hashlib.sha256(data).hexdigest()
+        self.service.metrics.inc(
+            "repro_fleet_artifact_transfers_total",
+            direction="download",
+            outcome="ok",
+        )
+        return 200, data, "application/octet-stream"
+
+    def _artifact_put(self, cache, kind: str, key: str, path) -> Tuple:
+        expected = (self.headers.get("X-Repro-Digest") or "").strip().lower()
+        if not expected or len(expected) != 64 or not all(
+            c in "0123456789abcdef" for c in expected
+        ):
+            self.close_connection = True  # body left unread
+            raise _ApiError(
+                400,
+                codes.ERR_INVALID_REQUEST,
+                "artifact uploads require an X-Repro-Digest: <sha256 hex> header",
+            )
+        try:
+            length = int(self.headers.get("Content-Length") or -1)
+        except ValueError:
+            self.close_connection = True
+            raise _ApiError(
+                400, codes.ERR_INVALID_REQUEST, "invalid Content-Length"
+            ) from None
+        if length < 0:
+            self.close_connection = True
+            raise _ApiError(
+                400, codes.ERR_INVALID_REQUEST, "artifact uploads require Content-Length"
+            )
+        cap = self.service.artifact_max_bytes
+        if length > cap:
+            self.close_connection = True
+            raise _ApiError(
+                413,
+                codes.ERR_PAYLOAD_TOO_LARGE,
+                f"artifact of {length} bytes exceeds the {cap}-byte limit",
+            )
+        # Stream to a temp file in the destination directory, hashing as we
+        # go; only a digest-verified body is renamed into place (atomic,
+        # same idempotent last-writer-wins contract as ArtifactCache.put).
+        path.parent.mkdir(parents=True, exist_ok=True)
+        digest = hashlib.sha256()
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".upload-", suffix=".tmp"
+        )
+        received = 0
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                while received < length:
+                    chunk = self.rfile.read(min(_ARTIFACT_CHUNK, length - received))
+                    if not chunk:
+                        break
+                    digest.update(chunk)
+                    tmp.write(chunk)
+                    received += len(chunk)
+            if received != length:
+                self.close_connection = True
+                raise _ApiError(
+                    400, codes.ERR_INVALID_REQUEST, "artifact body truncated"
+                )
+            if digest.hexdigest() != expected:
+                self.service.metrics.inc(
+                    "repro_fleet_artifact_transfers_total",
+                    direction="upload",
+                    outcome="integrity_error",
+                )
+                raise _ApiError(
+                    422,
+                    codes.ERR_INTEGRITY,
+                    f"artifact body digest {digest.hexdigest()[:16]}... does not "
+                    f"match X-Repro-Digest {expected[:16]}...",
+                )
+            with cache.lock_guard(shared=True):
+                os.replace(tmp_name, path)
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass  # renamed into place (the success path)
+        self.service.metrics.inc(
+            "repro_fleet_artifact_transfers_total",
+            direction="upload",
+            outcome="ok",
+        )
+        return 201, {"stored": True, "kind": kind, "key": key, "bytes": received}
 
     def _job_route(self, method: str, tail: str) -> Tuple[int, Dict[str, object]]:
         identity = self._identity()
         parts = tail.split("/")
         job_id, action = parts[0], "/".join(parts[1:])
-        job = self._visible_job(job_id, identity)
+        if action == "spec" and method == "GET" and identity.role == "worker":
+            # Drainers hold leases on jobs they do not own; the spec route
+            # is how they recover the task objects behind those leases.
+            job = self.service.queue.get(job_id)
+            if job is None:
+                raise _ApiError(404, codes.ERR_NOT_FOUND, f"unknown job {job_id!r}")
+        else:
+            job = self._visible_job(job_id, identity)
         if method == "DELETE" and not action:
             self.service.queue.cancel(job_id)
             return 200, {"job": self._snapshot_for(job, identity)}
@@ -279,6 +572,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
         if not action:
             return 200, {"job": self._snapshot_for(job, identity)}
+        if action == "spec":
+            return 200, {
+                "job_id": job.job_id,
+                "spec": job.spec.to_json_dict(),
+                "intra_workers": (
+                    self.service.fleet.intra_workers
+                    if self.service.fleet is not None
+                    else 1
+                ),
+            }
         if action == "stream":
             return self._stream(job, identity)
         store = ResultStore(job.store_path)
@@ -337,6 +640,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return self.rfile.read(length) if length > 0 else b""
 
     def _submit(self, identity: TokenInfo) -> Tuple[int, Dict[str, object]]:
+        if identity.role == "worker":
+            # Worker tokens execute other tenants' jobs; letting them also
+            # submit would collapse the role separation the tokens file
+            # draws (a leaked drainer credential must not enqueue work).
+            raise _ApiError(
+                403, codes.ERR_FORBIDDEN, "worker tokens may not submit jobs"
+            )
         retry_after = self.service.throttle_submit(identity)
         if retry_after is not None:
             self.service.metrics.inc(
@@ -465,6 +775,8 @@ class CampaignService:
         max_active_per_owner: Optional[int] = None,
         max_priority_per_owner: Optional[int] = None,
         stream_max_wait_s: float = STREAM_MAX_WAIT_S,
+        fleet: bool = False,
+        lease_ttl_s: float = 30.0,
         echo: Optional[Callable[[str], None]] = None,
     ):
         self.echo = echo if echo is not None else (lambda message: None)
@@ -493,18 +805,47 @@ class CampaignService:
         self.metrics = MetricsRegistry()
         self.queue = JobQueue(state_dir, metrics=self.metrics)
         self.recovered: List[str] = self.queue.recover()
-        self.worker = JobWorker(
-            self.queue,
-            job_slots=job_slots,
-            task_workers=task_workers,
-            intra_workers=intra_workers,
-            cache_dir=cache_dir,
-            use_cache=use_cache,
-            cache_max_bytes=cache_max_bytes,
-            cache_max_age_s=cache_max_age_s,
-            echo=self.echo,
-            metrics=self.metrics,
+        resolved_cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        #: Backing store of the /v1/artifacts object-store endpoints (and,
+        #: in fleet mode, of the coordinator's between-job gc).
+        self.artifact_cache = ArtifactCache(
+            resolved_cache_dir if use_cache else None
         )
+        self.artifact_max_bytes = parse_size(
+            os.environ.get(ARTIFACT_MAX_BYTES_ENV) or str(DEFAULT_ARTIFACT_MAX_BYTES)
+        )
+        if fleet:
+            # Imported lazily: the coordinator pulls in the runner stack,
+            # and repro.fleet's heavy modules import this module back.
+            from ..fleet.coordinator import FleetCoordinator
+
+            self.worker = FleetCoordinator(
+                self.queue,
+                lease_ttl_s=lease_ttl_s,
+                intra_workers=intra_workers if intra_workers is not None else 1,
+                max_active_jobs=job_slots,
+                cache_dir=resolved_cache_dir,
+                use_cache=use_cache,
+                cache_max_bytes=cache_max_bytes,
+                cache_max_age_s=cache_max_age_s,
+                echo=self.echo,
+                metrics=self.metrics,
+            )
+            self.fleet = self.worker
+        else:
+            self.worker = JobWorker(
+                self.queue,
+                job_slots=job_slots,
+                task_workers=task_workers,
+                intra_workers=intra_workers,
+                cache_dir=resolved_cache_dir,
+                use_cache=use_cache,
+                cache_max_bytes=cache_max_bytes,
+                cache_max_age_s=cache_max_age_s,
+                echo=self.echo,
+                metrics=self.metrics,
+            )
+            self.fleet = None
         self._httpd: Optional[_ServiceServer] = None
         self._http_thread: Optional[threading.Thread] = None
 
@@ -590,6 +931,21 @@ class CampaignService:
         self.metrics.set_gauge(
             "repro_service_worker_slots", float(self.worker.job_slots)
         )
+        if self.fleet is not None:
+            gauges = self.fleet.fleet_gauges()
+            self.metrics.set_gauge(
+                "repro_fleet_tasks_pending", float(gauges["tasks_pending"])
+            )
+            self.metrics.set_gauge(
+                "repro_fleet_leases_active", float(gauges["leases_active"])
+            )
+            self.metrics.set_gauge(
+                "repro_fleet_workers_seen", float(gauges["workers_seen"])
+            )
+            for name, count in gauges["worker_active"].items():
+                self.metrics.set_gauge(
+                    "repro_fleet_worker_active_leases", float(count), worker=name
+                )
         return self.metrics.render_prometheus()
 
     # ------------------------------------------------------------------

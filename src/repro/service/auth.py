@@ -44,7 +44,7 @@ from typing import Callable, Dict, Optional
 
 __all__ = ["ROLES", "TokenBucket", "TokenInfo", "TokenRegistry"]
 
-ROLES = ("submit", "admin")
+ROLES = ("submit", "worker", "admin")
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,12 @@ class TokenInfo:
     @property
     def is_admin(self) -> bool:
         return self.role == "admin"
+
+    @property
+    def is_worker(self) -> bool:
+        """Fleet drainers: may lease tasks and use the artifact store, but
+        may not submit jobs or administer the service."""
+        return self.role in ("worker", "admin")
 
 
 def _parse_token_entry(token: str, entry: object) -> TokenInfo:

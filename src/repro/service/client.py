@@ -17,6 +17,7 @@ busy-polling the status route.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from typing import Dict, Iterator, List, Mapping, Optional
@@ -46,6 +47,10 @@ DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
 
 #: Server-side wait per stream request; the client loops to wait longer.
 STREAM_CHUNK_S = 10.0
+
+#: Ceiling on any single retry sleep, whatever Retry-After or the
+#: exponential backoff computed (a throttled fleet must keep heartbeating).
+RETRY_MAX_SLEEP_S = 10.0
 
 
 class ServiceError(RuntimeError):
@@ -113,6 +118,13 @@ class ServiceClient:
 
     ``token`` (optional) is sent as ``Authorization: Bearer <token>`` on
     every request; required when the service runs with a tokens file.
+
+    ``retries`` (default 0 — behaviour unchanged) opts in to transparent
+    retry of transient failures: 429/503 responses (honouring the server's
+    ``Retry-After``, else capped exponential backoff from
+    ``retry_backoff_s``) and transport-level ``URLError``.  The fleet
+    worker loop runs with retries on; interactive CLI verbs keep the
+    fail-fast default so a throttled ``submit`` surfaces immediately.
     """
 
     def __init__(
@@ -121,12 +133,48 @@ class ServiceClient:
         *,
         token: Optional[str] = None,
         timeout: float = 30.0,
+        retries: int = 0,
+        retry_backoff_s: float = 0.25,
     ):
         self.url = url.rstrip("/")
         self.token = token
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
 
     # ------------------------------------------------------------------
+    def _headers(self, *, content_type: Optional[str] = "application/json") -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        if content_type is not None:
+            headers["Content-Type"] = content_type
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _open(self, req: urllib_request.Request, timeout: float):
+        """``urlopen`` with the client's retry policy; raises typed errors."""
+        attempt = 0
+        while True:
+            try:
+                return urllib_request.urlopen(req, timeout=timeout)
+            except urllib_error.HTTPError as exc:
+                error = _error_from_http(exc)
+                if attempt < self.retries and exc.code in (429, 503):
+                    delay = error.retry_after_s
+                    if delay is None:
+                        delay = self.retry_backoff_s * (2.0 ** attempt)
+                    time.sleep(min(max(0.0, delay), RETRY_MAX_SLEEP_S))
+                    attempt += 1
+                    continue
+                raise error from None
+            except urllib_error.URLError:
+                if attempt < self.retries:
+                    delay = self.retry_backoff_s * (2.0 ** attempt)
+                    time.sleep(min(delay, RETRY_MAX_SLEEP_S))
+                    attempt += 1
+                    continue
+                raise
+
     def _request(
         self,
         method: str,
@@ -136,19 +184,13 @@ class ServiceClient:
         timeout: Optional[float] = None,
     ) -> Dict[str, object]:
         data = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"}
-        if self.token is not None:
-            headers["Authorization"] = f"Bearer {self.token}"
         req = urllib_request.Request(
-            self.url + path, data=data, method=method, headers=headers
+            self.url + path, data=data, method=method, headers=self._headers()
         )
-        try:
-            with urllib_request.urlopen(
-                req, timeout=self.timeout if timeout is None else timeout
-            ) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib_error.HTTPError as exc:
-            raise _error_from_http(exc) from None
+        with self._open(
+            req, self.timeout if timeout is None else timeout
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
@@ -156,17 +198,13 @@ class ServiceClient:
 
     def metrics(self) -> str:
         """Raw Prometheus text from ``/metricsz`` (admin-only under auth)."""
-        headers = {}
-        if self.token is not None:
-            headers["Authorization"] = f"Bearer {self.token}"
         req = urllib_request.Request(
-            self.url + "/metricsz", method="GET", headers=headers
+            self.url + "/metricsz",
+            method="GET",
+            headers=self._headers(content_type=None),
         )
-        try:
-            with urllib_request.urlopen(req, timeout=self.timeout) as response:
-                return response.read().decode("utf-8")
-        except urllib_error.HTTPError as exc:
-            raise _error_from_http(exc) from None
+        with self._open(req, self.timeout) as response:
+            return response.read().decode("utf-8")
 
     def jobs(self) -> List[Dict[str, object]]:
         return list(self._request("GET", "/v1/jobs")["jobs"])
@@ -288,6 +326,73 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['status']} after {timeout}s"
                 )
+
+    # ------------------------------------------------------------------
+    # Fleet endpoints (used by `repro work` drainers; require a worker or
+    # admin token when the service runs with auth).
+    def lease_tasks(
+        self, worker: str, *, limit: int = 1, ttl_s: Optional[float] = None
+    ) -> List[Dict[str, object]]:
+        payload: Dict[str, object] = {"worker": worker, "limit": int(limit)}
+        if ttl_s is not None:
+            payload["ttl_s"] = float(ttl_s)
+        return list(self._request("POST", "/v1/tasks/lease", payload)["leases"])
+
+    def heartbeat(self, lease_id: str, worker: str) -> Dict[str, object]:
+        return self._request(
+            "POST", f"/v1/tasks/{lease_id}/heartbeat", {"worker": worker}
+        )["lease"]
+
+    def release_lease(self, lease_id: str, worker: str) -> Dict[str, object]:
+        return self._request(
+            "POST", f"/v1/tasks/{lease_id}/release", {"worker": worker}
+        )["lease"]
+
+    def complete_task(
+        self, lease_id: str, worker: str, result: Mapping[str, object]
+    ) -> Dict[str, object]:
+        return self._request(
+            "POST",
+            f"/v1/tasks/{lease_id}/complete",
+            {"worker": worker, "result": dict(result)},
+        )
+
+    def job_spec(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}/spec")
+
+    # ------------------------------------------------------------------
+    # Artifact object store (raw bytes, digest-checked both ways).
+    def get_artifact(self, kind: str, key: str) -> Optional[bytes]:
+        """Fetch an artifact's bytes; None on a miss or a failed digest
+        check (the caller regenerates — determinism makes that safe)."""
+        req = urllib_request.Request(
+            self.url + f"/v1/artifacts/{kind}/{key}",
+            method="GET",
+            headers=self._headers(content_type=None),
+        )
+        try:
+            with self._open(req, self.timeout) as response:
+                data = response.read()
+                digest = response.headers.get("X-Repro-Digest")
+        except NotFoundError:
+            return None
+        if digest is not None and hashlib.sha256(data).hexdigest() != digest:
+            return None
+        return data
+
+    def put_artifact(self, kind: str, key: str, data: bytes) -> Dict[str, object]:
+        """Upload an artifact's bytes; the digest header lets the server
+        reject bodies corrupted in transit (422)."""
+        headers = self._headers(content_type="application/octet-stream")
+        headers["X-Repro-Digest"] = hashlib.sha256(data).hexdigest()
+        req = urllib_request.Request(
+            self.url + f"/v1/artifacts/{kind}/{key}",
+            data=data,
+            method="PUT",
+            headers=headers,
+        )
+        with self._open(req, self.timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
 
     def _wait_polling(self, job_id, *, deadline, poll_s, on_update):
         while True:

@@ -537,6 +537,16 @@ class JobQueue:
             self._emit_locked(job, "total", tasks_total=job.tasks_total)
             self._persist(job)
 
+    def emit_event(self, job: Job, kind: str, **fields: object) -> None:
+        """Publish an out-of-band event on a job's feed (fleet lease events).
+
+        Same delivery semantics as the built-in kinds: appended to the
+        bounded feed, wakes long-poll watchers, no persistence beyond the
+        feed itself.
+        """
+        with self._lock:
+            self._emit_locked(job, kind, **fields)
+
     def finish(self, job: Job, status: str, error: Optional[str] = None) -> None:
         with self._lock:
             self._finish_locked(job, status, error=error)

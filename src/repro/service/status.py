@@ -28,3 +28,8 @@ ERR_INVALID_REQUEST = "invalid_request"  # 400: malformed JSON / params
 ERR_PAYLOAD_TOO_LARGE = "payload_too_large"  # 413: body exceeds the cap
 ERR_INVALID_SPEC = "invalid_spec"  # 400: spec failed validation
 ERR_INTERNAL = "internal"  # 500: handler bug
+
+# Fleet (PR 8): task leases and the artifact object store.
+ERR_CONFLICT = "conflict"  # 409: completion contradicts the lease (fingerprint)
+ERR_LEASE_EXPIRED = "lease_expired"  # 410: lease expired/released/reassigned
+ERR_INTEGRITY = "integrity_mismatch"  # 422: artifact body fails its digest check

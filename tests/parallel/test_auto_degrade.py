@@ -1,0 +1,77 @@
+"""WorkerPool auto-degrade: budget-derived pools fall back to serial on
+single-core boxes; explicit pools never do."""
+
+from __future__ import annotations
+
+from repro.parallel import WorkerPool
+from repro.parallel.pool import MIN_PARALLEL_ITEMS
+
+
+class TestAutoDegrade:
+    def test_degrades_to_serial_on_one_core(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: 1)
+        pool = WorkerPool(backend="thread", max_workers=4, auto_degrade=True)
+        assert pool.backend == "serial"
+        # The requested width survives: samplers size chunk decompositions
+        # off max_workers, and the decomposition defines the randomness.
+        assert pool.max_workers == 4
+        assert pool.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_cpu_count_none_counts_as_one_core(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: None)
+        pool = WorkerPool(backend="thread", max_workers=2, auto_degrade=True)
+        assert pool.backend == "serial"
+
+    def test_no_degrade_with_multiple_cores(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: 4)
+        pool = WorkerPool(backend="thread", max_workers=2, auto_degrade=True)
+        try:
+            assert pool.backend == "thread"
+            assert pool.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        finally:
+            pool.shutdown()
+
+    def test_explicit_pools_never_degrade(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: 1)
+        pool = WorkerPool(backend="thread", max_workers=2)
+        try:
+            assert pool.backend == "thread"
+        finally:
+            pool.shutdown()
+
+    def test_serial_backend_unaffected(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: 1)
+        pool = WorkerPool(backend="serial", auto_degrade=True)
+        assert pool.backend == "serial"
+        assert pool.max_workers == 1
+
+
+class TestSmallBatchInlining:
+    def test_single_item_maps_inline_without_executor(self):
+        pool = WorkerPool(backend="thread", max_workers=2)
+        try:
+            assert MIN_PARALLEL_ITEMS == 2
+            assert pool.map(lambda x: x + 1, [41]) == [42]
+            # The executor was never started for a below-threshold batch.
+            assert pool._executor is None
+        finally:
+            pool.shutdown()
+
+    def test_empty_batch(self):
+        pool = WorkerPool(backend="thread", max_workers=2)
+        try:
+            assert pool.map(lambda x: x, []) == []
+            assert pool._executor is None
+        finally:
+            pool.shutdown()
+
+
+class TestBudgetPoolsDegrade:
+    def test_shared_pool_degrades_on_one_core(self, monkeypatch):
+        import repro.parallel.budget as budget
+
+        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: 1)
+        monkeypatch.setattr(budget, "_POOLS", {})
+        pool = budget.shared_pool("thread", 3)
+        assert pool.backend == "serial"
+        assert pool.max_workers == 3
