@@ -9,13 +9,14 @@ import numpy as np
 
 from repro.core import circuit_to_graph, extract_features, feature_names
 from repro.benchgen import get_benchmark
-from repro.locking import TTLockLocking
+from repro.locking import SCHEMES
 from repro.synth import SynthesisOptions, synthesize_locked
 
 
 def main() -> None:
     rng = np.random.default_rng(5)
-    result = TTLockLocking(16).lock(get_benchmark("c5315"), rng=rng)
+    locker = SCHEMES.create("ttlock", key_size=16)
+    result = locker.lock(get_benchmark("c5315"), rng=rng)
     mapped = synthesize_locked(result, SynthesisOptions(technology="GEN65"))
 
     graph = circuit_to_graph(mapped.locked)

@@ -1,11 +1,14 @@
-"""Synthetic benchmark circuits standing in for ISCAS-85 and ITC-99."""
+"""Synthetic benchmark circuits standing in for ISCAS-85, ITC-99 and SYNTH-XL."""
 
 from .profiles import (
     ALL_PROFILES,
     DEFAULT_SIZE_SCALE,
     ISCAS85_PROFILES,
     ITC99_PROFILES,
+    SUITE_PROFILES,
+    SYNTHXL_PROFILES,
     BenchmarkProfile,
+    register_profile,
 )
 from .random_logic import RandomLogicSpec, add_reduction_tree, generate_random_circuit
 from .registry import (
@@ -21,7 +24,10 @@ __all__ = [
     "DEFAULT_SIZE_SCALE",
     "ISCAS85_PROFILES",
     "ITC99_PROFILES",
+    "SUITE_PROFILES",
+    "SYNTHXL_PROFILES",
     "BenchmarkProfile",
+    "register_profile",
     "RandomLogicSpec",
     "generate_random_circuit",
     "add_reduction_tree",

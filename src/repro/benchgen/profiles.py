@@ -1,9 +1,15 @@
-"""Benchmark profiles: synthetic stand-ins for ISCAS-85 and ITC-99.
+"""Benchmark profiles: synthetic stand-ins for ISCAS-85, ITC-99 and SYNTH-XL.
 
 The profiles keep the *relative* sizes and interface widths of the original
 benchmarks but are scaled down (``size_scale`` gates per original gate) so a
 pure-Python/numpy GNN trains in seconds rather than hours.  The original gate
 and PI counts are recorded so reports can state the scale factor explicitly.
+
+Profiles register themselves through :func:`register_profile` — the same
+module-level registration idiom as :data:`repro.locking.SCHEMES` — so a new
+suite is one block of ``register_profile`` calls and every consumer
+(``available_benchmarks``, ``suite_benchmarks``, ``repro run
+--list-benchmarks``) discovers it automatically.
 """
 
 from __future__ import annotations
@@ -15,8 +21,11 @@ __all__ = [
     "BenchmarkProfile",
     "ISCAS85_PROFILES",
     "ITC99_PROFILES",
+    "SYNTHXL_PROFILES",
+    "SUITE_PROFILES",
     "ALL_PROFILES",
     "DEFAULT_SIZE_SCALE",
+    "register_profile",
 ]
 
 #: Fraction of the original benchmark's gate count kept in the synthetic
@@ -55,22 +64,44 @@ class BenchmarkProfile:
         return n_inputs, n_outputs, n_gates
 
 
+#: Profiles grouped by suite name; populated by :func:`register_profile`.
+SUITE_PROFILES: Dict[str, Dict[str, BenchmarkProfile]] = {}
+
+#: Every registered profile keyed by benchmark name.
+ALL_PROFILES: Dict[str, BenchmarkProfile] = {}
+
+
+def register_profile(profile: BenchmarkProfile) -> BenchmarkProfile:
+    """Register a benchmark profile (module-bottom idiom, like schemes)."""
+    if profile.name in ALL_PROFILES:
+        raise ValueError(f"benchmark {profile.name!r} already registered")
+    SUITE_PROFILES.setdefault(profile.suite, {})[profile.name] = profile
+    ALL_PROFILES[profile.name] = profile
+    return profile
+
+
 # Original sizes from the published benchmark suites (approximate gate counts
 # after flattening; PIs/POs exact).
-ISCAS85_PROFILES: Dict[str, BenchmarkProfile] = {
-    "c2670": BenchmarkProfile("c2670", "ISCAS-85", 1193, 233, 140, seed=2670),
-    "c3540": BenchmarkProfile("c3540", "ISCAS-85", 1669, 50, 22, seed=3540),
-    "c5315": BenchmarkProfile("c5315", "ISCAS-85", 2307, 178, 123, seed=5315),
-    "c7552": BenchmarkProfile("c7552", "ISCAS-85", 3512, 207, 108, seed=7552),
-}
+for _profile in (
+    BenchmarkProfile("c2670", "ISCAS-85", 1193, 233, 140, seed=2670),
+    BenchmarkProfile("c3540", "ISCAS-85", 1669, 50, 22, seed=3540),
+    BenchmarkProfile("c5315", "ISCAS-85", 2307, 178, 123, seed=5315),
+    BenchmarkProfile("c7552", "ISCAS-85", 3512, 207, 108, seed=7552),
+    BenchmarkProfile("b14_C", "ITC-99", 9767, 277, 299, seed=1014),
+    BenchmarkProfile("b15_C", "ITC-99", 8367, 485, 519, seed=1015),
+    BenchmarkProfile("b17_C", "ITC-99", 30777, 1452, 1512, seed=1017),
+    BenchmarkProfile("b20_C", "ITC-99", 19682, 522, 512, seed=1020),
+    BenchmarkProfile("b21_C", "ITC-99", 20027, 522, 512, seed=1021),
+    BenchmarkProfile("b22_C", "ITC-99", 29162, 767, 757, seed=1022),
+    # Scaled-up synthetic circuits: no published counterpart, sized so the
+    # stand-ins land near the tractability ceilings and carry enough PIs for
+    # the widest key sweeps.
+    BenchmarkProfile("xl10k", "SYNTH-XL", 10000, 300, 150, seed=9110),
+    BenchmarkProfile("xl16k", "SYNTH-XL", 16000, 380, 190, seed=9116),
+    BenchmarkProfile("xl24k", "SYNTH-XL", 24000, 520, 240, seed=9124),
+):
+    register_profile(_profile)
 
-ITC99_PROFILES: Dict[str, BenchmarkProfile] = {
-    "b14_C": BenchmarkProfile("b14_C", "ITC-99", 9767, 277, 299, seed=1014),
-    "b15_C": BenchmarkProfile("b15_C", "ITC-99", 8367, 485, 519, seed=1015),
-    "b17_C": BenchmarkProfile("b17_C", "ITC-99", 30777, 1452, 1512, seed=1017),
-    "b20_C": BenchmarkProfile("b20_C", "ITC-99", 19682, 522, 512, seed=1020),
-    "b21_C": BenchmarkProfile("b21_C", "ITC-99", 20027, 522, 512, seed=1021),
-    "b22_C": BenchmarkProfile("b22_C", "ITC-99", 29162, 767, 757, seed=1022),
-}
-
-ALL_PROFILES: Dict[str, BenchmarkProfile] = {**ISCAS85_PROFILES, **ITC99_PROFILES}
+ISCAS85_PROFILES: Dict[str, BenchmarkProfile] = SUITE_PROFILES["ISCAS-85"]
+ITC99_PROFILES: Dict[str, BenchmarkProfile] = SUITE_PROFILES["ITC-99"]
+SYNTHXL_PROFILES: Dict[str, BenchmarkProfile] = SUITE_PROFILES["SYNTH-XL"]

@@ -15,10 +15,8 @@ import numpy as np
 
 from ..benchgen.profiles import ALL_PROFILES
 from ..benchgen.registry import get_benchmark
-from ..locking.antisat import AntiSatLocking
+from ..locking import SCHEMES, find_scheme
 from ..locking.base import LockingError, LockingScheme
-from ..locking.sfll_hd import SfllHdLocking, TTLockLocking
-from ..locking.xor_lock import RandomXorLocking
 from ..synth.flow import SynthesisOptions, synthesize_locked
 from .config import AttackConfig
 from .dataset import LockedInstance, NodeDataset, build_dataset
@@ -34,21 +32,21 @@ __all__ = [
 
 
 def make_scheme(scheme: str, key_size: int, h: Optional[int] = None) -> LockingScheme:
-    """Instantiate a locking scheme by name (``antisat``, ``ttlock``, ``sfll``)."""
-    normalized = scheme.lower().replace("-", "").replace("_", "")
-    if normalized in ("antisat",):
-        return AntiSatLocking(key_size)
-    if normalized in ("ttlock",):
-        return TTLockLocking(key_size)
-    if normalized in ("xor", "randomxor"):
-        return RandomXorLocking(key_size)
-    if normalized in ("sfll", "sfllhd"):
+    """Instantiate a locking scheme by registered name (registry-backed shim).
+
+    Kept for backwards compatibility; new code should call
+    ``SCHEMES.create(name, **params)`` directly.  As in the legacy factory, a
+    supplied ``h`` is silently ignored by schemes that do not take one.
+    """
+    info = SCHEMES.get(scheme)
+    params: dict = {"key_size": key_size}
+    if info.uses_h:
         if h is None:
-            raise ValueError("SFLL-HD requires the Hamming distance h")
-        if h == 0:
-            return TTLockLocking(key_size)
-        return SfllHdLocking(key_size, h)
-    raise ValueError(f"unknown locking scheme {scheme!r}")
+            raise ValueError(
+                f"{info.display_name} requires the Hamming distance h"
+            )
+        params["h"] = h
+    return info.create(**params)
 
 
 def suite_benchmarks(suite: str) -> List[str]:
@@ -71,11 +69,15 @@ def suite_key_sizes(suite: str, config: AttackConfig) -> Sequence[int]:
 
 
 def required_key_inputs(scheme: str, key_size: int) -> int:
-    """Primary-input count a benchmark needs to be lockable at ``key_size``."""
-    normalized = scheme.lower().replace("-", "").replace("_", "")
-    if normalized in ("xor", "randomxor"):
-        return 0
-    return key_size // 2 if normalized == "antisat" else key_size
+    """Primary-input count a benchmark needs to be lockable at ``key_size``.
+
+    Registry-backed shim; unknown scheme names fall back to ``key_size``
+    (the legacy behaviour — this helper never raised).
+    """
+    info = find_scheme(scheme)
+    if info is None:
+        return key_size
+    return info.required_inputs(key_size)
 
 
 def generate_instances(
@@ -94,6 +96,10 @@ def generate_instances(
     with K = 64 "due to the limited number of PIs in the design".
     """
     technology = technology if technology is not None else config.technology
+    scheme_info = find_scheme(scheme)
+    # Legacy datasets record h = None for schemes that ignore the sweep-level
+    # h (Anti-SAT); the registry flag keeps those fingerprints byte-identical.
+    strip_h = scheme_info is not None and scheme_info.strip_instance_h
     instances: List[LockedInstance] = []
     for bench_name in benchmarks:
         profile = ALL_PROFILES[bench_name]
@@ -120,7 +126,7 @@ def generate_instances(
                         suite=profile.suite,
                         result=result,
                         key_size=key_size,
-                        h=h if locker.__class__ is not AntiSatLocking else None,
+                        h=None if strip_h else h,
                         technology=technology.upper(),
                         copy_index=copy_index,
                     )

@@ -10,6 +10,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..locking import find_scheme
 from ..locking.base import ANTISAT, DESIGN, PERTURB, RESTORE, LockingResult
 from .graph import CircuitGraph
 
@@ -30,7 +31,14 @@ SFLL_CLASSES: Dict[str, int] = {DESIGN: 0, RESTORE: 1, PERTURB: 2}
 
 
 def class_map_for_scheme(scheme: str) -> Dict[str, int]:
-    """Label-to-class mapping for a locking scheme name."""
+    """Label-to-class mapping for a locking scheme name (registry shim).
+
+    Resolves through the scheme registry first; the legacy substring
+    fallback keeps decorated names like ``"Anti-SAT c2670"`` working.
+    """
+    info = find_scheme(scheme)
+    if info is not None:
+        return dict(info.class_map)
     normalized = scheme.lower().replace("_", "-")
     if "anti" in normalized:
         return dict(ANTISAT_CLASSES)

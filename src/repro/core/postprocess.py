@@ -57,7 +57,11 @@ def postprocess_predictions(
     labels = set(predictions.values())
     if ANTISAT in labels or labels <= {DESIGN, ANTISAT}:
         return postprocess_antisat(circuit, predictions)
-    return postprocess_sfll(circuit, predictions)
+    if labels & {PERTURB, RESTORE}:
+        return postprocess_sfll(circuit, predictions)
+    # A label family with no registered rectifier (SARLock, cyclic, XOR key
+    # gates): leave the raw GNN predictions untouched.
+    return dict(predictions)
 
 
 def _support_sets(circuit: Circuit, gate: str) -> Tuple[Set[str], Set[str]]:

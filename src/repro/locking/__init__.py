@@ -1,4 +1,10 @@
-"""Provably secure logic locking schemes: Anti-SAT, TTLock, SFLL-HD."""
+"""Logic-locking schemes behind a pluggable registry.
+
+Importing this package registers every built-in scheme (Anti-SAT, TTLock,
+SFLL-HD, RandomXOR, SARLock, Cyclic) in :data:`SCHEMES`; construct one with
+``SchemeRegistry.create``/:func:`~repro.locking.registry.get_scheme` rather
+than instantiating the classes directly.
+"""
 
 from .base import (
     ANTISAT,
@@ -12,15 +18,30 @@ from .base import (
     insert_xor_on_net,
 )
 from .keys import hamming_distance, key_assignment, key_input_names, random_key_bits
+from .registry import (
+    SCHEMES,
+    SchemeInfo,
+    SchemeParam,
+    SchemeRegistry,
+    available_schemes,
+    find_scheme,
+    get_scheme,
+    register_scheme,
+)
 from .antisat import AntiSatLocking
 from .sfll_hd import SfllHdLocking, TTLockLocking
 from .xor_lock import KEYGATE, RandomXorLocking
+from .sarlock import SARLOCK, SarLockLocking
+from .cyclic import CYCLE, CyclicLocking
 
 __all__ = [
     "ANTISAT",
     "DESIGN",
     "PERTURB",
     "RESTORE",
+    "KEYGATE",
+    "SARLOCK",
+    "CYCLE",
     "NODE_LABELS",
     "LockingError",
     "LockingResult",
@@ -30,9 +51,18 @@ __all__ = [
     "key_assignment",
     "key_input_names",
     "random_key_bits",
+    "SCHEMES",
+    "SchemeInfo",
+    "SchemeParam",
+    "SchemeRegistry",
+    "available_schemes",
+    "find_scheme",
+    "get_scheme",
+    "register_scheme",
     "AntiSatLocking",
     "SfllHdLocking",
     "TTLockLocking",
     "RandomXorLocking",
-    "KEYGATE",
+    "SarLockLocking",
+    "CyclicLocking",
 ]

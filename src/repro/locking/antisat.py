@@ -32,6 +32,7 @@ from .base import (
     insert_xor_on_net,
 )
 from .keys import key_assignment, key_input_names, random_key_bits
+from .registry import SchemeInfo, SchemeParam, register_scheme
 
 __all__ = ["AntiSatLocking"]
 
@@ -162,3 +163,33 @@ class AntiSatLocking(LockingScheme):
         if not candidates:
             candidates = list(original.gate_names())
         return candidates[int(rng.integers(0, len(candidates)))]
+
+
+def _check_antisat(params: Dict[str, object]) -> None:
+    if params["key_size"] % 2 != 0:  # type: ignore[operator]
+        raise ValueError("Anti-SAT key size must be an even number >= 4")
+
+
+register_scheme(
+    SchemeInfo(
+        name="antisat",
+        display_name="Anti-SAT",
+        factory=AntiSatLocking,
+        params=(
+            SchemeParam(
+                "key_size",
+                minimum=4,
+                description="total key width K (even); the block uses K/2 design inputs",
+            ),
+        ),
+        class_map={DESIGN: 0, ANTISAT: 1},
+        description=(
+            "Complementary AND-tree pair over key-XORed inputs, XORed into an "
+            "internal design net"
+        ),
+        default_technology="BENCH8",
+        required_inputs=lambda key_size: key_size // 2,
+        strip_instance_h=True,
+        check=_check_antisat,
+    )
+)

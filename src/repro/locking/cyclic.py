@@ -1,0 +1,216 @@
+"""Cyclic-style logic locking [after Shamsi et al., GLSVLSI 2017].
+
+Cyclic obfuscation hides the design function behind key-controlled multiplexer
+edges: each key bit selects between a gate's genuine driver and a decoy path
+from elsewhere in the netlist.  The correct key steers every MUX back to the
+genuine driver; a wrong key reroutes at least one gate through its decoy and
+corrupts the function.
+
+The published attack surface comes from the *structural* cycles those extra
+edges can close.  This reproduction keeps the netlist acyclic — the bench
+simulator and the graph pipeline both require a DAG — by only admitting decoy
+drivers from **outside the target gate's fan-out cone** (the "valid cycles"
+feasibility constraint of the original paper, applied conservatively), and it
+guarantees wrong keys actually corrupt by requiring each decoy's simulation
+signature to differ from the genuine driver's.
+
+Ground truth: every MUX gate added here (select inverter, both AND arms and
+the OR merge) is labelled ``CN`` (cyclic node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from .base import DESIGN, LockingError, LockingResult, LockingScheme
+from .keys import key_assignment, key_input_names, random_key_bits
+from .registry import SchemeInfo, SchemeParam, register_scheme
+
+__all__ = ["CYCLE", "CyclicLocking"]
+
+#: Label for cyclic-locking MUX nodes.
+CYCLE = "CN"
+
+#: Patterns used for the decoy-vs-driver signature check.
+_SIGNATURE_PATTERNS = 32
+
+
+class CyclicLocking(LockingScheme):
+    """Key-MUX decoy paths on ``key_size`` randomly chosen gates."""
+
+    name = "Cyclic"
+
+    def __init__(self, key_size: int):
+        if key_size < 1:
+            raise LockingError("key size must be positive")
+        self.key_size = key_size
+
+    def lock(
+        self,
+        circuit: Circuit,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LockingResult:
+        rng = self._rng(rng)
+        if len(circuit) < self.key_size:
+            raise LockingError(
+                f"circuit {circuit.name} has only {len(circuit)} gates; cannot "
+                f"insert {self.key_size} key MUXes"
+            )
+        original = circuit.copy()
+        locked = circuit.copy(f"{circuit.name}_cyclic_k{self.key_size}")
+
+        key_names = key_input_names(self.key_size)
+        key_bits = random_key_bits(self.key_size, rng)
+        key = key_assignment(key_names, key_bits)
+        for name in key_names:
+            locked.add_key_input(name)
+
+        signatures = self._signatures(original, rng)
+        targets = list(
+            rng.choice(list(original.gate_names()), size=self.key_size, replace=False)
+        )
+        created: List[str] = []
+        for key_name, key_bit, target in zip(key_names, key_bits, targets):
+            target = str(target)
+            decoy = self._choose_decoy(locked, original, target, signatures, rng)
+            self._splice_mux(locked, target, decoy, key_name, bool(key_bit), created)
+
+        labels: Dict[str, str] = {g: DESIGN for g in locked.gate_names()}
+        for g in created:
+            labels[g] = CYCLE
+        return LockingResult(
+            scheme=self.name,
+            original=original,
+            locked=locked,
+            key=key,
+            labels=labels,
+            target_net=str(targets[0]) if targets else "",
+            protected_inputs=(),
+            parameters={"key_size": self.key_size},
+        )
+
+    # ------------------------------------------------------------------
+    def _signatures(
+        self, original: Circuit, rng: np.random.Generator
+    ) -> Dict[str, bytes]:
+        """Per-net output signature over a fixed random pattern block."""
+        from .. import netlist
+
+        patterns = netlist.random_patterns(
+            len(original.inputs), _SIGNATURE_PATTERNS, rng
+        )
+        assign = {
+            pi: patterns[:, i] for i, pi in enumerate(original.inputs)
+        }
+        nets = list(original.inputs) + list(original.gate_names())
+        values = netlist.simulate(original, assign, outputs=nets)
+        return {
+            net: np.packbits(values[net].astype(np.uint8)).tobytes()
+            for net in nets
+        }
+
+    def _choose_decoy(
+        self,
+        locked: Circuit,
+        original: Circuit,
+        target: str,
+        signatures: Dict[str, bytes],
+        rng: np.random.Generator,
+    ) -> str:
+        """Pick a decoy driver for ``target``.
+
+        The decoy must sit outside the target's current fan-out cone (keeps
+        the netlist a DAG) and must disagree with the genuine driver on the
+        signature patterns (so every wrong key genuinely corrupts).
+        """
+        from ..netlist.traversal import fanout_cone
+
+        forbidden = fanout_cone(locked, target, include_start=True)
+        forbidden.add(target)
+        target_sig = signatures[target]
+        candidates = [
+            net
+            for net in list(original.inputs) + list(original.gate_names())
+            if net not in forbidden and signatures.get(net) != target_sig
+        ]
+        if not candidates:
+            raise LockingError(
+                f"no decoy candidate for {target}: every other net is in its "
+                "fan-out cone or simulation-equivalent"
+            )
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+    def _splice_mux(
+        self,
+        circuit: Circuit,
+        target: str,
+        decoy: str,
+        key_name: str,
+        key_bit: bool,
+        created: List[str],
+    ) -> str:
+        """Replace ``target`` with ``MUX(sel=wrong-key, decoy, genuine)``.
+
+        Mirrors :func:`~repro.locking.base.insert_xor_on_net`: the genuine
+        driver is renamed to a shadow net and a MUX built from AND/OR/NOT
+        (BENCH8 has no MUX cell) takes over the ``target`` name, so every sink
+        and PO observes the MUX output.  The select polarity is chosen from
+        the secret key bit so the correct key always picks the genuine path.
+        """
+
+        def namer(tag: str) -> str:
+            return circuit.fresh_net_name(f"cyc_{tag}")
+
+        shadow = circuit.fresh_net_name(f"{target}_orig")
+        was_output = circuit.is_output(target)
+        circuit.rename_net(target, shadow)
+
+        inv = namer("inv")
+        circuit.add_gate(inv, "NOT", [key_name])
+        created.append(inv)
+        # sel = 1 reroutes through the decoy; the correct key drives sel = 0.
+        sel, nsel = (inv, key_name) if key_bit else (key_name, inv)
+        keep = namer("keep")
+        circuit.add_gate(keep, "AND", [shadow, nsel])
+        created.append(keep)
+        swap = namer("swap")
+        circuit.add_gate(swap, "AND", [decoy, sel])
+        created.append(swap)
+        circuit.add_gate(target, "OR", [keep, swap])
+        created.append(target)
+
+        for sink in circuit.fanout_of(shadow):
+            if sink in (target, keep):
+                continue
+            circuit.replace_gate_input(sink, shadow, target)
+        if was_output:
+            circuit.remove_output(shadow)
+            circuit.add_output(target)
+        return shadow
+
+
+register_scheme(
+    SchemeInfo(
+        name="cyclic",
+        display_name="Cyclic",
+        factory=CyclicLocking,
+        params=(
+            SchemeParam(
+                "key_size",
+                minimum=1,
+                description="number of key-controlled decoy MUXes",
+            ),
+        ),
+        class_map={DESIGN: 0, CYCLE: 1},
+        description=(
+            "Cyclic-style key MUXes selecting between genuine and decoy "
+            "drivers on internal gates"
+        ),
+        default_technology="BENCH8",
+        required_inputs=lambda key_size: 0,
+    )
+)

@@ -1,0 +1,183 @@
+"""SARLock comparator-based locking [Yasin et al., HOST 2016].
+
+SARLock corrupts the design for exactly **one input pattern per wrong key**:
+a comparator asserts when the selected design inputs X equal the applied key
+K, and a mask built from the hard-coded secret key ``K*`` suppresses the flip
+when the correct key is applied::
+
+    flip = (X == K) ∧ ¬(K == K*)
+
+The flip signal is XORed into an internal design net.  With the correct key
+the mask is always 0 and the design is untouched; a wrong key ``K ≠ K*``
+corrupts the net for the single pattern ``X = K`` — which is what forces the
+oracle-guided SAT attack into one iteration per wrong key, mirroring
+Anti-SAT's exponential behaviour with a much cheaper block.
+
+Ground truth: every gate added here (comparator, mask, flip AND and the
+integration XOR) is labelled ``SN`` (SARLock node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from .arith import build_and_tree, build_inverter
+from .base import (
+    DESIGN,
+    LockingError,
+    LockingResult,
+    LockingScheme,
+    insert_xor_on_net,
+)
+from .keys import key_assignment, key_input_names, random_key_bits
+from .registry import SchemeInfo, SchemeParam, register_scheme
+
+__all__ = ["SARLOCK", "SarLockLocking"]
+
+#: Label for SARLock block nodes.
+SARLOCK = "SN"
+
+
+class SarLockLocking(LockingScheme):
+    """SARLock: comparator + wrong-key mask XORed into an internal net.
+
+    Parameters
+    ----------
+    key_size:
+        Key width ``K`` (also the number of compared primary inputs).
+    target_net:
+        Internal net to corrupt.  Randomly chosen when omitted.
+    """
+
+    name = "SARLock"
+
+    def __init__(self, key_size: int, *, target_net: Optional[str] = None):
+        if key_size < 2:
+            raise LockingError("SARLock key size must be >= 2")
+        self.key_size = key_size
+        self.target_net = target_net
+
+    def lock(
+        self,
+        circuit: Circuit,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LockingResult:
+        rng = self._rng(rng)
+        if len(circuit.inputs) < self.key_size:
+            raise LockingError(
+                f"SARLock with K={self.key_size} needs {self.key_size} PIs, "
+                f"circuit {circuit.name} has {len(circuit.inputs)}"
+            )
+        if len(circuit) == 0:
+            raise LockingError("cannot lock an empty circuit")
+
+        original = circuit.copy()
+        locked = circuit.copy(f"{circuit.name}_sarlock_k{self.key_size}")
+        created: List[str] = []
+
+        def namer(tag: str) -> str:
+            return locked.fresh_net_name(f"sar_{tag}")
+
+        key_names = key_input_names(self.key_size)
+        for name in key_names:
+            locked.add_key_input(name)
+        key_bits = random_key_bits(self.key_size, rng)
+        key = key_assignment(key_names, key_bits)
+
+        # Selected design inputs X driving the comparator.
+        pi_pool = list(circuit.inputs)
+        x_idx = rng.choice(len(pi_pool), size=self.key_size, replace=False)
+        x_nets = [pi_pool[int(i)] for i in sorted(x_idx)]
+
+        # Comparator: eq_x = 1 iff X equals the applied key inputs.
+        eq_bits: List[str] = []
+        for i, (x, k) in enumerate(zip(x_nets, key_names)):
+            net = namer(f"cmp_{i}")
+            locked.add_gate(net, "XNOR", [x, k])
+            created.append(net)
+            eq_bits.append(net)
+        eq_x = build_and_tree(locked, eq_bits, namer, created, tag="eqx")
+
+        # Mask: eq_k = 1 iff the applied key equals the hard-coded secret.
+        mask_bits: List[str] = []
+        for k, bit in zip(key_names, key_bits):
+            if bit:
+                mask_bits.append(k)
+            else:
+                mask_bits.append(build_inverter(locked, k, namer, created))
+        eq_k = build_and_tree(locked, mask_bits, namer, created, tag="eqk")
+        mask = namer("mask")
+        locked.add_gate(mask, "NOT", [eq_k])
+        created.append(mask)
+
+        flip = namer("flip")
+        locked.add_gate(flip, "AND", [eq_x, mask])
+        created.append(flip)
+
+        target = self._choose_target(original, rng)
+        insert_xor_on_net(locked, target, flip)
+        created.append(target)
+
+        labels: Dict[str, str] = {g: DESIGN for g in locked.gate_names()}
+        for g in created:
+            labels[g] = SARLOCK
+
+        return LockingResult(
+            scheme=self.name,
+            original=original,
+            locked=locked,
+            key=key,
+            labels=labels,
+            target_net=target,
+            protected_inputs=tuple(x_nets),
+            parameters={"key_size": self.key_size},
+        )
+
+    def _choose_target(self, original: Circuit, rng: np.random.Generator) -> str:
+        """Pick the design net to XOR with the flip signal."""
+        if self.target_net is not None:
+            if not original.has_gate(self.target_net):
+                raise LockingError(
+                    f"target net {self.target_net} is not a design gate"
+                )
+            return self.target_net
+        # Same policy as Anti-SAT: corrupt a net that reaches a primary
+        # output, preferring internal nets with fan-out.
+        from ..netlist.traversal import fanin_cone
+
+        live: set = set()
+        for po in original.outputs:
+            live |= fanin_cone(original, po)
+        fanout = original.fanout_map()
+        candidates = [g for g in original.gate_names() if g in live and g in fanout]
+        if not candidates:
+            candidates = [g for g in original.gate_names() if g in live]
+        if not candidates:
+            candidates = list(original.gate_names())
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+
+register_scheme(
+    SchemeInfo(
+        name="sarlock",
+        display_name="SARLock",
+        factory=SarLockLocking,
+        params=(
+            SchemeParam(
+                "key_size",
+                minimum=2,
+                description="key width K (= number of compared primary inputs)",
+            ),
+        ),
+        class_map={DESIGN: 0, SARLOCK: 1},
+        description=(
+            "Comparator lock: flips one internal net for the single input "
+            "pattern equal to each wrong key"
+        ),
+        default_technology="BENCH8",
+    )
+)

@@ -44,6 +44,7 @@ from .base import (
     insert_xor_on_net,
 )
 from .keys import key_assignment, key_input_names, random_key_bits
+from .registry import SchemeInfo, SchemeParam, register_scheme
 
 __all__ = ["SfllHdLocking", "TTLockLocking"]
 
@@ -226,3 +227,67 @@ class TTLockLocking(SfllHdLocking):
 
     def __init__(self, key_size: int, *, target_output: Optional[str] = None):
         super().__init__(key_size, 0, target_output=target_output)
+
+
+_SFLL_CLASS_MAP = {DESIGN: 0, RESTORE: 1, PERTURB: 2}
+
+
+def _make_sfll(key_size: int, h: int) -> SfllHdLocking:
+    # h = 0 degenerates to TTLock, preserving the legacy make_scheme mapping.
+    return TTLockLocking(key_size) if h == 0 else SfllHdLocking(key_size, h)
+
+
+def _check_sfll(params: Dict[str, object]) -> None:
+    if params["h"] > params["key_size"]:  # type: ignore[operator]
+        raise ValueError(
+            f"h must be in [0, {params['key_size']}], got {params['h']}"
+        )
+
+
+register_scheme(
+    SchemeInfo(
+        name="ttlock",
+        display_name="TTLock",
+        factory=TTLockLocking,
+        params=(
+            SchemeParam(
+                "key_size",
+                minimum=2,
+                description="key width K (= number of protected primary inputs)",
+            ),
+        ),
+        class_map=_SFLL_CLASS_MAP,
+        description="SFLL-HD with h = 0: protects the single pattern equal to the key",
+        default_technology="GEN65",
+    )
+)
+
+register_scheme(
+    SchemeInfo(
+        name="sfll",
+        display_name="SFLL-HD",
+        factory=_make_sfll,
+        params=(
+            SchemeParam(
+                "key_size",
+                minimum=2,
+                description="key width K (= number of protected primary inputs)",
+            ),
+            SchemeParam(
+                "h",
+                minimum=0,
+                description="Hamming distance of protected patterns from the key",
+            ),
+        ),
+        class_map=_SFLL_CLASS_MAP,
+        aliases=("sfllhd",),
+        description=(
+            "Stripped-functionality locking: Hamming-distance perturb unit "
+            "cancelled by a key-driven restore unit"
+        ),
+        default_technology="GEN65",
+        uses_h=True,
+        matrix_params={"h": 2},
+        check=_check_sfll,
+    )
+)

@@ -16,6 +16,7 @@ import numpy as np
 from ..netlist.circuit import Circuit
 from .base import DESIGN, LockingError, LockingResult, LockingScheme, insert_xor_on_net
 from .keys import key_assignment, key_input_names, random_key_bits
+from .registry import SchemeInfo, SchemeParam, register_scheme
 
 __all__ = ["RandomXorLocking"]
 
@@ -80,3 +81,24 @@ class RandomXorLocking(LockingScheme):
             protected_inputs=(),
             parameters={"key_size": self.key_size},
         )
+
+
+register_scheme(
+    SchemeInfo(
+        name="xor",
+        display_name="RandomXOR",
+        factory=RandomXorLocking,
+        params=(
+            SchemeParam(
+                "key_size",
+                minimum=1,
+                description="number of XOR/XNOR key gates",
+            ),
+        ),
+        class_map={DESIGN: 0, KEYGATE: 1},
+        aliases=("xorlock",),
+        description="EPIC-style random XOR/XNOR key gates on internal nets",
+        default_technology="BENCH8",
+        required_inputs=lambda key_size: 0,
+    )
+)

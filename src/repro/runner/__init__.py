@@ -11,6 +11,8 @@ parallel, cached system:
   locked datasets and trained GNN models.
 * :mod:`~repro.runner.store` — append-only JSONL result store plus the
   aggregation helpers that reproduce the paper-table summaries.
+* :mod:`~repro.runner.matrix` — the standing attack × defense capability
+  matrix with trend deltas against the previous sweep.
 * :mod:`~repro.runner.cli` — the ``python -m repro`` command line.
 """
 
@@ -35,6 +37,7 @@ from .campaign import (
     profile_campaign,
     profile_config,
     profile_suites,
+    registered_attacks,
 )
 from .executor import (
     TaskResult,
@@ -42,6 +45,14 @@ from .executor import (
     execute_task,
     outcome_record,
     run_campaign,
+)
+from .matrix import (
+    MatrixHistory,
+    build_matrix,
+    matrix_campaign,
+    matrix_scheme_entries,
+    render_matrix_report,
+    trend_deltas,
 )
 from .store import (
     ResultStore,
@@ -61,11 +72,13 @@ __all__ = [
     "CacheStats",
     "CampaignSpec",
     "DatasetSpec",
+    "MatrixHistory",
     "PROFILES",
     "ResultStore",
     "SchemeSpec",
     "TaskResult",
     "aggregate",
+    "build_matrix",
     "campaign_cache_stats",
     "campaign_table",
     "config_from_dict",
@@ -74,12 +87,17 @@ __all__ = [
     "execute_task",
     "fingerprint",
     "h_tech_table",
+    "matrix_campaign",
+    "matrix_scheme_entries",
     "outcome_record",
     "paper_table",
     "parse_scheme_spec",
     "profile_campaign",
     "profile_config",
     "profile_suites",
+    "registered_attacks",
+    "render_matrix_report",
     "render_report",
     "run_campaign",
+    "trend_deltas",
 ]

@@ -32,6 +32,7 @@ from ..core.generation import (
     suite_key_sizes,
 )
 from ..gnn.model import GnnConfig
+from ..locking import available_schemes, find_scheme, get_scheme
 from .cache import fingerprint
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "config_from_dict",
     "config_to_dict",
     "parse_scheme_spec",
+    "registered_attacks",
     "profile_campaign",
     "profile_config",
     "profile_suites",
@@ -58,14 +60,16 @@ BASELINE_ATTACKS: Dict[str, str] = {
     "sfll-hd-unlocked": "repro.baselines.sfll_hd_unlocked_attack",
 }
 
-#: Technology a scheme maps onto when the spec string names none (mirrors the
-#: paper: Anti-SAT stays in the bench vocabulary, SFLL/TTLock are synthesised).
-_DEFAULT_TECHNOLOGY: Dict[str, str] = {
-    "antisat": "BENCH8",
-    "ttlock": "GEN65",
-    "sfll": "GEN65",
-    "xor": "BENCH8",
-}
+def registered_attacks(*, include_summary: bool = False) -> Tuple[str, ...]:
+    """Every attack the runner can schedule, sorted.
+
+    ``dataset-summary`` is a diagnostic rather than an attack; the capability
+    matrix excludes it unless ``include_summary`` is set.
+    """
+    names = set(BASELINE_ATTACKS) | {"gnnunlock"}
+    if include_summary:
+        names.add("dataset-summary")
+    return tuple(sorted(names))
 
 
 @dataclass(frozen=True)
@@ -95,16 +99,25 @@ def parse_scheme_spec(spec: str) -> SchemeSpec:
     if ":" in text:
         text, h_text = text.split(":", 1)
         h = int(h_text)
-    scheme = text.lower().replace("-", "").replace("_", "")
-    if scheme not in _DEFAULT_TECHNOLOGY and scheme not in ("sfllhd", "randomxor"):
-        raise ValueError(f"unknown locking scheme in grid entry {spec!r}")
-    scheme = {"sfllhd": "sfll", "randomxor": "xor"}.get(scheme, scheme)
-    if scheme == "sfll" and h is None:
-        raise ValueError(f"SFLL grid entries need an h value, e.g. 'sfll:2' ({spec!r})")
+    info = find_scheme(text)
+    if info is None:
+        raise ValueError(
+            f"unknown locking scheme in grid entry {spec!r}; registered: "
+            f"{', '.join(available_schemes())}"
+        )
+    if info.uses_h and h is None:
+        raise ValueError(
+            f"{info.display_name} grid entries need an h value, e.g. "
+            f"'{info.name}:2' ({spec!r})"
+        )
+    if h is not None and not info.uses_h:
+        raise ValueError(
+            f"{info.display_name} does not take an h value ({spec!r})"
+        )
     return SchemeSpec(
-        scheme=scheme,
+        scheme=info.name,
         h=h,
-        technology=(technology or _DEFAULT_TECHNOLOGY[scheme]).upper(),
+        technology=(technology or info.default_technology).upper(),
     )
 
 
@@ -632,6 +645,7 @@ class CampaignSpec:
             for key_size in group:
                 if int(key_size) <= 0:
                     raise ValueError(f"key sizes must be positive, got {key_size!r}")
+        self._validate_scheme_params()
         if isinstance(self.priority, bool) or not isinstance(self.priority, int):
             raise ValueError(
                 f"priority must be an integer, got {self.priority!r}"
@@ -640,6 +654,38 @@ class CampaignSpec:
         for override in self.overrides:
             validate_config(self.config.with_overrides(override))
         return self.expand()
+
+    def _validate_scheme_params(self) -> None:
+        """Typed scheme-parameter validation at spec time.
+
+        Runs every (scheme, key size) combination the grid will expand to
+        through the registry's parameter schema, so an out-of-range ``h`` or
+        an invalid key size is rejected here (CLI exit 2 / HTTP 400) instead
+        of raising deep inside dataset generation on a worker.
+        """
+        for scheme_text in self.schemes:
+            spec = parse_scheme_spec(scheme_text)
+            info = get_scheme(spec.scheme)
+            key_sizes = set()
+            for group in self.key_size_groups or ():
+                key_sizes.update(int(k) for k in group)
+            if self.key_size_groups is None:
+                for suite in self.suites:
+                    for override in list(self.overrides) or [{}]:
+                        config = self.config.with_overrides(override)
+                        key_sizes.update(
+                            int(k) for k in suite_key_sizes(suite, config)
+                        )
+            for key_size in sorted(key_sizes):
+                params: Dict[str, object] = {"key_size": key_size}
+                if info.uses_h:
+                    params["h"] = spec.h
+                try:
+                    info.validate_params(params)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"invalid parameters for scheme {scheme_text!r}: {exc}"
+                    ) from None
 
 
 # ----------------------------------------------------------------------

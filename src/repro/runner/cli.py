@@ -4,6 +4,8 @@ Subcommands::
 
     repro run      expand a campaign grid and execute it (parallel by default)
     repro list     show the expanded tasks and their cache status
+    repro schemes  list every registered locking scheme and its parameters
+    repro matrix   standing attack x defense capability matrix with trends
     repro report   aggregate a JSONL result store into paper-style tables
     repro trace    export a store's telemetry trace to Chrome trace format
     repro cache    artifact-cache maintenance (stats, gc)
@@ -24,6 +26,10 @@ Examples::
 
     python -m repro run --profile quick --targets c2670 c3540
     python -m repro run --scheme sfll:2@GEN65 --key-sizes 8,16 --workers 4
+    python -m repro run --list-benchmarks
+    python -m repro schemes --json
+    python -m repro matrix --targets c2670 --key-sizes 8 --serial
+    python -m repro matrix --dry-run
     python -m repro run --profile quick --dry-run
     python -m repro run --profile quick --resume   # skip tasks already done
     python -m repro list --profile quick
@@ -73,14 +79,18 @@ from ..service.client import (
     ServiceClient,
     ServiceError,
 )
+from ..benchgen import SUITE_PROFILES
+from ..locking import SCHEMES
 from .cache import ArtifactCache, default_cache_dir, parse_age, parse_size
 from .campaign import (
     BASELINE_ATTACKS,
     CampaignSpec,
     PROFILES,
     profile_campaign,
+    registered_attacks,
 )
 from .executor import run_campaign
+from .matrix import MatrixHistory, build_matrix, matrix_campaign, render_matrix_report
 from .store import ResultStore, aggregate, campaign_table, paper_table, render_report
 
 __all__ = ["build_parser", "main"]
@@ -244,6 +254,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip tasks whose fingerprint already has an ok record in the "
         "store (pick an interrupted campaign back up)",
     )
+    run.add_argument(
+        "--list-benchmarks", action="store_true",
+        help="list every registered benchmark profile by suite and exit",
+    )
+
+    schemes_cmd = sub.add_parser(
+        "schemes", help="list registered locking schemes and their parameters"
+    )
+    schemes_cmd.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the machine-readable schema descriptions",
+    )
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="run the standing attack x defense capability matrix "
+        "(every registered attack x every registered scheme)",
+    )
+    matrix.add_argument("--name", default="capability-matrix", help="campaign name")
+    matrix.add_argument(
+        "--suite", default="ISCAS-85", help="benchmark suite to sweep"
+    )
+    matrix.add_argument(
+        "--key-sizes", default=None, metavar="K[,K...]",
+        help="key sizes, one dataset per size (default: 8,16)",
+    )
+    matrix.add_argument(
+        "--scheme", action="append", dest="schemes", metavar="SPEC",
+        help="restrict to these scheme grid entries "
+        "(default: every registered scheme)",
+    )
+    matrix.add_argument(
+        "--attack", action="append", dest="attacks", metavar="NAME",
+        help="restrict to these attacks "
+        f"(default: every registered attack: {', '.join(registered_attacks())})",
+    )
+    matrix.add_argument(
+        "--targets", nargs="+", help="benchmarks to attack (default: whole suite)"
+    )
+    matrix.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="AttackConfig override applied to every task, e.g. gnn.epochs=40",
+    )
+    matrix.add_argument(
+        "--sweep", action="append", default=[], metavar="KEY=V1,V2",
+        help="AttackConfig override axis; repeated sweeps form a grid",
+    )
+    matrix.add_argument("--timeout", type=float, help="per-task budget in seconds")
+    matrix.add_argument("--workers", type=int, help="process count (default: CPUs)")
+    matrix.add_argument(
+        "--intra-workers", type=int, default=None,
+        help="global intra-task worker budget (default: REPRO_INTRA_WORKERS)",
+    )
+    matrix.add_argument(
+        "--serial", action="store_true", help="run in-process, one task at a time"
+    )
+    matrix.add_argument(
+        "--store", type=Path, default=None,
+        help="JSONL result store (default: runs/<name>.jsonl)",
+    )
+    matrix.add_argument(
+        "--history", type=Path, default=None,
+        help="sweep-history JSONL for trend deltas "
+        "(default: <store>.history.jsonl)",
+    )
+    matrix.add_argument(
+        "--no-resume", action="store_true",
+        help="recompute cells whose fingerprint already has an ok record "
+        "(the matrix resumes incrementally by default)",
+    )
+    matrix.add_argument(
+        "--no-history", action="store_true",
+        help="render trends without appending this sweep to the history",
+    )
+    matrix.add_argument(
+        "--dry-run", action="store_true",
+        help="print the matrix axes and expanded tasks without executing",
+    )
+    _add_cache_arguments(matrix)
 
     list_cmd = sub.add_parser("list", help="show expanded tasks and cache status")
     _add_grid_arguments(list_cmd)
@@ -464,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--records", action="store_true",
         help="print the raw JSONL result-store records instead of the report",
     )
+    fetch.add_argument(
+        "--matrix", action="store_true",
+        help="print the capability-matrix rendering of the job's records",
+    )
 
     watch = sub.add_parser(
         "watch", help="stream a service job's progress events until it finishes"
@@ -533,7 +626,25 @@ def _print_tasks(
         print(f"  {task.task_id}  ({task.fingerprint()[:12]}){note}")
 
 
+def _print_benchmarks() -> None:
+    for suite in sorted(SUITE_PROFILES):
+        profiles = SUITE_PROFILES[suite]
+        print(f"{suite}: {len(profiles)} benchmark(s)")
+        for name in sorted(profiles):
+            profile = profiles[name]
+            n_inputs, n_outputs, n_gates = profile.scaled()
+            print(
+                f"  {name:8s} {n_gates:5d} gates  {n_inputs:3d} PIs  "
+                f"{n_outputs:3d} POs  "
+                f"(original: {profile.original_gates} gates, "
+                f"{profile.original_inputs} PIs)"
+            )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list_benchmarks:
+        _print_benchmarks()
+        return 0
     spec = _campaign_from_args(args)
     # Validate the whole spec up front (unknown benchmarks, mistyped config
     # overrides, ...) so both --dry-run and real runs fail with a clean
@@ -579,6 +690,108 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for result in failed:
             print(f"  {result.task_id}: {result.error}", file=sys.stderr)
     return 0 if not failed else 2
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    if args.as_json:
+        print(json.dumps([info.describe() for info in SCHEMES], sort_keys=True))
+        return 0
+    print(f"{len(SCHEMES)} registered locking scheme(s)")
+    for info in SCHEMES:
+        names = [info.name, *info.aliases]
+        print(f"\n{info.display_name}  ({', '.join(names)})")
+        if info.description:
+            print(f"  {info.description}")
+        for spec in info.params:
+            bounds = []
+            if spec.minimum is not None:
+                bounds.append(f">= {spec.minimum}")
+            if spec.maximum is not None:
+                bounds.append(f"<= {spec.maximum}")
+            need = "required" if spec.required else f"default {spec.default}"
+            extra = f", {' and '.join(bounds)}" if bounds else ""
+            print(f"  param {spec.name}: {spec.type.__name__} ({need}{extra})")
+        classes = ", ".join(
+            f"{label}={idx}" for label, idx in sorted(
+                info.class_map.items(), key=lambda item: item[1]
+            )
+        )
+        print(f"  classes: {classes}")
+        print(f"  default technology: {info.default_technology}")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    key_sizes = (
+        tuple(int(k) for k in args.key_sizes.split(","))
+        if args.key_sizes
+        else None
+    )
+    kwargs: Dict[str, object] = {
+        "name": args.name,
+        "suite": args.suite,
+        "schemes": tuple(args.schemes) if args.schemes else None,
+        "attacks": tuple(args.attacks) if args.attacks else None,
+        "targets": tuple(args.targets) if args.targets else None,
+        "overrides": _override_grid(args.set, args.sweep),
+        "timeout_s": args.timeout,
+    }
+    if key_sizes is not None:
+        kwargs["key_sizes"] = key_sizes
+    spec = matrix_campaign(**kwargs)
+    tasks = spec.validate()
+    print(
+        f"capability matrix {spec.name!r}: "
+        f"{len(spec.schemes)} scheme(s) x {len(spec.attacks)} attack(s) x "
+        f"{len(spec.key_size_groups or ())} key size(s) -> {len(tasks)} task(s)"
+    )
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    if args.dry_run:
+        cache = ArtifactCache(None if args.no_cache else cache_dir)
+        _print_tasks(spec, cache, tasks)
+        print("dry run: nothing executed")
+        return 0
+    if not tasks:
+        print("matrix expanded to zero tasks", file=sys.stderr)
+        return 1
+    store_path = args.store if args.store else Path("runs") / f"{spec.name}.jsonl"
+    history_path = (
+        args.history
+        if args.history
+        else store_path.with_name(store_path.stem + ".history.jsonl")
+    )
+    store = ResultStore(store_path)
+    history = MatrixHistory(history_path)
+    previous = history.latest()
+    results = run_campaign(
+        tasks,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        serial=args.serial,
+        store=store,
+        resume=not args.no_resume,
+        intra_workers=args.intra_workers,
+        echo=print,
+    )
+    records = list(store.latest().values())
+    print()
+    print(
+        render_matrix_report(
+            records,
+            previous=previous.get("cells") if previous else None,
+        ),
+        end="",
+    )
+    if not args.no_history:
+        history.append(build_matrix(records))
+        print(f"\nsweep recorded in {history_path} ({len(history)} sweep(s))")
+    failed = [r for r in results if not r.ok]
+    if failed:
+        # Failed cells are themselves capability data ("err" in the grid),
+        # so the matrix still exits 0; the count goes to stderr for CI logs.
+        print(f"{len(failed)} task(s) rendered as 'err' cells", file=sys.stderr)
+    return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -879,7 +1092,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 def _cmd_fetch(args: argparse.Namespace) -> int:
     client = _service_client(args)
-    kind = "records" if args.records else "report"
+    if args.records:
+        kind = "records"
+    elif args.matrix:
+        kind = "report?style=matrix"
+    else:
+        kind = "report"
     if args.as_json:
         print(json.dumps(client.fetch(args.job_id, kind), sort_keys=True))
         return 0
@@ -887,7 +1105,7 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
         for record in client.records(args.job_id):
             print(json.dumps(record, sort_keys=True))
         return 0
-    print(client.report(args.job_id))
+    print(client.report(args.job_id, style="matrix" if args.matrix else None))
     return 0
 
 
@@ -948,6 +1166,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "list": _cmd_list,
+        "schemes": _cmd_schemes,
+        "matrix": _cmd_matrix,
         "report": _cmd_report,
         "trace": _cmd_trace,
         "cache": _cmd_cache,

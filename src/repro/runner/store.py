@@ -167,7 +167,14 @@ def _dataset_label(entry: Mapping) -> str:
     """Paper-style row label, e.g. ``SFLL-HD2 / ISCAS-85 / 65nm``."""
     scheme = str(entry.get("scheme", "?"))
     h = entry.get("h")
-    name = _SCHEME_LABELS.get(scheme, scheme)
+    name = _SCHEME_LABELS.get(scheme)
+    if name is None:
+        # Schemes without a pinned paper label (SARLock, cyclic, future
+        # registrations) borrow their registry display name.
+        from ..locking import find_scheme
+
+        info = find_scheme(scheme)
+        name = info.display_name if info is not None else scheme
     if scheme == "sfll":
         name = f"SFLL-HD{h}" if h is not None else "SFLL-HD"
     parts = [name]

@@ -586,11 +586,25 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return self._stream(job, identity)
         store = ResultStore(job.store_path)
         if action == "report":
+            style = self._query().get("style", "paper")
             records = list(store.latest().values())
+            if style == "matrix":
+                from ..runner.matrix import render_matrix_report
+
+                report = render_matrix_report(records)
+            elif style == "paper":
+                report = render_report(records)
+            else:
+                raise _ApiError(
+                    400,
+                    codes.ERR_INVALID_REQUEST,
+                    f"unknown report style {style!r}; choose paper or matrix",
+                )
             return 200, {
                 "job_id": job.job_id,
                 "status": job.status,
-                "report": render_report(records),
+                "style": style,
+                "report": report,
             }
         if action == "records":
             return 200, {"job_id": job.job_id, "records": store.load()}

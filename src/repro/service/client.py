@@ -228,8 +228,10 @@ class ServiceClient:
         """Raw payload of a job's ``report`` or ``records`` endpoint."""
         return self._request("GET", f"/v1/jobs/{job_id}/{kind}")
 
-    def report(self, job_id: str) -> str:
-        return str(self.fetch(job_id, "report")["report"])
+    def report(self, job_id: str, *, style: Optional[str] = None) -> str:
+        """Rendered report; ``style="matrix"`` for the capability matrix."""
+        kind = "report" if style is None else f"report?style={style}"
+        return str(self.fetch(job_id, kind)["report"])
 
     def records(self, job_id: str) -> List[Dict[str, object]]:
         return list(self.fetch(job_id, "records")["records"])

@@ -55,6 +55,38 @@ class TestHealthAndErrors:
         assert excinfo.value.status == 400
         assert "unknown target" in excinfo.value.message
 
+    def test_invalid_scheme_params_are_400_with_structured_error(
+        self, service_factory
+    ):
+        """A typo'd scheme or out-of-range h dies at submit time, not inside
+        a worker half a campaign later."""
+        client = ServiceClient(service_factory().url)
+        unknown = summary_spec().to_json_dict()
+        unknown["schemes"] = ["mystery"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(unknown)
+        assert excinfo.value.status == 400
+        assert "unknown locking scheme" in excinfo.value.message
+
+        bad_h = summary_spec().to_json_dict()
+        bad_h["schemes"] = ["sfll:9"]  # h > key size 8
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(bad_h)
+        assert excinfo.value.status == 400
+        assert "invalid parameters for scheme 'sfll:9'" in excinfo.value.message
+
+    def test_unknown_report_style_is_400(self, service_factory):
+        client = ServiceClient(service_factory().url)
+        job = client.submit(summary_spec())["job"]
+        client.wait(job["job_id"], timeout=120)
+        with pytest.raises(ServiceError) as excinfo:
+            client.fetch(job["job_id"], "report?style=sideways")
+        assert excinfo.value.status == 400
+        # The matrix style serves on the same route; summary-only records
+        # render the empty matrix rather than erroring.
+        report = client.report(job["job_id"], style="matrix")
+        assert report.startswith("Capability matrix")
+
     def test_unknown_spec_field_is_400(self, service_factory):
         client = ServiceClient(service_factory().url)
         spec = summary_spec().to_json_dict()
