@@ -77,8 +77,13 @@ class FleetCoordinator:
         echo: Optional[Callable[[str], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_job_finished: Optional[Callable[[Job], None]] = None,
     ):
         self.queue = queue
+        #: Fired after the completion flush lands a job in a terminal
+        #: status (the service hangs its warehouse ingest here).  Exceptions
+        #: are swallowed: post-processing must never change a job's outcome.
+        self.on_job_finished = on_job_finished
         self.metrics = metrics if metrics is not None else queue.metrics
         self.lease_ttl_s = max(0.1, float(lease_ttl_s))
         #: Intra-task worker share handed verbatim to every lease (the
@@ -420,6 +425,15 @@ class FleetCoordinator:
             job=job,
             status=job.status,
         )
+        if self.on_job_finished is not None:
+            try:
+                self.on_job_finished(job)
+            except Exception as exc:  # noqa: BLE001 - never sink the flush
+                self._log(
+                    f"job {job.job_id}: post-finish hook failed: {exc}",
+                    job=job,
+                    error=str(exc),
+                )
         self._gc_between_jobs()
 
     def _gc_between_jobs(self) -> None:

@@ -48,6 +48,7 @@ from .executor import (
 )
 from .matrix import (
     MatrixHistory,
+    WarehouseMatrixHistory,
     build_matrix,
     matrix_campaign,
     matrix_scheme_entries,
@@ -73,6 +74,7 @@ __all__ = [
     "CampaignSpec",
     "DatasetSpec",
     "MatrixHistory",
+    "WarehouseMatrixHistory",
     "PROFILES",
     "ResultStore",
     "SchemeSpec",

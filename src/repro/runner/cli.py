@@ -89,8 +89,21 @@ from .campaign import (
     profile_campaign,
     registered_attacks,
 )
+from ..warehouse import (
+    Warehouse,
+    aggregate_stream,
+    build_filter,
+    ingest_store,
+    parse_since,
+)
 from .executor import run_campaign
-from .matrix import MatrixHistory, build_matrix, matrix_campaign, render_matrix_report
+from .matrix import (
+    MatrixHistory,
+    WarehouseMatrixHistory,
+    build_matrix,
+    matrix_campaign,
+    render_matrix_report,
+)
 from .store import ResultStore, aggregate, campaign_table, paper_table, render_report
 
 __all__ = ["build_parser", "main"]
@@ -320,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: <store>.history.jsonl)",
     )
     matrix.add_argument(
+        "--warehouse", type=Path, default=None, metavar="DIR",
+        help="record sweeps in this result warehouse instead of the "
+        "history JSONL (trend reads become index seeks, no re-scan)",
+    )
+    matrix.add_argument(
         "--no-resume", action="store_true",
         help="recompute cells whose fingerprint already has an ok record "
         "(the matrix resumes incrementally by default)",
@@ -393,6 +411,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the per-phase span breakdown from the store's "
         "telemetry rollup (requires a campaign run with REPRO_OBS=1)",
     )
+
+    warehouse = sub.add_parser(
+        "warehouse",
+        help="cross-campaign result warehouse (ingest / query / compact / stats)",
+    )
+    wh_sub = warehouse.add_subparsers(dest="warehouse_command", required=True)
+
+    wh_ingest = wh_sub.add_parser(
+        "ingest", help="tail JSONL result stores into a warehouse"
+    )
+    wh_ingest.add_argument(
+        "--warehouse", type=Path, required=True, metavar="DIR",
+        help="warehouse directory (created if missing)",
+    )
+    wh_ingest.add_argument(
+        "--store", action="append", type=Path, default=[], dest="stores",
+        metavar="FILE", help="JSONL store to ingest (repeatable)",
+    )
+    wh_ingest.add_argument(
+        "--state-dir", type=Path, default=None, metavar="DIR",
+        help="service state dir: ingest every stores/*.jsonl under it",
+    )
+
+    wh_query = wh_sub.add_parser(
+        "query", help="cross-campaign record query (local dir or service)"
+    )
+    wh_query.add_argument(
+        "--warehouse", type=Path, default=None, metavar="DIR",
+        help="query this warehouse directory locally (omit to use --url)",
+    )
+    for flag in ("scheme", "attack", "suite", "status", "target"):
+        wh_query.add_argument(f"--{flag}", default=None, help=f"filter by {flag}")
+    wh_query.add_argument(
+        "--since", default=None,
+        help="only records recorded at/after this bound "
+        "(epoch seconds, ISO date, or an age like 30d/12h)",
+    )
+    wh_query.add_argument(
+        "--limit", type=int, default=1000, help="record cap for listings"
+    )
+    wh_query.add_argument(
+        "--aggregate", action="store_true",
+        help="print streamed group averages instead of records",
+    )
+    wh_query.add_argument(
+        "--group-by", nargs="+", default=["scheme", "suite", "technology"],
+        help="fields to group --aggregate by",
+    )
+    wh_query.add_argument(
+        "--report", action="store_true",
+        help="render the matching records as the deterministic service-style "
+        "report instead of JSON lines",
+    )
+    _add_service_arguments(wh_query)
+
+    wh_compact = wh_sub.add_parser(
+        "compact", help="fold superseded records into fresh shards"
+    )
+    wh_compact.add_argument(
+        "--warehouse", type=Path, default=None, metavar="DIR",
+        help="warehouse directory (omit to compact via --url, admin only)",
+    )
+    _add_service_arguments(wh_compact)
+
+    wh_stats = wh_sub.add_parser("stats", help="shard / index / source stats")
+    wh_stats.add_argument(
+        "--warehouse", type=Path, default=None, metavar="DIR",
+        help="warehouse directory (omit to read via --url, admin only)",
+    )
+    _add_service_arguments(wh_stats)
 
     trace = sub.add_parser(
         "trace", help="export a store's span trace to Chrome trace-event JSON"
@@ -721,6 +809,123 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_warehouse(args: argparse.Namespace) -> int:
+    handlers = {
+        "ingest": _warehouse_ingest,
+        "query": _warehouse_query,
+        "compact": _warehouse_compact,
+        "stats": _warehouse_stats,
+    }
+    return handlers[args.warehouse_command](args)
+
+
+def _warehouse_ingest(args: argparse.Namespace) -> int:
+    if not args.stores and args.state_dir is None:
+        raise ValueError("nothing to ingest: pass --store and/or --state-dir")
+    warehouse = Warehouse(args.warehouse)
+    total = 0
+    sources: List[Path] = list(args.stores)
+    if args.state_dir is not None:
+        sources += sorted((args.state_dir / "stores").glob("*.jsonl"))
+    for path in sources:
+        if not path.is_file():
+            raise ValueError(f"store not found: {path}")
+        added = ingest_store(warehouse, path, source=path.stem)
+        total += added
+        print(f"{path.stem}: +{added} record(s)")
+    warehouse.flush()
+    stats = warehouse.stats()
+    print(
+        f"ingested {total} record(s); warehouse holds {stats['records']} "
+        f"across {stats['shards']} shard(s)"
+    )
+    return 0
+
+
+def _warehouse_query(args: argparse.Namespace) -> int:
+    if args.warehouse is None:
+        client = _service_client(args)
+        if args.aggregate:
+            payload = client.warehouse_query(
+                scheme=args.scheme, attack=args.attack, suite=args.suite,
+                status=args.status, target=args.target, since=args.since,
+                aggregate=True, group_by=",".join(args.group_by),
+            )
+            print(json.dumps(payload["groups"], indent=None if args.as_json else 2))
+            return 0
+        payload = client.warehouse_query(
+            scheme=args.scheme, attack=args.attack, suite=args.suite,
+            status=args.status, target=args.target, since=args.since,
+            limit=args.limit,
+        )
+        records = payload["records"]
+        if args.report:
+            print(render_report(records))
+        else:
+            for record in records:
+                print(json.dumps(record, sort_keys=True))
+        if payload.get("truncated"):
+            print(
+                f"(truncated at {args.limit} record(s); raise --limit)",
+                file=sys.stderr,
+            )
+        return 0
+    warehouse = Warehouse(args.warehouse)
+    where = build_filter(
+        scheme=args.scheme, attack=args.attack, suite=args.suite,
+        status=args.status, target=args.target,
+        since=parse_since(args.since) if args.since else None,
+    )
+    if args.aggregate:
+        summary = aggregate_stream(
+            warehouse.iter_records(where), group_by=tuple(args.group_by)
+        )
+        print(json.dumps(summary, indent=None if args.as_json else 2))
+        return 0
+    if args.report:
+        # Same trailing newline as ``repro report --service-style`` so the
+        # two renders diff clean in scripts.
+        print(render_report(list(warehouse.iter_records(where))))
+        return 0
+    shown = 0
+    for record in warehouse.iter_records(where):
+        if shown >= args.limit:
+            print(
+                f"(truncated at {args.limit} record(s); raise --limit)",
+                file=sys.stderr,
+            )
+            break
+        print(json.dumps(record, sort_keys=True))
+        shown += 1
+    return 0
+
+
+def _warehouse_compact(args: argparse.Namespace) -> int:
+    if args.warehouse is None:
+        result = _service_client(args).warehouse_compact()
+    else:
+        result = Warehouse(args.warehouse).compact()
+    if args.as_json:
+        print(json.dumps(result, sort_keys=True))
+    elif result.get("compacted"):
+        print(
+            f"folded {result['folded']} superseded line(s); "
+            f"{result['records']} record(s) in {result['shards']} shard(s)"
+        )
+    else:
+        print("nothing to fold")
+    return 0
+
+
+def _warehouse_stats(args: argparse.Namespace) -> int:
+    if args.warehouse is None:
+        stats = _service_client(args).warehouse_stats()
+    else:
+        stats = Warehouse(args.warehouse).stats()
+    print(json.dumps(stats, indent=None if args.as_json else 2, sort_keys=True))
+    return 0
+
+
 def _cmd_matrix(args: argparse.Namespace) -> int:
     key_sizes = (
         tuple(int(k) for k in args.key_sizes.split(","))
@@ -761,7 +966,13 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         else store_path.with_name(store_path.stem + ".history.jsonl")
     )
     store = ResultStore(store_path)
-    history = MatrixHistory(history_path)
+    if args.warehouse is not None:
+        history = WarehouseMatrixHistory(
+            Warehouse(args.warehouse), name=args.name
+        )
+        history_path = args.warehouse
+    else:
+        history = MatrixHistory(history_path)
     previous = history.latest()
     results = run_campaign(
         tasks,
@@ -871,6 +1082,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     records = store.load() if args.show_all else list(store.latest().values())
+    if store.last_corrupt_lines:
+        print(
+            f"warning: {store.last_corrupt_lines} unparseable line(s) in "
+            f"{args.store} were dropped; the report under-counts records",
+            file=sys.stderr,
+        )
     if not records:
         print(f"no records in {args.store}", file=sys.stderr)
         return 1
@@ -1168,6 +1385,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list": _cmd_list,
         "schemes": _cmd_schemes,
         "matrix": _cmd_matrix,
+        "warehouse": _cmd_warehouse,
         "report": _cmd_report,
         "trace": _cmd_trace,
         "cache": _cmd_cache,

@@ -25,6 +25,7 @@ from .campaign import CampaignSpec, profile_config, registered_attacks
 
 __all__ = [
     "MatrixHistory",
+    "WarehouseMatrixHistory",
     "build_matrix",
     "matrix_campaign",
     "matrix_scheme_entries",
@@ -240,6 +241,77 @@ class MatrixHistory:
 
     def __len__(self) -> int:
         return len(self.sweeps())
+
+
+class WarehouseMatrixHistory:
+    """Matrix sweep history backed by the result warehouse.
+
+    Drop-in for :class:`MatrixHistory` (same ``append`` / ``sweeps`` /
+    ``latest`` / ``__len__`` surface) with two storage differences: every
+    sweep is one warehouse record under an archival key
+    (``matrix:<name>:<n>``), and the most recent sweep is *also* written
+    under a stable head key (``matrix:<name>``), so the nightly re-sweep's
+    ``latest()`` is a single index seek — no JSONL scan, regardless of how
+    many campaigns share the warehouse.  Superseded head records are folded
+    away by ordinary compaction.
+    """
+
+    def __init__(self, warehouse, *, name: str = "capability-matrix") -> None:
+        self.warehouse = warehouse
+        self.name = str(name)
+
+    @property
+    def _head_key(self) -> str:
+        return f"matrix:{self.name}"
+
+    def append(
+        self,
+        cells: Mapping[str, Mapping[str, object]],
+        *,
+        recorded_at: Optional[float] = None,
+    ) -> None:
+        head = self.warehouse.get(self._head_key)
+        sweep = int(head.get("sweep", 0)) + 1 if head else 1
+        snapshot = {
+            "kind": "matrix_sweep",
+            "matrix": self.name,
+            "sweep": sweep,
+            "recorded_at": float(
+                recorded_at if recorded_at is not None else time.time()
+            ),
+            "cells": {key: dict(cell) for key, cell in cells.items()},
+        }
+        self.warehouse.append_many(
+            [
+                (f"{self._head_key}:{sweep}", snapshot),
+                (self._head_key, snapshot),
+            ],
+            source=f"matrix:{self.name}",
+        )
+        self.warehouse.flush()
+
+    def sweeps(self) -> List[Dict[str, object]]:
+        head_key = self._head_key
+
+        def is_archived_sweep(env: Mapping[str, object]) -> bool:
+            if env.get("k") == head_key:
+                return False
+            record = env.get("r", {})
+            return (
+                isinstance(record, Mapping)
+                and record.get("kind") == "matrix_sweep"
+                and record.get("matrix") == self.name
+                and isinstance(record.get("cells"), dict)
+            )
+
+        return list(self.warehouse.iter_records(is_archived_sweep))
+
+    def latest(self) -> Optional[Dict[str, object]]:
+        return self.warehouse.get(self._head_key)
+
+    def __len__(self) -> int:
+        head = self.warehouse.get(self._head_key)
+        return int(head.get("sweep", 0)) if head else 0
 
 
 def trend_deltas(

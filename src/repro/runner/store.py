@@ -15,9 +15,16 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+try:  # POSIX only; appends degrade gracefully elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from ..core.reporting import format_percent, format_table
+from ..obs import get_registry
 
 __all__ = [
+    "AGGREGATE_METRIC_FIELDS",
     "ResultStore",
     "aggregate",
     "campaign_table",
@@ -32,19 +39,46 @@ class ResultStore:
 
     def __init__(self, path):
         self.path = Path(path)
+        #: Unparseable lines seen by the most recent :meth:`load` call.
+        self.last_corrupt_lines = 0
 
     def append(self, record: Mapping[str, object]) -> None:
         payload = dict(record)
         payload.setdefault("recorded_at", time.time())
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload, sort_keys=True, default=str) + "\n")
+        # Serialise first, then hand the kernel one pre-built line under an
+        # exclusive flock: concurrent writers (fleet coordinator + service
+        # worker sharing a state dir) cannot interleave partial lines, and a
+        # crash mid-append leaves at most one truncated tail line.
+        data = (json.dumps(payload, sort_keys=True, default=str) + "\n").encode(
+            "utf-8"
+        )
+        with open(self.path, "ab", buffering=0) as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                view = memoryview(data)
+                while view:
+                    written = handle.write(view)
+                    view = view[written:]
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def load(self) -> List[Dict[str, object]]:
-        """All records, oldest first; unparseable lines are skipped."""
+        """All records, oldest first.
+
+        Unparseable lines are skipped but *counted*: the tally lands in
+        :attr:`last_corrupt_lines` and on the
+        ``repro_store_corrupt_lines_total`` counter so a truncated store
+        shows up in reports and on ``/metricsz`` instead of silently
+        under-reporting.
+        """
+        self.last_corrupt_lines = 0
         if not self.path.is_file():
             return []
         records: List[Dict[str, object]] = []
+        corrupt = 0
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -53,7 +87,10 @@ class ResultStore:
                 try:
                     records.append(json.loads(line))
                 except json.JSONDecodeError:
-                    continue
+                    corrupt += 1
+        self.last_corrupt_lines = corrupt
+        if corrupt:
+            get_registry().inc("repro_store_corrupt_lines_total", corrupt)
         return records
 
     def latest(self) -> Dict[str, Dict[str, object]]:
@@ -88,15 +125,20 @@ def paper_table(
     """Render Table IV/V-shaped per-benchmark results from task records.
 
     Columns: GNN accuracy, then precision / recall / F1 per class in
-    ``class_order`` (default: the classes recorded with the first record),
-    the misclassified-node breakdown and the removal success rate.
+    ``class_order`` (default: the union of classes observed across all
+    records, in first-seen order — mixed-scheme piles keep every class
+    aligned instead of borrowing the first record's set), the
+    misclassified-node breakdown and the removal success rate.
     """
     rows = []
     records = _ok(records)
     if class_order is None and records:
-        class_order = [
-            cls for cls in records[0].get("class_names", []) if cls
-        ]
+        seen: List[str] = []
+        for record in records:
+            for cls in record.get("class_names", []):
+                if cls and cls not in seen:
+                    seen.append(cls)
+        class_order = seen
     class_order = list(class_order or [])
     for record in records:
         per_class = record.get("gnn_report", {}).get("per_class", {})
@@ -123,37 +165,56 @@ def paper_table(
     return format_table(headers, rows)
 
 
+#: Headline metrics averaged by :func:`aggregate`, in output order.  The
+#: warehouse's streaming aggregation replays the same fields in the same
+#: addition order so its floats are byte-identical to this function's.
+AGGREGATE_METRIC_FIELDS: Tuple[str, ...] = (
+    "gnn_accuracy",
+    "post_accuracy",
+    "gnn_macro_precision",
+    "gnn_macro_recall",
+    "gnn_macro_f1",
+    "removal_success_rate",
+    "train_time_s",
+)
+
+
 def aggregate(
     records: Iterable[Mapping],
     group_by: Sequence[str] = ("scheme", "suite", "technology"),
 ) -> List[Dict[str, object]]:
-    """Average the headline metrics over record groups (Table VI flavour)."""
+    """Average the headline metrics over record groups (Table VI flavour).
+
+    Each metric is averaged only over the records that actually carry the
+    field — a baseline record without ``gnn_accuracy`` no longer drags the
+    group mean toward zero — and ``metric_n`` reports how many records
+    backed each per-metric average.
+    """
     groups: Dict[Tuple, List[Mapping]] = defaultdict(list)
     for record in _ok(records):
         key = tuple(record.get(field) for field in group_by)
         groups[key].append(record)
 
-    def mean(items: List[Mapping], field: str) -> float:
-        values = [float(r.get(field, 0.0)) for r in items]
-        return sum(values) / len(values) if values else 0.0
+    def mean_and_n(items: List[Mapping], field: str) -> Tuple[float, int]:
+        values = [
+            float(r[field]) for r in items if r.get(field) is not None
+        ]
+        if not values:
+            return 0.0, 0
+        return sum(values) / len(values), len(values)
 
     summary: List[Dict[str, object]] = []
     for key in sorted(groups, key=str):
         items = groups[key]
         entry: Dict[str, object] = dict(zip(group_by, key))
-        entry.update(
-            {
-                "n_tasks": len(items),
-                "n_instances": int(sum(int(r.get("n_instances", 0)) for r in items)),
-                "gnn_accuracy": mean(items, "gnn_accuracy"),
-                "post_accuracy": mean(items, "post_accuracy"),
-                "gnn_macro_precision": mean(items, "gnn_macro_precision"),
-                "gnn_macro_recall": mean(items, "gnn_macro_recall"),
-                "gnn_macro_f1": mean(items, "gnn_macro_f1"),
-                "removal_success_rate": mean(items, "removal_success_rate"),
-                "train_time_s": mean(items, "train_time_s"),
-            }
+        entry["n_tasks"] = len(items)
+        entry["n_instances"] = int(
+            sum(int(r.get("n_instances", 0)) for r in items)
         )
+        metric_n: Dict[str, int] = {}
+        for field in AGGREGATE_METRIC_FIELDS:
+            entry[field], metric_n[field] = mean_and_n(items, field)
+        entry["metric_n"] = metric_n
         summary.append(entry)
     return summary
 
@@ -261,9 +322,9 @@ def campaign_table(records: Iterable[Mapping]) -> str:
                 f"success {format_percent(float(record['baseline_success_rate']))}"
             )
         elif done and "n_nodes" in record:
-            headline = (
-                f"{record['n_nodes']} nodes / {record['n_circuits']} circuits"
-            )
+            headline = f"{record['n_nodes']} nodes"
+            if "n_circuits" in record:
+                headline += f" / {record['n_circuits']} circuits"
         else:
             headline = str(record.get("error", "-"))[:60]
         rows.append(

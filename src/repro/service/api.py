@@ -17,6 +17,22 @@ Endpoints (JSON unless noted)::
     POST   /v1/jobs/<id>/cancel      request cancellation
     DELETE /v1/jobs/<id>             alias for cancel
 
+Warehouse endpoints (cross-campaign queries over every job's records;
+finished job stores are ingested automatically and any not-yet-ingested
+tail is picked up lazily on query)::
+
+    GET    /v1/warehouse/query       ?scheme=&attack=&suite=&status=&target=
+                                     &since=&limit=  filtered records; add
+                                     ``aggregate=1[&group_by=a,b]`` for
+                                     streamed group averages instead.
+                                     Non-admin tokens see only records from
+                                     jobs they own (same masking rule as
+                                     /v1/jobs); worker tokens are refused.
+    GET    /v1/warehouse/usage       per-tenant rollup (jobs, records, task
+                                     seconds); non-admins see their own row
+    GET    /v1/warehouse/stats       shard/index/compaction stats (admin)
+    POST   /v1/warehouse/compact     fold superseded records now (admin)
+
 Fleet endpoints (worker or admin token; ``/v1/tasks`` requires the service
 to run with ``--fleet``)::
 
@@ -70,6 +86,14 @@ from ..obs import MetricsRegistry, emit
 from ..runner.cache import ArtifactCache, default_cache_dir, parse_size
 from ..runner.campaign import CampaignSpec
 from ..runner.store import ResultStore, render_report
+from ..warehouse import (
+    CompactionThread,
+    Warehouse,
+    aggregate_stream,
+    build_filter,
+    ingest_store,
+    parse_since,
+)
 from . import status as codes
 from .auth import TokenBucket, TokenInfo, TokenRegistry
 from .jobs import Job, JobQueue, QuotaError
@@ -296,9 +320,138 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return self._job_route(method, path[len("/v1/jobs/"):])
         if path == "/v1/tasks/lease" or path.startswith("/v1/tasks/"):
             return self._task_route(method, path[len("/v1/tasks/"):])
+        if path.startswith("/v1/warehouse"):
+            return self._warehouse_route(method, path)
         if path.startswith("/v1/artifacts/"):
             return self._artifact_route(method, path[len("/v1/artifacts/"):])
         raise _ApiError(404, codes.ERR_NOT_FOUND, f"no route {method} {path}")
+
+    # ------------------------------------------------------------------
+    # Warehouse: cross-campaign queries
+    def _warehouse_route(self, method: str, path: str) -> Tuple:
+        identity = self._identity()
+        if identity.is_worker and not identity.is_admin:
+            # Worker tokens exist to lease tasks and move artifacts; letting
+            # one read every tenant's records would cross the same line the
+            # job-route 404 masking draws.
+            raise _ApiError(
+                403, codes.ERR_FORBIDDEN, "warehouse routes refuse worker tokens"
+            )
+        if path == "/v1/warehouse/query" and method == "GET":
+            return self._warehouse_query(identity)
+        if path == "/v1/warehouse/usage" and method == "GET":
+            return self._warehouse_usage(identity)
+        if path == "/v1/warehouse/stats" and method == "GET":
+            self._require_admin(identity, "warehouse stats")
+            self.service.refresh_warehouse()
+            return 200, {"stats": self.service.warehouse.stats()}
+        if path == "/v1/warehouse/compact" and method == "POST":
+            self._require_admin(identity, "warehouse compaction")
+            self.service.refresh_warehouse()
+            return 200, {"result": self.service.warehouse.compact()}
+        raise _ApiError(404, codes.ERR_NOT_FOUND, f"no route {method} {path}")
+
+    def _require_admin(self, identity: TokenInfo, what: str) -> None:
+        if not identity.is_admin:
+            raise _ApiError(
+                403, codes.ERR_FORBIDDEN, f"{what} requires an admin token"
+            )
+
+    def _warehouse_filter(self, identity: TokenInfo, params: Dict[str, str]):
+        """Build the envelope predicate, ownership masking included."""
+        since = None
+        if "since" in params:
+            try:
+                since = parse_since(params["since"])
+            except ValueError as exc:
+                raise _ApiError(400, codes.ERR_INVALID_REQUEST, str(exc)) from None
+        sources = None
+        if not identity.is_admin:
+            # Same visibility rule as /v1/jobs: a tenant queries across the
+            # jobs it owns and nothing else — including nothing that would
+            # reveal whether other sources exist.
+            sources = [
+                job.job_id for job in self.service.queue.jobs(identity.name)
+            ]
+        return build_filter(
+            scheme=params.get("scheme"),
+            attack=params.get("attack"),
+            suite=params.get("suite"),
+            status=params.get("status"),
+            target=params.get("target"),
+            since=since,
+            sources=sources,
+        )
+
+    def _warehouse_query(self, identity: TokenInfo) -> Tuple[int, Dict[str, object]]:
+        params = self._query()
+        self.service.refresh_warehouse()
+        where = self._warehouse_filter(identity, params)
+        warehouse = self.service.warehouse
+        if params.get("aggregate") in ("1", "true", "yes"):
+            group_by = tuple(
+                field.strip()
+                for field in params.get("group_by", "scheme,suite,technology").split(",")
+                if field.strip()
+            )
+            if not group_by:
+                raise _ApiError(
+                    400, codes.ERR_INVALID_REQUEST, "empty group_by"
+                )
+            return 200, {
+                "groups": aggregate_stream(
+                    warehouse.iter_records(where), group_by=group_by
+                ),
+                "group_by": list(group_by),
+            }
+        try:
+            limit = int(params.get("limit", 1000))
+        except ValueError:
+            raise _ApiError(
+                400, codes.ERR_INVALID_REQUEST, "limit must be an integer"
+            ) from None
+        if limit <= 0:
+            raise _ApiError(
+                400, codes.ERR_INVALID_REQUEST, "limit must be positive"
+            )
+        records: List[Dict[str, object]] = []
+        truncated = False
+        for record in warehouse.iter_records(where):
+            if len(records) >= limit:
+                truncated = True
+                break
+            records.append(record)
+        return 200, {
+            "records": records,
+            "count": len(records),
+            "truncated": truncated,
+        }
+
+    def _warehouse_usage(self, identity: TokenInfo) -> Tuple[int, Dict[str, object]]:
+        self.service.refresh_warehouse()
+        counts = self.service.warehouse.records_by_source()
+        usage: Dict[str, Dict[str, object]] = {}
+        for job in self.service.queue.jobs(None):
+            for owner in job.owners or ["anonymous"]:
+                row = usage.setdefault(
+                    owner,
+                    {
+                        "jobs": 0,
+                        "records": 0,
+                        "tasks_done": 0,
+                        "tasks_wall_s": 0.0,
+                    },
+                )
+                row["jobs"] = int(row["jobs"]) + 1
+                row["records"] = int(row["records"]) + counts.get(job.job_id, 0)
+                row["tasks_done"] = int(row["tasks_done"]) + job.tasks_done
+                row["tasks_wall_s"] = float(row["tasks_wall_s"]) + job.tasks_wall_s
+        if not identity.is_admin:
+            usage = {
+                owner: row for owner, row in usage.items()
+                if owner == identity.name
+            }
+        return 200, {"usage": usage}
 
     # ------------------------------------------------------------------
     # Fleet: lease lifecycle
@@ -791,6 +944,9 @@ class CampaignService:
         stream_max_wait_s: float = STREAM_MAX_WAIT_S,
         fleet: bool = False,
         lease_ttl_s: float = 30.0,
+        warehouse_dir: Optional[os.PathLike] = None,
+        warehouse_compact_interval_s: float = 60.0,
+        warehouse_compact_min_superseded: int = 512,
         echo: Optional[Callable[[str], None]] = None,
     ):
         self.echo = echo if echo is not None else (lambda message: None)
@@ -819,6 +975,21 @@ class CampaignService:
         self.metrics = MetricsRegistry()
         self.queue = JobQueue(state_dir, metrics=self.metrics)
         self.recovered: List[str] = self.queue.recover()
+        #: Cross-campaign result warehouse.  Finished jobs are ingested by
+        #: the worker/coordinator post-finish hook; the query endpoints also
+        #: tail every job store lazily, so a state dir predating the
+        #: warehouse migrates on first query.
+        self.warehouse = Warehouse(
+            warehouse_dir
+            if warehouse_dir is not None
+            else self.queue.state_dir / "warehouse"
+        )
+        self._warehouse_ingest_lock = threading.Lock()
+        self._compactor = CompactionThread(
+            self.warehouse,
+            interval_s=warehouse_compact_interval_s,
+            min_superseded=warehouse_compact_min_superseded,
+        )
         resolved_cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
         #: Backing store of the /v1/artifacts object-store endpoints (and,
         #: in fleet mode, of the coordinator's between-job gc).
@@ -844,6 +1015,7 @@ class CampaignService:
                 cache_max_age_s=cache_max_age_s,
                 echo=self.echo,
                 metrics=self.metrics,
+                on_job_finished=self._ingest_finished_job,
             )
             self.fleet = self.worker
         else:
@@ -858,10 +1030,44 @@ class CampaignService:
                 cache_max_age_s=cache_max_age_s,
                 echo=self.echo,
                 metrics=self.metrics,
+                on_job_finished=self._ingest_finished_job,
             )
             self.fleet = None
         self._httpd: Optional[_ServiceServer] = None
         self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Warehouse ingest.
+
+    def _ingest_finished_job(self, job: Job) -> None:
+        """Post-finish hook: tail the finished job's store into the warehouse."""
+        self.ingest_job_store(job.job_id)
+
+    def ingest_job_store(self, job_id: str) -> int:
+        """Ingest one job store's un-ingested tail; returns records added."""
+        path = self.queue.stores_dir / f"{job_id}.jsonl"
+        with self._warehouse_ingest_lock:
+            added = ingest_store(self.warehouse, path, source=job_id)
+        if added:
+            self.metrics.inc("repro_warehouse_ingested_records_total", added)
+        return added
+
+    def refresh_warehouse(self) -> Dict[str, int]:
+        """Tail every job store (lazy migration of pre-warehouse state dirs).
+
+        Cheap when nothing changed: each source's byte cursor is compared to
+        the store file's size and only appended tails are read.
+        """
+        added: Dict[str, int] = {}
+        with self._warehouse_ingest_lock:
+            for path in sorted(self.queue.stores_dir.glob("*.jsonl")):
+                count = ingest_store(self.warehouse, path, source=path.stem)
+                if count:
+                    added[path.stem] = count
+        total = sum(added.values())
+        if total:
+            self.metrics.inc("repro_warehouse_ingested_records_total", total)
+        return added
 
     # ------------------------------------------------------------------
     # Traffic shaping.
@@ -960,6 +1166,11 @@ class CampaignService:
                 self.metrics.set_gauge(
                     "repro_fleet_worker_active_leases", float(count), worker=name
                 )
+        warehouse_stats = self.warehouse.stats()
+        for gauge in ("records", "superseded", "corrupt_lines", "shards", "bytes"):
+            self.metrics.set_gauge(
+                f"repro_warehouse_{gauge}", float(warehouse_stats[gauge])
+            )
         return self.metrics.render_prometheus()
 
     # ------------------------------------------------------------------
@@ -977,6 +1188,7 @@ class CampaignService:
         if self._httpd is not None:
             return self
         self.worker.start()
+        self._compactor.start()
         self._httpd = _ServiceServer(
             (self.host, self._requested_port), _ServiceHandler, self
         )
@@ -1008,7 +1220,9 @@ class CampaignService:
         if self._http_thread is not None:
             self._http_thread.join(timeout)
             self._http_thread = None
+        self._compactor.stop()
         self.worker.stop(timeout)
+        self.warehouse.flush()
 
     def __enter__(self) -> "CampaignService":
         return self.start()

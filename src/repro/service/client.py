@@ -23,6 +23,7 @@ import time
 from typing import Dict, Iterator, List, Mapping, Optional
 from urllib import error as urllib_error
 from urllib import request as urllib_request
+from urllib.parse import urlencode
 
 from .status import TERMINAL_STATUSES
 
@@ -238,6 +239,57 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> Dict[str, object]:
         return self._request("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    # ------------------------------------------------------------------
+    # Warehouse: cross-campaign queries
+    def warehouse_query(
+        self,
+        *,
+        scheme: Optional[str] = None,
+        attack: Optional[str] = None,
+        suite: Optional[str] = None,
+        status: Optional[str] = None,
+        target: Optional[str] = None,
+        since: Optional[str] = None,
+        limit: Optional[int] = None,
+        aggregate: bool = False,
+        group_by: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Cross-campaign record query (``GET /v1/warehouse/query``).
+
+        Returns ``{"records", "count", "truncated"}`` — or ``{"groups",
+        "group_by"}`` with ``aggregate=True`` (``group_by`` is a
+        comma-separated field list).  Non-admin tokens see only records
+        from jobs they own.
+        """
+        params = {
+            "scheme": scheme,
+            "attack": attack,
+            "suite": suite,
+            "status": status,
+            "target": target,
+            "since": since,
+            "limit": limit,
+            "aggregate": "1" if aggregate else None,
+            "group_by": group_by,
+        }
+        query = urlencode(
+            {key: value for key, value in params.items() if value is not None}
+        )
+        path = "/v1/warehouse/query" + (f"?{query}" if query else "")
+        return self._request("GET", path)
+
+    def warehouse_usage(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant usage rollup; non-admins get only their own row."""
+        return dict(self._request("GET", "/v1/warehouse/usage")["usage"])
+
+    def warehouse_stats(self) -> Dict[str, object]:
+        """Warehouse shard/index stats (admin token required under auth)."""
+        return dict(self._request("GET", "/v1/warehouse/stats")["stats"])
+
+    def warehouse_compact(self) -> Dict[str, object]:
+        """Trigger a compaction now (admin token required under auth)."""
+        return dict(self._request("POST", "/v1/warehouse/compact")["result"])
 
     # ------------------------------------------------------------------
     def stream(

@@ -51,8 +51,13 @@ class JobWorker:
         cache_max_age_s: Optional[float] = None,
         echo: Optional[Callable[[str], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        on_job_finished: Optional[Callable[[Job], None]] = None,
     ):
         self.queue = queue
+        #: Fired after a job reaches a terminal status with records on disk
+        #: (the service hangs its warehouse ingest here).  Exceptions are
+        #: swallowed: post-processing must never change a job's outcome.
+        self.on_job_finished = on_job_finished
         #: Shared with the queue/service in production; ``/metricsz`` renders
         #: the busy-slot gauge from here.
         self.metrics = metrics if metrics is not None else queue.metrics
@@ -113,6 +118,10 @@ class JobWorker:
                     self.run_job(job)
                 finally:
                     self.metrics.add_gauge("repro_service_workers_busy", -1.0)
+                # After the busy window: the job already has its terminal
+                # status, so ingest/GC latency never shows up as a busy slot.
+                self._notify_finished(job)
+                self._gc_between_jobs()
 
     def _log(self, message: str, *, job: Optional[Job] = None, **fields) -> None:
         emit(
@@ -199,7 +208,18 @@ class JobWorker:
             job=job,
             status=job.status,
         )
-        self._gc_between_jobs()
+
+    def _notify_finished(self, job: Job) -> None:
+        if self.on_job_finished is None:
+            return
+        try:
+            self.on_job_finished(job)
+        except Exception as exc:  # noqa: BLE001 - never change a job's outcome
+            self._log(
+                f"job {job.job_id}: post-finish hook failed: {exc}",
+                job=job,
+                error=str(exc),
+            )
 
     def _gc_between_jobs(self) -> None:
         """Bound the artifact cache while the service idles between jobs."""

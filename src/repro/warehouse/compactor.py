@@ -1,0 +1,70 @@
+"""Background compaction: fold superseded envelopes on a timer.
+
+The service runs one :class:`CompactionThread` per warehouse.  Each tick it
+checks how much garbage (superseded duplicates + corrupt lines) the
+warehouse is carrying and triggers :meth:`Warehouse.compact` once the
+threshold is crossed.  Compaction preserves every read observable — the
+thread can fire mid-query because readers hold their own file handles and
+shard files are never mutated in place, only replaced via the manifest.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..obs import emit
+from .store import Warehouse
+
+__all__ = ["CompactionThread"]
+
+
+class CompactionThread:
+    """Periodic warehouse compaction with a stop event."""
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        *,
+        interval_s: float = 60.0,
+        min_superseded: int = 512,
+    ) -> None:
+        self.warehouse = warehouse
+        self.interval_s = float(interval_s)
+        self.min_superseded = int(min_superseded)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="warehouse-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def tick(self) -> bool:
+        """One compaction check; returns True when a compaction ran."""
+        try:
+            result = self.warehouse.compact(min_superseded=self.min_superseded)
+        except Exception as exc:  # noqa: BLE001 - keep the loop alive
+            emit("warehouse.compact.error", error=str(exc))
+            return False
+        if result.get("compacted"):
+            emit(
+                "warehouse.compacted",
+                folded=result.get("folded"),
+                records=result.get("records"),
+                shards=result.get("shards"),
+            )
+        return bool(result.get("compacted"))
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.tick()

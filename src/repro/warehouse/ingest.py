@@ -1,0 +1,106 @@
+"""Lazy ingest: tail per-job JSONL stores into the warehouse.
+
+Each source (one ``ResultStore`` file, keyed by job id / file stem) has a
+persistent byte cursor in the warehouse's ``sources.json``.  Re-running an
+ingest reads only the bytes appended since the last pass, so old state dirs
+migrate lazily — the first warehouse query pays for history once, every
+later query pays only for the tail.  A truncated or replaced store file
+(cursor past EOF) resets its cursor and re-ingests from the top; the
+warehouse's last-write-wins keying makes that idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..obs import get_registry
+from .store import Warehouse
+
+__all__ = ["ingest_state_dir", "ingest_store"]
+
+
+def ingest_store(
+    warehouse: Warehouse,
+    path,
+    *,
+    source: Optional[str] = None,
+) -> int:
+    """Ingest new complete lines from one JSONL store; returns records added.
+
+    Only whole lines are consumed — a partially-written tail line stays
+    un-ingested until its writer finishes it.  Unparseable lines advance the
+    cursor (they would never parse later either) and are counted on the
+    ``repro_warehouse_ingest_corrupt_total`` metric.
+    """
+    path = Path(path)
+    source = source or path.stem
+    cursor = warehouse.source_cursor(source)
+    offset = int(cursor.get("offset", 0))
+    lines = int(cursor.get("lines", 0))
+    corrupt = int(cursor.get("corrupt", 0))
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return 0
+    if size < offset:
+        # The store was truncated or replaced; start over (idempotent).
+        offset, lines, corrupt = 0, 0, 0
+    if size == offset:
+        return 0
+    with path.open("rb") as handle:
+        handle.seek(offset)
+        chunk = handle.read(size - offset)
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return 0  # only a partial line so far
+    batch = []
+    new_corrupt = 0
+    for raw in chunk[: end + 1].split(b"\n")[:-1]:
+        lines += 1
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            new_corrupt += 1
+            continue
+        key = record.get("fingerprint") or record.get("task_id")
+        # Namespace by source: two campaigns can legitimately run the same
+        # task (same fingerprint); supersession is a within-store notion.
+        batch.append((f"{source}:{key}" if key else f"#{source}:{lines}", record))
+    if batch:
+        warehouse.append_many(batch, source=source)
+    registry = get_registry()
+    if batch:
+        registry.inc("repro_warehouse_ingested_records_total", len(batch))
+    if new_corrupt:
+        registry.inc("repro_warehouse_ingest_corrupt_total", new_corrupt)
+    warehouse.set_source_cursor(
+        source,
+        {
+            "path": str(path),
+            "offset": offset + end + 1,
+            "lines": lines,
+            "corrupt": corrupt + new_corrupt,
+        },
+    )
+    return len(batch)
+
+
+def ingest_state_dir(warehouse: Warehouse, state_dir) -> Dict[str, int]:
+    """Ingest every per-job store under ``<state_dir>/stores``.
+
+    Returns ``{job_id: records_added}`` for the sources that grew.
+    """
+    stores = Path(state_dir) / "stores"
+    added: Dict[str, int] = {}
+    if not stores.is_dir():
+        return added
+    for path in sorted(stores.glob("*.jsonl")):
+        count = ingest_store(warehouse, path, source=path.stem)
+        if count:
+            added[path.stem] = count
+    return added

@@ -108,6 +108,46 @@ class TestResultStore:
         assert len(latest) == 1
         assert latest["t/one"]["round"] == 2
 
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        """Writers from many threads each land one intact line: the payload
+        is serialised before the (locked) single write."""
+        import threading
+
+        store = ResultStore(tmp_path / "r.jsonl")
+
+        def writer(worker):
+            for i in range(25):
+                store.append(_record(f"c{worker}-{i}", fp=f"w{worker}-{i}"))
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store.load()) == 100
+        assert store.last_corrupt_lines == 0
+
+    def test_load_counts_corrupt_lines(self, tmp_path):
+        from repro.obs import scoped_registry
+
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(_record())
+        with path.open("a") as handle:
+            handle.write("{not json}\n")
+            handle.write("also not json\n")
+        store.append(_record("c3540", fp="f2"))
+        with scoped_registry() as registry:
+            assert len(store.load()) == 2
+        assert store.last_corrupt_lines == 2
+        series = registry.snapshot()["counters"]["repro_store_corrupt_lines_total"]
+        assert sum(value for _labels, value in series) == 2
+        # A clean reload resets the counter.
+        clean = ResultStore(tmp_path / "clean.jsonl")
+        clean.append(_record())
+        clean.load()
+        assert clean.last_corrupt_lines == 0
+
 
 class TestAggregation:
     def test_aggregate_averages_per_group(self):
@@ -121,11 +161,68 @@ class TestAggregation:
         records = [_record(), _record("c3540", status="failed")]
         assert aggregate(records)[0]["n_tasks"] == 1
 
+    def test_aggregate_averages_only_present_fields(self):
+        """A record without a metric must not drag the mean toward zero; it
+        simply isn't part of that metric's sample."""
+        with_post = _record("c2670", accuracy=0.8)
+        without_post = _record("c3540", accuracy=0.6, fp="f2")
+        del without_post["post_accuracy"]
+        without_post["train_time_s"] = None  # explicit null, same treatment
+        summary = aggregate([with_post, without_post])[0]
+        assert summary["gnn_accuracy"] == pytest.approx(0.7)
+        assert summary["post_accuracy"] == pytest.approx(1.0)  # one sample
+        assert summary["train_time_s"] == pytest.approx(0.5)
+        assert summary["metric_n"]["gnn_accuracy"] == 2
+        assert summary["metric_n"]["post_accuracy"] == 1
+        assert summary["metric_n"]["train_time_s"] == 1
+
+    def test_aggregate_reports_zero_n_for_absent_metric(self):
+        record = _record()
+        del record["post_accuracy"]
+        summary = aggregate([record])[0]
+        assert summary["post_accuracy"] == 0.0
+        assert summary["metric_n"]["post_accuracy"] == 0
+
     def test_paper_table_shape(self):
         table = paper_table([_record()], class_order=("AN", "DN"))
         assert "Prec AN (%)" in table and "F1 DN (%)" in table
         assert "98.00" in table  # gnn accuracy
         assert "1 AN as DN" in table
+
+    def test_paper_table_unions_classes_across_schemes(self):
+        """A mixed sarlock+antisat pile must carry every observed class: the
+        default class order is the union across records, not whatever the
+        first record happened to train on."""
+        antisat = _record("c2670")
+        sarlock = dict(
+            _record("c3540", fp="f2"),
+            scheme="sarlock",
+            class_names=["DN", "SAR"],
+            gnn_report={
+                "per_class": {
+                    "DN": {"precision": 0.9, "recall": 0.9, "f1": 0.9},
+                    "SAR": {"precision": 0.8, "recall": 0.8, "f1": 0.8},
+                },
+                "misclassification_summary": "-",
+            },
+        )
+        for records in ([antisat, sarlock], [sarlock, antisat]):
+            table = paper_table(records)
+            for cls in ("AN", "DN", "SAR"):
+                assert f"Prec {cls} (%)" in table
+                assert f"F1 {cls} (%)" in table
+
+    def test_campaign_table_survives_nodes_without_circuits(self):
+        record = {
+            "task_id": "t/summary",
+            "status": "ok",
+            "n_nodes": 1234,
+            "cache": {},
+        }
+        table = campaign_table([record])
+        assert "1234 nodes" in table
+        with_circuits = dict(record, n_circuits=8)
+        assert "1234 nodes / 8 circuits" in campaign_table([with_circuits])
 
     def test_campaign_table_reports_failures(self):
         failed = dict(_record("c3540", status="failed"), error="KeyError: boom")
@@ -207,6 +304,19 @@ class TestCli:
     def test_report_missing_store_errors(self, tmp_path, capsys):
         code = main(["report", "--store", str(tmp_path / "absent.jsonl")])
         assert code == 1
+
+    def test_report_warns_about_dropped_corrupt_lines(self, tmp_path, capsys):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(_record())
+        with path.open("a") as handle:
+            handle.write("{corrupted line\n")
+        code = main(["report", "--store", str(path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1 unparseable line(s)" in captured.err
+        assert "under-counts" in captured.err
+        assert "c2670" in captured.out
 
     def test_report_service_style_matches_render_report(self, tmp_path, capsys):
         from repro.runner import render_report
@@ -306,6 +416,74 @@ class TestCli:
         out = capsys.readouterr().out
         assert "1 task(s) already complete, 0 to run" in out
         assert "skipped" in out
+
+
+class TestWarehouseCli:
+    def _seed_store(self, path, *targets):
+        store = ResultStore(path)
+        for i, target in enumerate(targets):
+            store.append(_record(target, fp=f"{path.stem}-{i}"))
+        return store
+
+    def test_ingest_query_compact_stats_roundtrip(self, tmp_path, capsys):
+        self._seed_store(tmp_path / "job-a.jsonl", "c2670", "c3540")
+        self._seed_store(tmp_path / "job-b.jsonl", "c5315")
+        wh_dir = str(tmp_path / "wh")
+        code = main(
+            ["warehouse", "ingest", "--warehouse", wh_dir,
+             "--store", str(tmp_path / "job-a.jsonl"),
+             "--store", str(tmp_path / "job-b.jsonl")]
+        )
+        assert code == 0
+        assert "ingested 3 record(s)" in capsys.readouterr().out
+
+        code = main(["warehouse", "query", "--warehouse", wh_dir])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line
+        ]
+        assert {r["target"] for r in lines} == {"c2670", "c3540", "c5315"}
+
+        code = main(
+            ["warehouse", "query", "--warehouse", wh_dir,
+             "--aggregate", "--group-by", "scheme"]
+        )
+        assert code == 0
+        groups = json.loads(capsys.readouterr().out)
+        assert groups[0]["scheme"] == "antisat"
+        assert groups[0]["n_tasks"] == 3
+
+        code = main(["warehouse", "compact", "--warehouse", wh_dir])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["warehouse", "stats", "--warehouse", wh_dir])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["records"] == 3
+        assert sorted(stats["sources"]) == ["job-a", "job-b"]
+
+    def test_query_report_matches_store_render(self, tmp_path, capsys):
+        from repro.runner import render_report
+
+        store = self._seed_store(tmp_path / "job.jsonl", "c2670", "c3540")
+        code = main(
+            ["warehouse", "ingest", "--warehouse", str(tmp_path / "wh"),
+             "--store", str(store.path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            ["warehouse", "query", "--warehouse", str(tmp_path / "wh"),
+             "--report"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out == render_report(list(store.latest().values())) + "\n"
+
+    def test_ingest_without_inputs_errors(self, tmp_path, capsys):
+        code = main(["warehouse", "ingest", "--warehouse", str(tmp_path / "wh")])
+        assert code != 0
 
 
 class TestCacheCli:

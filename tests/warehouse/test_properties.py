@@ -1,0 +1,81 @@
+"""Property tests: on arbitrary record piles, warehouse ingest + compaction
++ streaming aggregation reproduce ResultStore.latest()/aggregate() exactly."""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.runner.store import ResultStore, aggregate, render_report  # noqa: E402
+from repro.warehouse import Warehouse, aggregate_stream, ingest_store  # noqa: E402
+
+SCHEMES = ("antisat", "sarlock", "xor", "tt-lock")
+METRICS = ("gnn_accuracy", "post_accuracy", "removal_success_rate", "train_time_s")
+
+
+@st.composite
+def records(draw):
+    record = {
+        "task_id": draw(st.sampled_from(["t/a", "t/b", "t/c"])),
+        "scheme": draw(st.sampled_from(SCHEMES)),
+        "suite": draw(st.sampled_from(["ISCAS-85", "ITC-99"])),
+        "technology": "BENCH8",
+        "status": draw(st.sampled_from(["ok", "ok", "ok", "failed"])),
+        "n_instances": draw(st.integers(min_value=1, max_value=5)),
+    }
+    if draw(st.booleans()):
+        # Small fingerprint pool so piles contain genuine supersessions.
+        record["fingerprint"] = f"fp{draw(st.integers(min_value=0, max_value=7))}"
+    for metric in METRICS:
+        if draw(st.booleans()):
+            record[metric] = draw(
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+    return record
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(pile=st.lists(records(), min_size=0, max_size=30))
+def test_warehouse_reproduces_store_byte_for_byte(tmp_path, pile):
+    store_path = tmp_path / "job.jsonl"
+    store_path.unlink(missing_ok=True)
+    store = ResultStore(store_path)
+    for record in pile:
+        store.append(record)
+
+    root = tmp_path / "wh"
+    if root.exists():
+        import shutil
+
+        shutil.rmtree(root)
+    warehouse = Warehouse(root)
+    ingest_store(warehouse, store.path, source="job")
+
+    expected = list(store.latest().values())
+    assert list(warehouse.iter_records()) == expected
+    # Byte-for-byte: the streamed aggregate and rendered report serialise
+    # identically to their in-memory JSONL-backed counterparts.
+    assert json.dumps(aggregate_stream(warehouse.iter_records()), sort_keys=True) == (
+        json.dumps(aggregate(expected), sort_keys=True)
+    )
+    before_report = render_report(list(warehouse.iter_records()))
+    assert before_report == render_report(expected)
+
+    warehouse.compact()
+    assert list(warehouse.iter_records()) == expected
+    assert render_report(list(warehouse.iter_records())) == before_report
+    assert json.dumps(aggregate_stream(warehouse.iter_records()), sort_keys=True) == (
+        json.dumps(aggregate(expected), sort_keys=True)
+    )
